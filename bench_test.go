@@ -1,0 +1,151 @@
+package ftnoc_test
+
+import (
+	"testing"
+
+	"ftnoc"
+	"ftnoc/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section at quick scale (see cmd/experiments -full for the
+// 300k-message runs). Each reports a headline metric from the produced
+// series so a bench run doubles as a sanity check of the reproduced
+// shape.
+
+// pick returns the series value at the row with the given x.
+func pick(f experiments.Figure, x float64, series string) float64 {
+	for _, r := range f.Rows {
+		if r.X == x {
+			return r.Values[series]
+		}
+	}
+	return 0
+}
+
+// BenchmarkFig5 regenerates the latency comparison of the three
+// link-error handling schemes (HBH / E2E / FEC).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig5(experiments.Quick)
+		b.ReportMetric(pick(fig, 1e-1, "HBH"), "HBH@0.1_cycles")
+		b.ReportMetric(pick(fig, 1e-1, "E2E"), "E2E@0.1_cycles")
+		b.ReportMetric(pick(fig, 1e-1, "FEC"), "FEC@0.1_cycles")
+	}
+}
+
+// BenchmarkFig6 regenerates the HBH latency-vs-error-rate series for the
+// NR / BC / TN traffic patterns.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig6(experiments.Quick)
+		b.ReportMetric(pick(fig, 1e-5, "NR"), "NR@1e-5_cycles")
+		b.ReportMetric(pick(fig, 1e-1, "NR"), "NR@0.1_cycles")
+		b.ReportMetric(pick(fig, 1e-1, "TN"), "TN@0.1_cycles")
+	}
+}
+
+// BenchmarkFig7 regenerates the HBH energy-per-message series.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig7(experiments.Quick)
+		b.ReportMetric(pick(fig, 1e-5, "NR"), "NR@1e-5_nJ")
+		b.ReportMetric(pick(fig, 1e-1, "NR"), "NR@0.1_nJ")
+	}
+}
+
+// BenchmarkFig8And9 regenerates both buffer-utilization figures
+// (transmission and retransmission) for adaptive vs deterministic
+// routing.
+func BenchmarkFig8And9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f8, f9 := experiments.Fig8And9(experiments.Quick)
+		b.ReportMetric(pick(f8, 0.9, "AD"), "tx_util_AD@0.9")
+		b.ReportMetric(pick(f8, 0.9, "DT"), "tx_util_DT@0.9")
+		b.ReportMetric(pick(f9, 0.3, "AD"), "rt_util_AD@0.3")
+		b.ReportMetric(pick(f9, 0.9, "DT"), "rt_util_DT@0.9")
+	}
+}
+
+// BenchmarkFig13a regenerates the corrected-error counts for the three
+// isolated fault classes.
+func BenchmarkFig13a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig13a(experiments.Quick)
+		b.ReportMetric(pick(fig, 1e-2, "LINK-HBH"), "LINK@1e-2")
+		b.ReportMetric(pick(fig, 1e-2, "RT-Logic"), "RT@1e-2")
+		b.ReportMetric(pick(fig, 1e-2, "SA-Logic"), "SA@1e-2")
+	}
+}
+
+// BenchmarkFig13b regenerates the energy-per-packet series under each
+// fault class.
+func BenchmarkFig13b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig13b(experiments.Quick)
+		b.ReportMetric(pick(fig, 1e-2, "LINK-HBH"), "LINK@1e-2_nJ")
+		b.ReportMetric(pick(fig, 1e-2, "SA-Logic"), "SA@1e-2_nJ")
+	}
+}
+
+// BenchmarkTable1 regenerates the AC unit's power/area overhead table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		b.ReportMetric(rows[1].PowerPct, "ac_power_pct")
+		b.ReportMetric(rows[1].AreaPct, "ac_area_pct")
+	}
+}
+
+// BenchmarkNetworkCycle measures raw simulation speed: wall time per
+// simulated cycle of the paper's 8x8 platform at its 0.25 operating
+// point.
+func BenchmarkNetworkCycle(b *testing.B) {
+	cfg := ftnoc.NewConfig()
+	net := ftnoc.New(cfg)
+	k := net.Kernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// BenchmarkSimulationRun measures end-to-end runs of a small platform
+// under link errors — the unit of every figure regeneration above.
+func BenchmarkSimulationRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ftnoc.NewConfig()
+		cfg.Width, cfg.Height = 4, 4
+		cfg.WarmupMessages = 200
+		cfg.TotalMessages = 1_000
+		cfg.Faults.Link = 1e-3
+		cfg.Seed = uint64(i + 1)
+		res := ftnoc.Run(cfg)
+		if res.Stalled {
+			b.Fatal("benchmark run stalled")
+		}
+	}
+}
+
+// BenchmarkDeadlockRecovery measures the burst-drain scenario: a
+// deadlock-prone adaptive network recovering via probing + buffer
+// shifting.
+func BenchmarkDeadlockRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ftnoc.NewConfig()
+		cfg.Width, cfg.Height = 4, 4
+		cfg.Routing = ftnoc.MinimalAdaptive
+		cfg.VCs = 1
+		cfg.BufDepth = 6
+		cfg.InjectionRate = 0.6
+		cfg.Cthres = 32
+		cfg.WarmupMessages = 0
+		cfg.InjectLimit = 2_000
+		cfg.TotalMessages = 2_000
+		cfg.Seed = uint64(i + 1)
+		res := ftnoc.Run(cfg)
+		if res.Stalled {
+			b.ReportMetric(1, "stalls")
+		}
+	}
+}

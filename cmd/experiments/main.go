@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments              # every figure at quick scale
+//	experiments -fig 5       # just Fig. 5
+//	experiments -table 1     # just Table 1
+//	experiments -full        # the paper's 300k-message runs (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftnoc/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 5, 6, 7, 8, 9, 13a, 13b (default: all)")
+	table := flag.String("table", "", "table to regenerate: 1")
+	full := flag.Bool("full", false, "run at the paper's 300k-message scale")
+	formatName := flag.String("format", "text", "output format: text, csv, markdown")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	format, err := experiments.ParseFormat(*formatName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *table == "1" {
+		experiments.FprintTable1(os.Stdout, experiments.Table1())
+		return
+	}
+	if *table != "" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown table %q\n", *table)
+		os.Exit(1)
+	}
+
+	run := func(id string) {
+		switch id {
+		case "5":
+			experiments.Fig5(scale).Render(os.Stdout, format)
+		case "6":
+			experiments.Fig6(scale).Render(os.Stdout, format)
+		case "7":
+			experiments.Fig7(scale).Render(os.Stdout, format)
+		case "8", "9":
+			f8, f9 := experiments.Fig8And9(scale)
+			if id == "8" {
+				f8.Render(os.Stdout, format)
+			} else {
+				f9.Render(os.Stdout, format)
+			}
+		case "13a":
+			experiments.Fig13a(scale).Render(os.Stdout, format)
+		case "13b":
+			experiments.Fig13b(scale).Render(os.Stdout, format)
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", id)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *fig != "" {
+		run(*fig)
+		return
+	}
+	for _, id := range []string{"5", "6", "7", "13a", "13b"} {
+		run(id)
+	}
+	f8, f9 := experiments.Fig8And9(scale)
+	f8.Render(os.Stdout, format)
+	fmt.Println()
+	f9.Render(os.Stdout, format)
+	fmt.Println()
+	experiments.FprintTable1(os.Stdout, experiments.Table1())
+}

@@ -1,0 +1,209 @@
+// Command nocsim runs one network simulation and prints its measurements.
+//
+// Example (the paper's platform with 1e-3 link errors):
+//
+//	nocsim -width 8 -height 8 -vcs 3 -inj 0.25 -link-errors 1e-3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftnoc"
+	"ftnoc/internal/visual"
+)
+
+func main() {
+	cfg := ftnoc.NewConfig()
+
+	width := flag.Int("width", cfg.Width, "mesh width")
+	height := flag.Int("height", cfg.Height, "mesh height")
+	torus := flag.Bool("torus", false, "use a torus instead of a mesh")
+	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per physical channel")
+	bufDepth := flag.Int("buf", cfg.BufDepth, "input buffer depth per VC (flits)")
+	depth := flag.Int("pipeline", cfg.PipelineDepth, "router pipeline depth (1-4)")
+	packet := flag.Int("packet", cfg.PacketSize, "flits per message")
+	inj := flag.Float64("inj", cfg.InjectionRate, "injection rate (flits/node/cycle)")
+	pattern := flag.String("pattern", "NR", "traffic pattern: NR, BC, TN, TP, SH, HS")
+	route := flag.String("routing", "xy", "routing: xy, adaptive, west-first, odd-even")
+	prot := flag.String("protection", "hbh", "link protection: hbh, e2e, fec")
+	linkErr := flag.Float64("link-errors", 0, "link error rate per flit traversal")
+	rtErr := flag.Float64("rt-errors", 0, "routing-unit upset rate per computation")
+	vaErr := flag.Float64("va-errors", 0, "VC-allocator upset rate per allocation")
+	saErr := flag.Float64("sa-errors", 0, "switch-allocator upset rate per arbitration")
+	noAC := flag.Bool("no-ac", false, "disable the Allocation Comparator")
+	noRecovery := flag.Bool("no-recovery", false, "disable deadlock recovery")
+	duplicate := flag.Bool("duplicate-retrans", false, "duplicate retransmission buffers (section 4.5)")
+	messages := flag.Uint64("messages", cfg.TotalMessages, "messages to eject (incl. warm-up)")
+	warmup := flag.Uint64("warmup", cfg.WarmupMessages, "warm-up messages to discard")
+	seed := flag.Uint64("seed", cfg.Seed, "simulation seed")
+	paperScale := flag.Bool("paper-scale", false, "use the paper's 300k-message runs")
+	heatmap := flag.Bool("heatmap", false, "print a per-router buffer-utilization floorplan")
+	tracePID := flag.Uint64("trace", 0, "record and print the journey of the packet with this ID")
+	configPath := flag.String("config", "", "load the configuration from a JSON file (other config flags are ignored)")
+	saveConfig := flag.String("save-config", "", "write the effective configuration to a JSON file and exit")
+	flag.Parse()
+
+	cfg.Width, cfg.Height = *width, *height
+	if *torus {
+		cfg.TopologyKind = ftnoc.Torus
+	}
+	cfg.VCs = *vcs
+	cfg.BufDepth = *bufDepth
+	cfg.PipelineDepth = *depth
+	cfg.PacketSize = *packet
+	cfg.InjectionRate = *inj
+	cfg.ACEnabled = !*noAC
+	cfg.RecoveryEnabled = !*noRecovery
+	cfg.DuplicateRetrans = *duplicate
+	cfg.TotalMessages = *messages
+	cfg.WarmupMessages = *warmup
+	cfg.Seed = *seed
+	cfg.Faults.Link = *linkErr
+	cfg.Faults.RT = *rtErr
+	cfg.Faults.VA = *vaErr
+	cfg.Faults.SA = *saErr
+	if *paperScale {
+		cfg = cfg.PaperScale()
+	}
+	if *tracePID != 0 {
+		cfg.TracePIDs = []uint64{*tracePID}
+	}
+
+	var err error
+	if cfg.Pattern, err = parsePattern(*pattern); err != nil {
+		fatal(err)
+	}
+	if cfg.Routing, err = parseRouting(*route); err != nil {
+		fatal(err)
+	}
+	if cfg.Protection, err = parseProtection(*prot); err != nil {
+		fatal(err)
+	}
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = ftnoc.ReadConfig(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveConfig != "" {
+		f, err := os.Create(*saveConfig)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cfg.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *saveConfig)
+		return
+	}
+
+	res := ftnoc.Run(cfg)
+
+	fmt.Printf("platform:       %dx%d %v, %d VCs/PC, %d-flit buffers, %d-stage routers\n",
+		cfg.Width, cfg.Height, cfg.TopologyKind, cfg.VCs, cfg.BufDepth, cfg.PipelineDepth)
+	fmt.Printf("workload:       %v @ %.3f flits/node/cycle, %d-flit messages, routing %v, protection %v\n",
+		cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, cfg.Routing, cfg.Protection)
+	fmt.Printf("delivered:      %d messages in %d cycles (stalled: %v)\n", res.Delivered, res.Cycles, res.Stalled)
+	fmt.Printf("latency:        avg %.2f, p95 %.0f, max %.0f cycles\n", res.AvgLatency, res.P95Latency, res.MaxLatency)
+	fmt.Printf("throughput:     %s\n", res.Throughput)
+	fmt.Printf("energy:         %.4f nJ/message\n", ftnoc.EnergyPerMessageNJ(res))
+	fmt.Printf("buffer util:    transmission %.4f, retransmission %.4f\n", res.TxBufUtil, res.RtBufUtil)
+	fmt.Printf("fault handling: %d NACKs, %d retransmissions, %d flits dropped\n",
+		res.Counters.NACKs, res.Counters.Retransmissions, res.Counters.DroppedFlits)
+	for _, cl := range []ftnoc.FaultClass{ftnoc.LinkError, ftnoc.RTLogic, ftnoc.VALogic, ftnoc.SALogic} {
+		if res.Counters.Injected[cl] == 0 && res.Counters.Corrected[cl] == 0 {
+			continue
+		}
+		fmt.Printf("  %-9v injected %d, corrected %d, undetected %d\n",
+			cl, res.Counters.Injected[cl], res.Counters.Corrected[cl], res.Counters.Undetected[cl])
+	}
+	if res.Recoveries > 0 || res.ProbesSent > 0 {
+		fmt.Printf("deadlock:       %d probes, %d recovery episodes\n", res.ProbesSent, res.Recoveries)
+	}
+	if res.CorruptedPackets+res.LostPackets+res.E2ENACKs > 0 {
+		fmt.Printf("end-to-end:     %d corrupted, %d retransmit requests, %d re-sent, %d lost (buf max %d)\n",
+			res.CorruptedPackets, res.E2ENACKs, res.E2ERetransmits, res.LostPackets, res.E2EBufMax)
+	}
+	if hist := res.LatencyHist; len(hist) > 0 && res.Delivered > 0 {
+		vals := make([]float64, len(hist))
+		for i, c := range hist {
+			vals[i] = float64(c)
+		}
+		fmt.Printf("latency dist:   %s (10-cycle bins from 0)\n", visual.Sparkline(vals))
+	}
+	for pid, lines := range res.Traces {
+		fmt.Printf("\ntrace of packet %d:\n", pid)
+		for _, l := range lines {
+			fmt.Println(" ", l)
+		}
+	}
+	if *heatmap && res.RouterTxUtil != nil {
+		fmt.Println()
+		fmt.Print(visual.Heatmap(cfg.Width, cfg.Height, 0,
+			"per-router transmission-buffer utilization",
+			func(x, y int) float64 { return res.RouterTxUtil[y*cfg.Width+x] }))
+	}
+}
+
+func parsePattern(s string) (ftnoc.Pattern, error) {
+	switch strings.ToUpper(s) {
+	case "NR":
+		return ftnoc.UniformRandom, nil
+	case "BC":
+		return ftnoc.BitComplement, nil
+	case "TN":
+		return ftnoc.Tornado, nil
+	case "TP":
+		return ftnoc.Transpose, nil
+	case "SH":
+		return ftnoc.Shuffle, nil
+	case "HS":
+		return ftnoc.Hotspot, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", s)
+	}
+}
+
+func parseRouting(s string) (ftnoc.Routing, error) {
+	switch strings.ToLower(s) {
+	case "xy", "dt":
+		return ftnoc.XY, nil
+	case "adaptive", "ad":
+		return ftnoc.MinimalAdaptive, nil
+	case "west-first":
+		return ftnoc.WestFirst, nil
+	case "odd-even":
+		return ftnoc.OddEven, nil
+	default:
+		return 0, fmt.Errorf("unknown routing %q", s)
+	}
+}
+
+func parseProtection(s string) (ftnoc.Protection, error) {
+	switch strings.ToLower(s) {
+	case "hbh":
+		return ftnoc.HBH, nil
+	case "e2e":
+		return ftnoc.E2E, nil
+	case "fec":
+		return ftnoc.FEC, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

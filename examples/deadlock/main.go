@@ -1,0 +1,62 @@
+// Deadlock recovery walkthrough: first replays the exact buffer mechanics
+// of the paper's Fig. 10 on a 3-node ring, then demonstrates the full
+// network protocol — probing detection (Rules 1-4) plus
+// retransmission-buffer recovery — rescuing a deadlock-prone adaptive
+// network that wedges solid without it.
+package main
+
+import (
+	"fmt"
+
+	"ftnoc"
+	"ftnoc/internal/deadlock"
+)
+
+func main() {
+	fmt.Println("== Part 1: the Fig. 10 ring, step by step ==")
+	ring := deadlock.NewRing(3, 4, 3)
+	ring.Fill(4)
+	fmt.Println("step 1 (deadlocked):", ring.Snapshot())
+	ring.StartRecovery()
+	for s := 2; s <= 7; s++ {
+		ring.Step()
+		fmt.Printf("step %d: %s\n", s, ring.Snapshot())
+	}
+	fmt.Println("after one rotation every flit has advanced 3 slots — the")
+	fmt.Println("state of step 1, shifted, exactly as the paper's figure shows.")
+
+	fmt.Println("\nEquation (1) lower bounds (total buffer T+R per node):")
+	for _, tc := range []struct{ m, t int }{{4, 4}, {4, 6}, {8, 8}} {
+		fmt.Printf("  %d-flit packets, %d-deep buffers: need > %d total slots\n",
+			tc.m, tc.t, ftnoc.MinTotalBuffer(tc.m, tc.t)-1)
+	}
+
+	fmt.Println("\n== Part 2: the full network protocol ==")
+	base := ftnoc.NewConfig()
+	base.Width, base.Height = 4, 4
+	base.Routing = ftnoc.MinimalAdaptive // fully adaptive: can deadlock
+	base.VCs = 1                         // no escape channels
+	base.BufDepth = 6                    // satisfies Eq. (1): 6+3 > 4*2
+	base.InjectionRate = 0.6             // far beyond saturation
+	base.Cthres = 32
+	base.WarmupMessages = 0
+	base.InjectLimit = 3_000 // bounded burst: everything must drain
+	base.TotalMessages = 3_000
+	base.StallCycles = 20_000
+	base.Seed = 1
+
+	off := base
+	off.RecoveryEnabled = false
+	resOff := ftnoc.Run(off)
+	fmt.Printf("recovery OFF: delivered %d/%d, stalled=%v\n",
+		resOff.Delivered, off.TotalMessages, resOff.Stalled)
+
+	resOn := ftnoc.Run(base)
+	fmt.Printf("recovery ON:  delivered %d/%d, stalled=%v\n",
+		resOn.Delivered, base.TotalMessages, resOn.Stalled)
+	fmt.Printf("              %d probes sent, %d recovery episodes, avg latency %.1f cycles\n",
+		resOn.ProbesSent, resOn.Recoveries, resOn.AvgLatency)
+	if resOff.Stalled && !resOn.Stalled {
+		fmt.Println("\nthe probing + retransmission-buffer scheme broke every deadlock.")
+	}
+}

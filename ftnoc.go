@@ -1,0 +1,182 @@
+// Package ftnoc is a cycle-accurate simulator of fault-tolerant
+// network-on-chip architectures, reproducing "Exploring Fault-Tolerant
+// Network-on-Chip Architectures" (Park, Nicopoulos, Kim, Vijaykrishnan,
+// Das — DSN 2006).
+//
+// The library models the paper's full system: a mesh/torus of pipelined
+// virtual-channel wormhole routers with SEC/DED-protected links, the
+// flit-based hop-by-hop retransmission scheme (§3.1), probing deadlock
+// detection with retransmission-buffer recovery (§3.2), the Allocation
+// Comparator protecting VA/SA/RT logic from single-event upsets (§4), the
+// end-to-end and FEC-only baselines, and an area/power model calibrated
+// to the paper's 90 nm synthesis results.
+//
+// Quick start:
+//
+//	cfg := ftnoc.NewConfig()          // the paper's 8x8 platform
+//	cfg.Faults.Link = 1e-3            // inject link soft errors
+//	res := ftnoc.Run(cfg)
+//	fmt.Println(res.AvgLatency, ftnoc.EnergyPerMessageNJ(res))
+//
+// The package is a facade over the internal implementation packages; all
+// simulation state lives in the value returned by New, so concurrent
+// simulations are independent.
+package ftnoc
+
+import (
+	"io"
+
+	"ftnoc/internal/deadlock"
+	"ftnoc/internal/fault"
+	"ftnoc/internal/link"
+	"ftnoc/internal/network"
+	"ftnoc/internal/power"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/traffic"
+)
+
+// Config parameterises a simulation. Obtain defaults from NewConfig and
+// override fields; see the field documentation on the underlying type.
+type Config = network.Config
+
+// Results is the measurement record of a completed run.
+type Results = network.Results
+
+// FaultRates configures per-operation fault-injection probabilities.
+type FaultRates = fault.Rates
+
+// FaultClass identifies which router component a fault upsets.
+type FaultClass = fault.Class
+
+// Fault classes (Fig. 13's three error situations plus VA).
+const (
+	LinkError      = fault.LinkError
+	RTLogic        = fault.RTLogic
+	VALogic        = fault.VALogic
+	SALogic        = fault.SALogic
+	HandshakeError = fault.HandshakeError
+)
+
+// Protection selects the link-error handling scheme (Fig. 5).
+type Protection = link.Protection
+
+// Link protection schemes.
+const (
+	HBH = link.HBH
+	E2E = link.E2E
+	FEC = link.FEC
+)
+
+// Routing selects the routing algorithm.
+type Routing = routing.Algorithm
+
+// Routing algorithms. XY is the paper's deterministic baseline (DT);
+// MinimalAdaptive is the adaptive one (AD).
+const (
+	XY              = routing.XY
+	MinimalAdaptive = routing.MinimalAdaptive
+	WestFirst       = routing.WestFirst
+	OddEven         = routing.OddEven
+)
+
+// Pattern selects the traffic destination distribution.
+type Pattern = traffic.Pattern
+
+// Traffic patterns (§2.2 uses NR, BC and TN).
+const (
+	UniformRandom = traffic.UniformRandom
+	BitComplement = traffic.BitComplement
+	Tornado       = traffic.Tornado
+	Transpose     = traffic.Transpose
+	Shuffle       = traffic.Shuffle
+	Hotspot       = traffic.Hotspot
+)
+
+// TopologyKind selects the network shape.
+type TopologyKind = topology.Kind
+
+// Topology kinds.
+const (
+	Mesh  = topology.Mesh
+	Torus = topology.Torus
+)
+
+// LinkID names a directed inter-router link, for hard-fault injection.
+type LinkID = topology.LinkID
+
+// Port identifies a router's physical channel.
+type Port = topology.Port
+
+// Router ports.
+const (
+	Local = topology.Local
+	North = topology.North
+	East  = topology.East
+	South = topology.South
+	West  = topology.West
+)
+
+// Network is a fully assembled simulation instance, for callers that
+// want to step the kernel manually or inspect routers mid-run; most
+// callers should use Run.
+type Network = network.Network
+
+// ReadConfig parses a JSON configuration (as written by Config.WriteJSON);
+// absent fields keep NewConfig defaults.
+func ReadConfig(r io.Reader) (Config, error) { return network.ReadConfig(r) }
+
+// NewConfig returns the paper's evaluation platform defaults (§2.2):
+// 8x8 mesh, 3-stage pipelined routers, 3 VCs per physical channel,
+// 4-flit messages, XY routing, HBH protection, AC and deadlock recovery
+// enabled, uniform traffic at 0.25 flits/node/cycle.
+func NewConfig() Config { return network.NewConfig() }
+
+// New assembles a simulation without running it.
+func New(cfg Config) *Network { return network.New(cfg) }
+
+// Run assembles and runs a simulation to completion.
+func Run(cfg Config) Results { return network.New(cfg).Run() }
+
+// EnergyPerMessageNJ converts a run's measured event counts into the
+// paper's energy-per-message metric (nanojoules), using the 90 nm
+// calibrated power model.
+func EnergyPerMessageNJ(r Results) float64 {
+	return power.EnergyPerMessage(r.Events, r.MeasuredMessages)
+}
+
+// TotalEnergyNJ returns the run's total measured dynamic energy in
+// nanojoules.
+func TotalEnergyNJ(r Results) float64 { return power.Energy(r.Events) }
+
+// RouterPowerMW estimates a router configuration's power in milliwatts
+// (90 nm, 1 V, 500 MHz), per the calibrated Table 1 model.
+func RouterPowerMW(ports, vcs, bufDepth, retransDepth int, ac bool) float64 {
+	return power.Power(power.RouterConfig{Ports: ports, VCs: vcs, BufDepth: bufDepth, RetransDepth: retransDepth, AC: ac})
+}
+
+// RouterAreaMM2 estimates a router configuration's area in mm².
+func RouterAreaMM2(ports, vcs, bufDepth, retransDepth int, ac bool) float64 {
+	return power.Area(power.RouterConfig{Ports: ports, VCs: vcs, BufDepth: bufDepth, RetransDepth: retransDepth, AC: ac})
+}
+
+// Eq1Satisfied evaluates the deadlock-recovery buffer lower bound of the
+// paper's Equation (1) for n identical nodes with packet size m,
+// transmission depth t and retransmission depth r.
+func Eq1Satisfied(n, m, t, r int) bool { return deadlock.Eq1SatisfiedUniform(n, m, t, r) }
+
+// MinTotalBuffer returns the smallest per-node total buffer size (T+R)
+// that guarantees deadlock recovery per Equation (1).
+func MinTotalBuffer(m, t int) int { return deadlock.MinTotalBuffer(m, t) }
+
+// Eq1WorstCaseSatisfied evaluates the refined worst-case form of the
+// buffer bound, which also counts the extra partial packet a wormhole
+// buffer can hold when M divides T. See internal/deadlock for why the
+// paper's own form understates that case.
+func Eq1WorstCaseSatisfied(n, m, t, r int) bool {
+	return deadlock.Eq1WorstCaseSatisfiedUniform(n, m, t, r)
+}
+
+// MinTotalBufferWorstCase returns the smallest per-node total buffer
+// (T+R) that guarantees deadlock recovery under the refined worst case.
+func MinTotalBufferWorstCase(m, t int) int { return deadlock.MinTotalBufferWorstCase(m, t) }

@@ -1,0 +1,114 @@
+package ftnoc_test
+
+import (
+	"math"
+	"testing"
+
+	"ftnoc"
+)
+
+func quickCfg() ftnoc.Config {
+	cfg := ftnoc.NewConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupMessages = 200
+	cfg.TotalMessages = 1_000
+	return cfg
+}
+
+func TestPublicAPIRun(t *testing.T) {
+	res := ftnoc.Run(quickCfg())
+	if res.Stalled || res.Delivered < 1_000 {
+		t.Fatalf("run incomplete: %v", res)
+	}
+	if e := ftnoc.EnergyPerMessageNJ(res); e <= 0 || e > 2 {
+		t.Fatalf("energy per message %.4f nJ implausible", e)
+	}
+	if ftnoc.TotalEnergyNJ(res) <= 0 {
+		t.Fatal("total energy zero")
+	}
+}
+
+func TestPublicAPIDefaultsArePaperPlatform(t *testing.T) {
+	cfg := ftnoc.NewConfig()
+	if cfg.Width != 8 || cfg.Height != 8 || cfg.VCs != 3 || cfg.PacketSize != 4 ||
+		cfg.PipelineDepth != 3 || cfg.InjectionRate != 0.25 {
+		t.Fatalf("defaults diverge from the paper platform: %+v", cfg)
+	}
+	if cfg.Protection != ftnoc.HBH || cfg.Routing != ftnoc.XY || cfg.Pattern != ftnoc.UniformRandom {
+		t.Fatal("default protocol choices diverge from the paper")
+	}
+	if !cfg.ACEnabled || !cfg.RecoveryEnabled || !cfg.TMREnabled {
+		t.Fatal("protection mechanisms not on by default")
+	}
+	full := cfg.PaperScale()
+	if full.TotalMessages != 300_000 || full.WarmupMessages != 100_000 {
+		t.Fatalf("PaperScale = %d/%d, want 300k/100k", full.TotalMessages, full.WarmupMessages)
+	}
+}
+
+func TestPublicAPIStepwise(t *testing.T) {
+	net := ftnoc.New(quickCfg())
+	k := net.Kernel()
+	for i := 0; i < 100; i++ {
+		k.Step()
+	}
+	if k.Cycle() != 100 {
+		t.Fatalf("cycle = %d", k.Cycle())
+	}
+	if len(net.Routers()) != 16 {
+		t.Fatalf("router count = %d", len(net.Routers()))
+	}
+	if net.Topology().Nodes() != 16 {
+		t.Fatal("topology wrong")
+	}
+}
+
+func TestPublicAPITable1Helpers(t *testing.T) {
+	base := ftnoc.RouterPowerMW(5, 4, 4, 0, false)
+	if math.Abs(base-119.55) > 0.01 {
+		t.Fatalf("paper router power = %.2f, want 119.55", base)
+	}
+	withAC := ftnoc.RouterPowerMW(5, 4, 4, 0, true)
+	if math.Abs(withAC-base-2.02) > 0.01 {
+		t.Fatalf("AC power delta = %.3f, want 2.02", withAC-base)
+	}
+	area := ftnoc.RouterAreaMM2(5, 4, 4, 0, false)
+	if math.Abs(area-0.374862) > 1e-5 {
+		t.Fatalf("paper router area = %.6f", area)
+	}
+}
+
+func TestPublicAPIEq1(t *testing.T) {
+	if !ftnoc.Eq1Satisfied(3, 4, 4, 3) {
+		t.Fatal("Fig. 10 example rejected")
+	}
+	if ftnoc.Eq1Satisfied(4, 4, 6, 0) {
+		t.Fatal("violating case accepted")
+	}
+	if ftnoc.MinTotalBuffer(4, 6) != 9 {
+		t.Fatal("MinTotalBuffer wrong")
+	}
+}
+
+func TestPublicAPITorusRun(t *testing.T) {
+	cfg := quickCfg()
+	cfg.TopologyKind = ftnoc.Torus
+	cfg.TotalMessages = 600
+	cfg.WarmupMessages = 100
+	res := ftnoc.Run(cfg)
+	if res.Stalled || res.Delivered < 600 {
+		t.Fatalf("torus run incomplete: %v", res)
+	}
+}
+
+func TestPublicAPIDuplicateRetrans(t *testing.T) {
+	cfg := quickCfg()
+	cfg.DuplicateRetrans = true
+	cfg.Faults.Link = 0.02
+	cfg.TotalMessages = 600
+	cfg.WarmupMessages = 100
+	res := ftnoc.Run(cfg)
+	if res.Stalled || res.Delivered < 600 || res.CorruptedPackets != 0 {
+		t.Fatalf("duplicate-retrans run incomplete: %v", res)
+	}
+}

@@ -1,0 +1,3 @@
+module ftnoc
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package ac implements the Allocation Comparator unit of Fig. 12: a
+// compact combinational checker that cross-examines the state of the
+// routing unit (RT), the virtual-channel allocator (VA) and the switch
+// allocator (SA) to catch intra-router logic soft errors (§4.1, §4.3).
+//
+// The unit performs three comparisons in parallel, within one clock
+// cycle:
+//
+//  1. every output VC assigned by the VA must agree with the routing
+//     function's candidate set (catches scenario 4b of §4.1);
+//  2. the VA state must contain no invalid and no duplicate output-VC
+//     assignments (catches scenarios 1–3);
+//  3. the SA grant vector must contain no invalid output port, no two
+//     grants to the same output (crossbar collision) and no input granted
+//     multiple outputs (multicast) (catches cases b–d of §4.3).
+//
+// The checks are pure functions over state snapshots: detection is
+// honest — the comparator finds the corruption, it is not told about it.
+package ac
+
+import (
+	"fmt"
+
+	"ftnoc/internal/topology"
+)
+
+// Binding is one entry of the VA state table: input VC (inPort, inVC) has
+// been paired with output VC (outPort, outVC).
+type Binding struct {
+	InPort  topology.Port
+	InVC    int
+	OutPort topology.Port
+	OutVC   int
+}
+
+// Grant is one entry of the SA grant vector for a cycle: the flit at the
+// front of (inPort, inVC) traverses the crossbar to outPort.
+type Grant struct {
+	InPort  topology.Port
+	InVC    int
+	OutPort topology.Port
+}
+
+// Violation classifies what a comparator check found.
+type Violation uint8
+
+// Violations. None means the allocation is clean.
+const (
+	None Violation = iota
+	// InvalidVC: the assigned output VC id does not exist (scenario 1).
+	InvalidVC
+	// InvalidPort: the assigned or granted output port does not exist.
+	InvalidPort
+	// DuplicateAssignment: the output VC is already bound to another
+	// input VC (scenarios 2 and 3).
+	DuplicateAssignment
+	// RouteDisagreement: the assigned output port is not in the routing
+	// function's candidate set (scenario 4b).
+	RouteDisagreement
+	// CrossbarCollision: two SA grants target the same output port
+	// (case c of §4.3).
+	CrossbarCollision
+	// Multicast: one input VC granted multiple outputs (case d).
+	Multicast
+	// StateMismatch: an SA grant disagrees with the VA binding of its
+	// input VC (case b: flit sent to a direction different from its
+	// header).
+	StateMismatch
+)
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	switch v {
+	case None:
+		return "none"
+	case InvalidVC:
+		return "invalid-vc"
+	case InvalidPort:
+		return "invalid-port"
+	case DuplicateAssignment:
+		return "duplicate-assignment"
+	case RouteDisagreement:
+		return "route-disagreement"
+	case CrossbarCollision:
+		return "crossbar-collision"
+	case Multicast:
+		return "multicast"
+	case StateMismatch:
+		return "state-mismatch"
+	default:
+		return fmt.Sprintf("Violation(%d)", uint8(v))
+	}
+}
+
+// CheckVA validates a fresh VA allocation b against the routing
+// function's candidate ports for that packet, the number of VCs per
+// physical channel, and the pre-existing bindings. It returns the first
+// violation found, or None.
+func CheckVA(b Binding, candidates []topology.Port, vcsPerPC, numPorts int, existing []Binding) Violation {
+	if int(b.OutPort) >= numPorts {
+		return InvalidPort
+	}
+	if b.OutVC < 0 || b.OutVC >= vcsPerPC {
+		return InvalidVC
+	}
+	inSet := false
+	for _, c := range candidates {
+		if c == b.OutPort {
+			inSet = true
+			break
+		}
+	}
+	if !inSet {
+		return RouteDisagreement
+	}
+	for _, e := range existing {
+		if e.InPort == b.InPort && e.InVC == b.InVC {
+			continue // the entry being (re)written
+		}
+		if e.OutPort == b.OutPort && e.OutVC == b.OutVC {
+			return DuplicateAssignment
+		}
+	}
+	return None
+}
+
+// CheckSA validates a cycle's SA grant vector against the VA state. The
+// lookup callback resolves the VA binding of an input VC (ok=false if the
+// input VC holds no binding — itself a violation). It returns, aligned
+// with grants, the violation found for each grant (None for clean ones).
+func CheckSA(grants []Grant, numPorts int, lookup func(inPort topology.Port, inVC int) (Binding, bool)) []Violation {
+	out := make([]Violation, len(grants))
+	seenOut := make(map[topology.Port]int, len(grants))
+	seenIn := make(map[[2]int]int, len(grants))
+	for i, g := range grants {
+		if int(g.OutPort) >= numPorts {
+			out[i] = InvalidPort
+			continue
+		}
+		b, ok := lookup(g.InPort, g.InVC)
+		if !ok || b.OutPort != g.OutPort {
+			out[i] = StateMismatch
+			continue
+		}
+		if j, dup := seenOut[g.OutPort]; dup {
+			out[i] = CrossbarCollision
+			if out[j] == None {
+				out[j] = CrossbarCollision
+			}
+			continue
+		}
+		seenOut[g.OutPort] = i
+		key := [2]int{int(g.InPort), g.InVC}
+		if j, dup := seenIn[key]; dup {
+			out[i] = Multicast
+			if out[j] == None {
+				out[j] = Multicast
+			}
+			continue
+		}
+		seenIn[key] = i
+	}
+	return out
+}
+
+// Entries returns the number of state entries the comparator examines for
+// a router with p ports and v VCs per port — the PV figure the paper uses
+// to argue the unit's compactness (§4.1: 5x4 = 20 entries for the
+// synthesized router).
+func Entries(p, v int) int { return p * v }

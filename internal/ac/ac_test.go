@@ -1,0 +1,179 @@
+package ac
+
+import (
+	"testing"
+
+	"ftnoc/internal/topology"
+)
+
+const (
+	vcsPerPC = 3
+	numPorts = int(topology.NumPorts)
+)
+
+func candidates(ps ...topology.Port) []topology.Port { return ps }
+
+func TestCheckVAClean(t *testing.T) {
+	b := Binding{InPort: topology.North, InVC: 1, OutPort: topology.South, OutVC: 2}
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, nil); v != None {
+		t.Fatalf("clean allocation flagged: %v", v)
+	}
+}
+
+// Scenario 1 of §4.1: an invalid output VC id.
+func TestCheckVAInvalidVC(t *testing.T) {
+	b := Binding{OutPort: topology.South, OutVC: 3} // VCs are 0..2
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, nil); v != InvalidVC {
+		t.Fatalf("got %v, want InvalidVC", v)
+	}
+	b.OutVC = -1
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, nil); v != InvalidVC {
+		t.Fatalf("got %v, want InvalidVC for negative", v)
+	}
+}
+
+// Scenarios 2/3: the output VC is already reserved by another input VC.
+func TestCheckVADuplicate(t *testing.T) {
+	existing := []Binding{
+		{InPort: topology.West, InVC: 0, OutPort: topology.South, OutVC: 1},
+	}
+	b := Binding{InPort: topology.North, InVC: 2, OutPort: topology.South, OutVC: 1}
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, existing); v != DuplicateAssignment {
+		t.Fatalf("got %v, want DuplicateAssignment", v)
+	}
+	// Rewriting one's own entry is not a duplicate.
+	own := []Binding{{InPort: topology.North, InVC: 2, OutPort: topology.South, OutVC: 1}}
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, own); v != None {
+		t.Fatalf("own entry flagged: %v", v)
+	}
+}
+
+// Scenario 4b: the assigned VC belongs to a PC the routing function did
+// not return.
+func TestCheckVARouteDisagreement(t *testing.T) {
+	b := Binding{OutPort: topology.North, OutVC: 0}
+	if v := CheckVA(b, candidates(topology.South, topology.East), vcsPerPC, numPorts, nil); v != RouteDisagreement {
+		t.Fatalf("got %v, want RouteDisagreement", v)
+	}
+}
+
+// Scenario 4a (benign): a different-but-free VC on the intended PC passes.
+func TestCheckVABenignWrongVC(t *testing.T) {
+	b := Binding{OutPort: topology.South, OutVC: 2}
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, nil); v != None {
+		t.Fatalf("benign same-PC VC flagged: %v", v)
+	}
+}
+
+func TestCheckVAInvalidPort(t *testing.T) {
+	b := Binding{OutPort: topology.Port(7), OutVC: 0}
+	if v := CheckVA(b, candidates(topology.South), vcsPerPC, numPorts, nil); v != InvalidPort {
+		t.Fatalf("got %v, want InvalidPort", v)
+	}
+}
+
+func lookupFrom(bindings []Binding) func(topology.Port, int) (Binding, bool) {
+	return func(p topology.Port, vc int) (Binding, bool) {
+		for _, b := range bindings {
+			if b.InPort == p && b.InVC == vc {
+				return b, true
+			}
+		}
+		return Binding{}, false
+	}
+}
+
+func TestCheckSAClean(t *testing.T) {
+	bindings := []Binding{
+		{InPort: topology.North, InVC: 0, OutPort: topology.South, OutVC: 1},
+		{InPort: topology.West, InVC: 1, OutPort: topology.East, OutVC: 0},
+	}
+	grants := []Grant{
+		{InPort: topology.North, InVC: 0, OutPort: topology.South},
+		{InPort: topology.West, InVC: 1, OutPort: topology.East},
+	}
+	for i, v := range CheckSA(grants, numPorts, lookupFrom(bindings)) {
+		if v != None {
+			t.Fatalf("clean grant %d flagged: %v", i, v)
+		}
+	}
+}
+
+// Case (b) of §4.3: a flit sent to a direction different from its header.
+func TestCheckSAStateMismatch(t *testing.T) {
+	bindings := []Binding{{InPort: topology.North, InVC: 0, OutPort: topology.South, OutVC: 1}}
+	grants := []Grant{{InPort: topology.North, InVC: 0, OutPort: topology.East}}
+	v := CheckSA(grants, numPorts, lookupFrom(bindings))
+	if v[0] != StateMismatch {
+		t.Fatalf("got %v, want StateMismatch", v[0])
+	}
+}
+
+// Case (c): two flits directed to the same output.
+func TestCheckSACollision(t *testing.T) {
+	bindings := []Binding{
+		{InPort: topology.North, InVC: 0, OutPort: topology.South, OutVC: 1},
+		{InPort: topology.West, InVC: 1, OutPort: topology.South, OutVC: 2},
+	}
+	grants := []Grant{
+		{InPort: topology.North, InVC: 0, OutPort: topology.South},
+		{InPort: topology.West, InVC: 1, OutPort: topology.South},
+	}
+	v := CheckSA(grants, numPorts, lookupFrom(bindings))
+	if v[0] != CrossbarCollision || v[1] != CrossbarCollision {
+		t.Fatalf("got %v, want both CrossbarCollision", v)
+	}
+}
+
+// Case (d): one input granted multiple outputs (multicast).
+func TestCheckSAMulticast(t *testing.T) {
+	bindings := []Binding{
+		{InPort: topology.North, InVC: 0, OutPort: topology.South, OutVC: 1},
+		{InPort: topology.North, InVC: 0, OutPort: topology.East, OutVC: 1},
+	}
+	lookup := func(p topology.Port, vc int) (Binding, bool) {
+		// A corrupted VA state could claim both; the SA check still
+		// catches the duplicated input.
+		return bindings[0], p == topology.North && vc == 0
+	}
+	grants := []Grant{
+		{InPort: topology.North, InVC: 0, OutPort: topology.South},
+		{InPort: topology.North, InVC: 0, OutPort: topology.South},
+	}
+	v := CheckSA(grants, numPorts, lookup)
+	// The same output twice is a collision; the same input twice with
+	// different outputs is a multicast.
+	if v[1] == None {
+		t.Fatalf("duplicate input/output grant not flagged: %v", v)
+	}
+}
+
+func TestCheckSAMissingBinding(t *testing.T) {
+	grants := []Grant{{InPort: topology.North, InVC: 0, OutPort: topology.South}}
+	v := CheckSA(grants, numPorts, lookupFrom(nil))
+	if v[0] != StateMismatch {
+		t.Fatalf("grant without binding: got %v, want StateMismatch", v[0])
+	}
+}
+
+func TestCheckSAInvalidPort(t *testing.T) {
+	grants := []Grant{{InPort: topology.North, InVC: 0, OutPort: topology.Port(9)}}
+	v := CheckSA(grants, numPorts, lookupFrom(nil))
+	if v[0] != InvalidPort {
+		t.Fatalf("got %v, want InvalidPort", v[0])
+	}
+}
+
+func TestEntries(t *testing.T) {
+	if Entries(5, 4) != 20 {
+		t.Fatalf("Entries(5,4) = %d, want 20 (the paper's PV)", Entries(5, 4))
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	for v := None; v <= StateMismatch; v++ {
+		if v.String() == "" {
+			t.Errorf("violation %d has empty string", v)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package deadlock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The paper's first worked example (Fig. 10): T=4, R=3, M=4, n=3:
+// B2 = 3*(4+3) = 21 > 4*3*1 = 12.
+func TestEq1Figure10Example(t *testing.T) {
+	if !Eq1SatisfiedUniform(3, 4, 4, 3) {
+		t.Fatal("Fig. 10 configuration must satisfy Eq. (1)")
+	}
+}
+
+// The paper's second worked example (Fig. 11): T=6, R=3, M=4, n=4:
+// B2 = 4*(6+3) = 36 > 4*4*2 = 32.
+func TestEq1Figure11Example(t *testing.T) {
+	if !Eq1SatisfiedUniform(4, 4, 6, 3) {
+		t.Fatal("Fig. 11 configuration must satisfy Eq. (1)")
+	}
+}
+
+// Removing the retransmission buffers from the Fig. 11 case violates the
+// bound: 4*6 = 24 < 32.
+func TestEq1ViolatedWithoutRetrans(t *testing.T) {
+	if Eq1SatisfiedUniform(4, 4, 6, 0) {
+		t.Fatal("Fig. 11 without retransmission buffers must violate Eq. (1)")
+	}
+}
+
+func TestEq1NonUniform(t *testing.T) {
+	// Mixed buffer sizes: capacity 7+9 = 16 > 4*(1+2) = 12.
+	if !Eq1Satisfied(4, []int{4, 6}, []int{3, 3}) {
+		t.Fatal("non-uniform satisfying case failed")
+	}
+	// 4+6 = 10 < 12 without retransmission buffers.
+	if Eq1Satisfied(4, []int{4, 6}, []int{0, 0}) {
+		t.Fatal("non-uniform violating case passed")
+	}
+}
+
+func TestEq1DegenerateInputs(t *testing.T) {
+	if Eq1Satisfied(0, []int{4}, []int{3}) {
+		t.Fatal("m=0 accepted")
+	}
+	if Eq1Satisfied(4, []int{4}, []int{3, 3}) {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if Eq1Satisfied(4, nil, nil) {
+		t.Fatal("empty accepted")
+	}
+	if Eq1SatisfiedUniform(0, 4, 4, 3) {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestMinTotalBuffer(t *testing.T) {
+	cases := []struct{ m, t, want int }{
+		{4, 4, 5}, // one packet per buffer: need M+1
+		{4, 6, 9}, // two partial packets: need 2M+1 (the Fig. 11 case)
+		{4, 8, 9}, // exactly two packets
+		{2, 5, 7}, // three 2-flit packets
+		{8, 4, 9}, // buffer smaller than packet still holds one partial
+	}
+	for _, c := range cases {
+		if got := MinTotalBuffer(c.m, c.t); got != c.want {
+			t.Errorf("MinTotalBuffer(%d,%d) = %d, want %d", c.m, c.t, got, c.want)
+		}
+	}
+}
+
+// Property: MinTotalBuffer is the exact threshold of Eq1SatisfiedUniform.
+func TestEq1ThresholdProperty(t *testing.T) {
+	f := func(mRaw, tRaw, nRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		tr := int(tRaw%12) + 1
+		n := int(nRaw%6) + 1
+		min := MinTotalBuffer(m, tr)
+		r := min - tr // retrans depth that exactly reaches the threshold
+		if r < 0 {
+			return true // buffer alone already exceeds the bound
+		}
+		return Eq1SatisfiedUniform(n, m, tr, r) && !Eq1SatisfiedUniform(n, m, tr, r-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingFigure10 reproduces the Fig. 10 trace: a 3-node ring of 4-flit
+// packets with T=4, R=3 is fully wedged; recovery parks 3 flits per node
+// and after one full rotation (step 7 in the figure) every flit has
+// advanced exactly 3 slots, with the retransmission buffers empty again.
+func TestRingFigure10(t *testing.T) {
+	r := NewRing(3, 4, 3)
+	r.Fill(4)
+	if !r.Blocked() {
+		t.Fatal("filled ring not blocked")
+	}
+	r.Step()
+	if !r.Blocked() {
+		t.Fatal("blocked ring moved without recovery")
+	}
+	r.StartRecovery()
+	// Step 2 of the figure: the lateral move happens, freeing 3 slots.
+	r.Step()
+	for i, n := range r.Nodes {
+		if len(n.Parked) != 3 || len(n.Trans) != 1 {
+			t.Fatalf("node %d after parking: trans=%v parked=%v", i, n.Trans, n.Parked)
+		}
+	}
+	// Three more steps circulate the parked flits to the next nodes.
+	r.Step()
+	r.Step()
+	r.Step()
+	for i, n := range r.Nodes {
+		if len(n.Trans) != 4 {
+			t.Fatalf("node %d after rotation: %v / %v", i, n.Trans, n.Parked)
+		}
+		// Every flit advanced by 3 slots: node i now holds the last flit
+		// of its own packet followed by the first three of the upstream
+		// packet.
+		up := byte('a' + (i+2)%3)
+		own := byte('a' + i)
+		want := []RingFlit{
+			{Packet: own, Seq: 4, Tail: true},
+			{Packet: up, Seq: 1},
+			{Packet: up, Seq: 2},
+			{Packet: up, Seq: 3},
+		}
+		for j, f := range n.Trans {
+			if f.Packet != want[j].Packet || f.Seq != want[j].Seq {
+				t.Fatalf("node %d slot %d = %v, want %v (state: %s)", i, j, f, want[j], r.Snapshot())
+			}
+		}
+	}
+}
+
+// With an exit node, recovery drains the entire deadlock: the Fig. 10
+// procedure "repeated until at least one of the packets breaks the
+// deadlock by going out to a direction away from the configuration".
+func TestRingDrainsThroughExit(t *testing.T) {
+	r := NewRing(4, 4, 3)
+	r.Fill(4)
+	r.Exit = 0
+	r.StartRecovery()
+	if !r.Run(200) {
+		t.Fatalf("ring did not drain: %s", r.Snapshot())
+	}
+	if r.Delivered() != 16 {
+		t.Fatalf("delivered %d flits, want 16", r.Delivered())
+	}
+}
+
+// Without recovery the same ring never moves.
+func TestRingStuckWithoutRecovery(t *testing.T) {
+	r := NewRing(4, 4, 3)
+	r.Fill(4)
+	for i := 0; i < 50; i++ {
+		r.Step()
+	}
+	if !r.Blocked() {
+		t.Fatal("ring moved without recovery")
+	}
+	for i, n := range r.Nodes {
+		if len(n.Trans) != 4 {
+			t.Fatalf("node %d changed: %v", i, n.Trans)
+		}
+	}
+}
+
+// Without retransmission buffers (R=0) recovery has no slack to create:
+// the ring stays wedged even in recovery mode.
+func TestRingStuckWithoutRetransBuffers(t *testing.T) {
+	r := NewRing(4, 4, 0)
+	r.Fill(4)
+	r.StartRecovery()
+	for i := 0; i < 50; i++ {
+		r.Step()
+	}
+	if !r.Blocked() {
+		t.Fatal("R=0 ring moved; recovery should be impossible")
+	}
+}
+
+// TestRingFigure11WorstCase: with T=6 holding flits of two packets
+// (a partial packet blocking a whole one), B=9 > 8 per Eq. (1) and the
+// ring still drains.
+func TestRingFigure11WorstCase(t *testing.T) {
+	r := NewRing(4, 6, 3)
+	// Fill each buffer with 6 flits spanning two packets: the Fig. 11
+	// situation of partially transferred messages.
+	for i, n := range r.Nodes {
+		p1 := byte('a' + i)
+		p2 := byte('e' + i)
+		n.Trans = []RingFlit{
+			{Packet: p1, Seq: 3}, {Packet: p1, Seq: 4, Tail: true},
+			{Packet: p2, Seq: 1}, {Packet: p2, Seq: 2}, {Packet: p2, Seq: 3}, {Packet: p2, Seq: 4, Tail: true},
+		}
+	}
+	r.Exit = 0
+	r.StartRecovery()
+	if !r.Run(300) {
+		t.Fatalf("worst case did not drain: %s", r.Snapshot())
+	}
+	if r.Delivered() != 24 {
+		t.Fatalf("delivered %d flits, want 24", r.Delivered())
+	}
+}
+
+// Flit conservation: recovery must never lose or duplicate a resident
+// flit.
+func TestRingConservationProperty(t *testing.T) {
+	f := func(nRaw, tRaw, rRaw, steps uint8) bool {
+		n := int(nRaw%4) + 2
+		tr := int(tRaw%6) + 2
+		rr := int(rRaw % 4)
+		ring := NewRing(n, tr, rr)
+		ring.Fill(tr)
+		ring.StartRecovery()
+		total := n * tr
+		for s := 0; s < int(steps%40); s++ {
+			ring.Step()
+			resident := 0
+			for _, node := range ring.Nodes {
+				resident += node.Occupancy()
+			}
+			if resident+ring.Delivered() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The worst-case refinement: T=4, R=3, M=4 passes the paper's formula
+// but fails the refined bound (7 < 4*2+1), matching the full-network
+// observation that such configurations wedge.
+func TestEq1WorstCaseRefinement(t *testing.T) {
+	if !Eq1SatisfiedUniform(4, 4, 4, 3) {
+		t.Fatal("paper's formula should accept T=4,R=3,M=4")
+	}
+	if Eq1WorstCaseSatisfiedUniform(4, 4, 4, 3) {
+		t.Fatal("refined bound should reject T=4,R=3,M=4")
+	}
+	// The paper's own Fig. 11 provisioning satisfies both forms.
+	if !Eq1WorstCaseSatisfiedUniform(4, 4, 6, 3) {
+		t.Fatal("refined bound should accept T=6,R=3,M=4")
+	}
+	if MinTotalBufferWorstCase(4, 4) != 9 || MinTotalBufferWorstCase(4, 6) != 9 {
+		t.Fatalf("worst-case minimums wrong: %d, %d",
+			MinTotalBufferWorstCase(4, 4), MinTotalBufferWorstCase(4, 6))
+	}
+}
+
+func TestEq1WorstCaseDegenerate(t *testing.T) {
+	if Eq1WorstCaseSatisfied(0, []int{4}, []int{3}) {
+		t.Fatal("m=0 accepted")
+	}
+	if Eq1WorstCaseSatisfiedUniform(0, 4, 6, 3) {
+		t.Fatal("n=0 accepted")
+	}
+}

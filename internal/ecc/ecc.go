@@ -1,0 +1,149 @@
+// Package ecc implements the Single Error Correction / Double Error
+// Detection (SEC/DED) code that protects flit contents on inter-router
+// links and in retransmission buffers, as assumed throughout the paper
+// (§3): single-bit upsets are corrected in place by the receiver's
+// error-detection/correction unit, double-bit upsets are detected and
+// trigger the NACK/retransmission path.
+//
+// The code is an extended Hamming(72,64): 64 data bits, 7 Hamming check
+// bits and one overall parity bit. Codewords are represented as the data
+// word (uint64) plus an 8-bit check field, matching the Flit.Word /
+// Flit.Check pair in package flit.
+package ecc
+
+import "math/bits"
+
+// Outcome classifies the result of decoding a possibly corrupted codeword.
+type Outcome uint8
+
+// Decode outcomes.
+const (
+	// OK means the codeword was error-free.
+	OK Outcome = iota + 1
+	// Corrected means exactly one bit was flipped and has been repaired.
+	Corrected
+	// Detected means an uncorrectable (two-bit) error was detected; the
+	// returned data must not be used.
+	Detected
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return "unknown"
+	}
+}
+
+// The codeword has 72 bit positions. Positions are numbered 1..72 in the
+// classical Hamming arrangement: power-of-two positions (1,2,4,8,16,32,64)
+// hold the 7 Hamming check bits, position 0 (kept separate) holds the
+// overall parity, and the remaining 64 positions hold data bits in
+// ascending order.
+
+// dataPositions[i] is the 1-based Hamming position of data bit i.
+var dataPositions = buildDataPositions()
+
+// positionOfData inverts dataPositions: positionOfData[pos] = data bit
+// index + 1, or 0 if pos is a check position.
+var positionOfData = buildPositionIndex()
+
+func buildDataPositions() [64]uint8 {
+	var dp [64]uint8
+	i := 0
+	for pos := 1; pos <= 72 && i < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit position
+			continue
+		}
+		dp[i] = uint8(pos)
+		i++
+	}
+	return dp
+}
+
+func buildPositionIndex() [73]uint8 {
+	var idx [73]uint8
+	for i, pos := range dataPositions {
+		idx[pos] = uint8(i) + 1
+	}
+	return idx
+}
+
+// hammingChecks computes the 7 Hamming check bits for the 64-bit data
+// word. Check bit k (k = 0..6, at position 2^k) is the parity of all data
+// positions whose position number has bit k set.
+func hammingChecks(data uint64) uint8 {
+	var checks uint8
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 0 {
+			continue
+		}
+		checks ^= uint8(dataPositions[i]) & 0x7f
+	}
+	// checks now holds, in bit k, the XOR of position-number bit k over
+	// all set data bits — which is exactly check bit k's value.
+	return checks
+}
+
+// Encode computes the 8-bit check field (7 Hamming bits in bits 0..6,
+// overall parity in bit 7) for a 64-bit data word.
+func Encode(data uint64) uint8 {
+	checks := hammingChecks(data)
+	parity := uint8(bits.OnesCount64(data)+bits.OnesCount8(checks)) & 1
+	return checks | parity<<7
+}
+
+// Decode examines a received (data, check) pair. It returns the corrected
+// data word, the corrected check field, and the decode outcome:
+//
+//   - OK: no error.
+//   - Corrected: a single-bit error (in data, a check bit, or the parity
+//     bit itself) was repaired; returned values are clean.
+//   - Detected: a double-bit error; returned values are unreliable.
+func Decode(data uint64, check uint8) (uint64, uint8, Outcome) {
+	syndrome := hammingChecks(data) ^ (check & 0x7f)
+	parityOK := uint8(bits.OnesCount64(data)+bits.OnesCount8(check))&1 == 0
+
+	switch {
+	case syndrome == 0 && parityOK:
+		return data, check, OK
+	case syndrome == 0 && !parityOK:
+		// Overall parity bit itself flipped.
+		return data, check ^ 0x80, Corrected
+	case parityOK:
+		// Non-zero syndrome with correct overall parity means an even
+		// number of flips: uncorrectable.
+		return data, check, Detected
+	default:
+		// Single-bit error at position `syndrome`.
+		pos := int(syndrome)
+		if pos > 72 {
+			// Syndrome points outside the codeword: alias of a multi-bit
+			// error; report detected.
+			return data, check, Detected
+		}
+		if pos&(pos-1) == 0 {
+			// A check bit flipped; data is clean, repair the check field.
+			k := bits.TrailingZeros(uint(pos))
+			return data, check ^ 1<<uint(k), Corrected
+		}
+		di := positionOfData[pos]
+		if di == 0 {
+			return data, check, Detected
+		}
+		return data ^ 1<<uint(di-1), check, Corrected
+	}
+}
+
+// FlipDataBit returns data with bit i (0..63) flipped. It is the injection
+// primitive used by the fault package.
+func FlipDataBit(data uint64, i int) uint64 { return data ^ 1<<uint(i&63) }
+
+// FlipCheckBit returns check with bit i (0..7) flipped.
+func FlipCheckBit(check uint8, i int) uint8 { return check ^ 1<<uint(i&7) }

@@ -1,0 +1,165 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	words := []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeefcafebabe, 1 << 63, 0x5555555555555555}
+	for _, w := range words {
+		c := Encode(w)
+		d, cc, out := Decode(w, c)
+		if out != OK || d != w || cc != c {
+			t.Errorf("Decode(Encode(%#x)) = (%#x,%#x,%v), want clean", w, d, cc, out)
+		}
+	}
+}
+
+func TestSingleDataBitCorrected(t *testing.T) {
+	w := uint64(0xdeadbeefcafebabe)
+	c := Encode(w)
+	for i := 0; i < 64; i++ {
+		d, _, out := Decode(FlipDataBit(w, i), c)
+		if out != Corrected {
+			t.Fatalf("data bit %d flip: outcome %v, want Corrected", i, out)
+		}
+		if d != w {
+			t.Fatalf("data bit %d flip: corrected to %#x, want %#x", i, d, w)
+		}
+	}
+}
+
+func TestSingleCheckBitCorrected(t *testing.T) {
+	w := uint64(0x0123456789abcdef)
+	c := Encode(w)
+	for i := 0; i < 8; i++ {
+		d, cc, out := Decode(w, FlipCheckBit(c, i))
+		if out != Corrected {
+			t.Fatalf("check bit %d flip: outcome %v, want Corrected", i, out)
+		}
+		if d != w || cc != c {
+			t.Fatalf("check bit %d flip: repaired to (%#x,%#x), want (%#x,%#x)", i, d, cc, w, c)
+		}
+	}
+}
+
+func TestDoubleDataBitDetected(t *testing.T) {
+	w := uint64(0xfeedfacefeedface)
+	c := Encode(w)
+	for i := 0; i < 64; i += 7 {
+		for j := i + 1; j < 64; j += 11 {
+			_, _, out := Decode(FlipDataBit(FlipDataBit(w, i), j), c)
+			if out != Detected {
+				t.Fatalf("double flip (%d,%d): outcome %v, want Detected", i, j, out)
+			}
+		}
+	}
+}
+
+func TestDataPlusCheckBitDetected(t *testing.T) {
+	w := uint64(0x1122334455667788)
+	c := Encode(w)
+	for i := 0; i < 64; i += 9 {
+		for j := 0; j < 8; j++ {
+			_, _, out := Decode(FlipDataBit(w, i), FlipCheckBit(c, j))
+			if out != Detected {
+				t.Fatalf("data %d + check %d flip: outcome %v, want Detected", i, j, out)
+			}
+		}
+	}
+}
+
+func TestDoubleCheckBitDetected(t *testing.T) {
+	w := uint64(0xa5a5a5a5a5a5a5a5)
+	c := Encode(w)
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			_, _, out := Decode(w, FlipCheckBit(FlipCheckBit(c, i), j))
+			if out != Detected {
+				t.Fatalf("check bits (%d,%d) flip: outcome %v, want Detected", i, j, out)
+			}
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{OK: "ok", Corrected: "corrected", Detected: "detected", Outcome(0): "unknown"}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+// Property: every single-bit corruption of any codeword is corrected back
+// to the original.
+func TestSECProperty(t *testing.T) {
+	f := func(w uint64, bit uint8) bool {
+		c := Encode(w)
+		var d uint64
+		var out Outcome
+		if int(bit%72) < 64 {
+			d, _, out = Decode(FlipDataBit(w, int(bit%64)), c)
+		} else {
+			d, _, out = Decode(w, FlipCheckBit(c, int(bit%8)))
+		}
+		return out == Corrected && d == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every double-bit corruption (two distinct data bits) is
+// detected, never silently "corrected" to wrong data.
+func TestDEDProperty(t *testing.T) {
+	f := func(w uint64, a, b uint8) bool {
+		i, j := int(a%64), int(b%64)
+		if i == j {
+			return true
+		}
+		c := Encode(w)
+		_, _, out := Decode(FlipDataBit(FlipDataBit(w, i), j), c)
+		return out == Detected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clean codewords always decode OK.
+func TestCleanProperty(t *testing.T) {
+	f := func(w uint64) bool {
+		d, _, out := Decode(w, Encode(w))
+		return out == OK && d == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	w := uint64(0xdeadbeefcafebabe)
+	c := Encode(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(w, c)
+	}
+}
+
+func BenchmarkDecodeCorrect(b *testing.B) {
+	w := uint64(0xdeadbeefcafebabe)
+	c := Encode(w)
+	bad := FlipDataBit(w, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(bad, c)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintCSV renders the figure as CSV: a header of x plus series names,
+// one row per x-axis point. Suitable for gnuplot/pandas.
+func (f Figure) FprintCSV(w io.Writer) {
+	cols := append([]string{f.XLabel}, f.Series...)
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, r := range f.Rows {
+		fields := make([]string, 0, len(cols))
+		fields = append(fields, fmt.Sprintf("%g", r.X))
+		for _, s := range f.Series {
+			fields = append(fields, fmt.Sprintf("%g", r.Values[s]))
+		}
+		fmt.Fprintln(w, strings.Join(fields, ","))
+	}
+}
+
+// FprintMarkdown renders the figure as a GitHub-flavoured markdown table
+// with a heading, the format EXPERIMENTS.md uses.
+func (f Figure) FprintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", f.ID, f.Title)
+	fmt.Fprintf(w, "| %s |", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %s |", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range f.Series {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "| %g |", r.X)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, " %.4g |", r.Values[s])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Format selects a figure rendering.
+type Format uint8
+
+// Output formats.
+const (
+	Text Format = iota + 1
+	CSV
+	Markdown
+)
+
+// ParseFormat maps a CLI string to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "markdown", "md":
+		return Markdown, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (want text, csv or markdown)", s)
+	}
+}
+
+// Render writes the figure in the chosen format.
+func (f Figure) Render(w io.Writer, format Format) {
+	switch format {
+	case CSV:
+		f.FprintCSV(w)
+	case Markdown:
+		f.FprintMarkdown(w)
+	default:
+		f.Fprint(w)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"ftnoc/internal/network"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/traffic"
+)
+
+// This file extends the paper's evaluation with the classic NoC
+// characterisation its latency analysis implies: full latency-throughput
+// curves and a saturation-point search, used to position the paper's
+// fixed 0.25 flits/node/cycle operating point.
+
+// LatencyThroughput sweeps the injection rate and reports offered load,
+// accepted throughput and average latency for one routing algorithm.
+func LatencyThroughput(scale Scale, algo routing.Algorithm, rates []float64) Figure {
+	fig := Figure{
+		ID:     "ExtLT",
+		Title:  "Latency-throughput characteristic (" + algo.String() + ")",
+		XLabel: "offered",
+		YLabel: "latency (cycles) / accepted (flits/node/cycle)",
+		Series: []string{"latency", "accepted"},
+	}
+	for _, inj := range rates {
+		cfg := baseConfig(scale)
+		cfg.Routing = algo
+		cfg.InjectionRate = inj
+		cfg.StallCycles = cfg.MaxCycles
+		if scale == Tiny {
+			cfg.MaxCycles = 15_000
+		} else {
+			cfg.MaxCycles = 60_000
+		}
+		res := network.New(cfg).Run()
+		fig.Rows = append(fig.Rows, Row{X: inj, Values: map[string]float64{
+			"latency":  res.AvgLatency,
+			"accepted": res.Throughput.FlitsPerNodePerCycle(),
+		}})
+	}
+	return fig
+}
+
+// saturationFactor: the network counts as saturated once average latency
+// exceeds this multiple of its zero-load latency.
+const saturationFactor = 3.0
+
+// SaturationPoint bisects for the injection rate at which the
+// configuration saturates (latency exceeding saturationFactor x the
+// zero-load latency), within the given tolerance.
+func SaturationPoint(scale Scale, algo routing.Algorithm, tol float64) float64 {
+	measure := func(inj float64) float64 {
+		cfg := baseConfig(scale)
+		cfg.Routing = algo
+		cfg.InjectionRate = inj
+		cfg.StallCycles = cfg.MaxCycles
+		if scale == Tiny {
+			cfg.MaxCycles = 15_000
+		} else {
+			cfg.MaxCycles = 60_000
+		}
+		res := network.New(cfg).Run()
+		if res.MeasuredMessages == 0 {
+			return 1e9 // nothing ejected in the horizon: deeply saturated
+		}
+		return res.AvgLatency
+	}
+	zeroLoad := measure(0.02)
+	lo, hi := 0.02, 1.0
+	if measure(hi) < zeroLoad*saturationFactor {
+		return hi // never saturates in range
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if measure(mid) < zeroLoad*saturationFactor {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TorusVsMesh is an extension experiment: the tornado pattern (TN) is
+// adversarial for tori — it concentrates half-ring traffic — while a mesh
+// simply routes it as local hops. Comparing both topologies under TN and
+// NR positions the paper's mesh-only evaluation.
+func TorusVsMesh(scale Scale) Figure {
+	fig := Figure{
+		ID:     "ExtTorus",
+		Title:  "Mesh vs torus latency under NR and TN traffic",
+		XLabel: "inj_rate",
+		YLabel: "latency (cycles)",
+		Series: []string{"mesh/NR", "torus/NR", "mesh/TN", "torus/TN"},
+	}
+	cases := []struct {
+		name    string
+		kind    topology.Kind
+		pattern traffic.Pattern
+	}{
+		{"mesh/NR", topology.Mesh, traffic.UniformRandom},
+		{"torus/NR", topology.Torus, traffic.UniformRandom},
+		{"mesh/TN", topology.Mesh, traffic.Tornado},
+		{"torus/TN", topology.Torus, traffic.Tornado},
+	}
+	for _, inj := range []float64{0.05, 0.15, 0.25} {
+		row := Row{X: inj, Values: map[string]float64{}}
+		for _, c := range cases {
+			cfg := baseConfig(scale)
+			cfg.TopologyKind = c.kind
+			cfg.Pattern = c.pattern
+			cfg.InjectionRate = inj
+			res := network.New(cfg).Run()
+			row.Values[c.name] = res.AvgLatency
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig
+}

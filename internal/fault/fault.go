@@ -1,0 +1,280 @@
+// Package fault implements the soft-fault injection machinery the paper
+// uses to evaluate its protection schemes (§2.2): random transient faults
+// on inter-router links (bit flips during flit traversal) and single-event
+// upsets in intra-router logic (routing unit, VC allocator, switch
+// allocator). Hard faults (permanent link outages) live in package
+// topology.
+//
+// Every injector draws from its own deterministic stream, so fault
+// placement is a pure function of the simulation seed.
+package fault
+
+import (
+	"fmt"
+
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/sim"
+)
+
+// Class identifies which part of the router a fault upsets. These are the
+// three error situations evaluated in Fig. 13 plus the VA class analysed
+// in §4.1.
+type Class uint8
+
+// Fault classes.
+const (
+	// LinkError is a transient bit flip during flit link traversal (§3).
+	LinkError Class = iota + 1
+	// RTLogic is a soft error in the routing unit causing misdirection (§4.2).
+	RTLogic
+	// VALogic is a soft error in the virtual-channel allocator state (§4.1).
+	VALogic
+	// SALogic is a soft error in the switch allocator control (§4.3).
+	SALogic
+	// HandshakeError is a transient fault on the inter-router handshake
+	// lines (NACK wires), countered by Triple Module Redundancy (§4.6).
+	HandshakeError
+	// RetransBufError is a soft error inside a retransmission buffer
+	// (§4.5): the stored "clean" copy is itself corrupted, so replaying
+	// it can never satisfy the receiver — an endless retransmission loop
+	// unless duplicate buffers provide a second clean copy.
+	RetransBufError
+	// XbarError is a transient fault within the crossbar (§4.4): a
+	// single-bit upset on the datapath, corrected by the next hop's
+	// SEC/DED unit.
+	XbarError
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case LinkError:
+		return "LINK"
+	case RTLogic:
+		return "RT-Logic"
+	case VALogic:
+		return "VA-Logic"
+	case SALogic:
+		return "SA-Logic"
+	case HandshakeError:
+		return "Handshake"
+	case RetransBufError:
+		return "RetransBuf"
+	case XbarError:
+		return "Xbar"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Rates configures per-operation upset probabilities.
+type Rates struct {
+	// Link is the probability that a flit suffers an error event during a
+	// single link traversal.
+	Link float64
+	// LinkDouble is the conditional probability that a link error event
+	// flips two bits (uncorrectable by SEC/DED) rather than one. The
+	// paper argues double errors are unlikely but non-negligible due to
+	// crosstalk (§3.1).
+	LinkDouble float64
+	// RT is the per-routing-computation probability of a misdirection
+	// upset in the routing unit.
+	RT float64
+	// VA is the per-allocation probability of a VC-allocator state upset.
+	VA float64
+	// SA is the per-arbitration probability of a switch-allocator control
+	// upset.
+	SA float64
+	// Handshake is the per-signal probability of a transient fault on a
+	// NACK handshake line (§4.6). Without TMR a faulted NACK is lost.
+	Handshake float64
+	// RetransBuf is the per-capture probability that a retransmission
+	// buffer slot suffers an uncorrectable upset while holding a flit
+	// (§4.5). Only the DuplicateRetrans option survives it.
+	RetransBuf float64
+	// Xbar is the per-traversal probability of a single-bit upset on the
+	// crossbar datapath (§4.4), corrected downstream by SEC/DED.
+	Xbar float64
+}
+
+// DefaultLinkDouble is the conditional double-bit fraction used by the
+// experiment harness when a config does not override it.
+const DefaultLinkDouble = 0.05
+
+// LinkOutcome describes what a link injector did to a flit.
+type LinkOutcome uint8
+
+// Link injection outcomes.
+const (
+	// NoError means the flit traversed cleanly.
+	NoError LinkOutcome = iota
+	// SingleFlip means one bit was flipped (SEC/DED-correctable).
+	SingleFlip
+	// DoubleFlip means two bits were flipped (detectable, uncorrectable).
+	DoubleFlip
+)
+
+// Corruptor is anything that may corrupt a flit in transit. The link
+// layer consults it once per flit traversal; tests substitute scripted
+// implementations for deterministic fault placement.
+type Corruptor interface {
+	Corrupt(*flit.Flit) LinkOutcome
+}
+
+// LinkInjector corrupts flits crossing one directed link.
+type LinkInjector struct {
+	rate   float64
+	double float64
+	rng    *sim.RNG
+}
+
+// NewLinkInjector creates an injector with the given per-traversal error
+// rate and conditional double-bit fraction, drawing from rng.
+func NewLinkInjector(rate, double float64, rng *sim.RNG) *LinkInjector {
+	if rate < 0 || rate > 1 {
+		panic("fault: link error rate must be in [0,1]")
+	}
+	if double < 0 || double > 1 {
+		panic("fault: double fraction must be in [0,1]")
+	}
+	return &LinkInjector{rate: rate, double: double, rng: rng}
+}
+
+// Corrupt possibly flips bits in f's codeword and reports what happened.
+// The 72 codeword bit positions (64 data + 8 check) are equally likely.
+func (li *LinkInjector) Corrupt(f *flit.Flit) LinkOutcome {
+	if li == nil || li.rate == 0 || !li.rng.Bool(li.rate) {
+		return NoError
+	}
+	a := li.rng.Intn(72)
+	flipBit(f, a)
+	if !li.rng.Bool(li.double) {
+		return SingleFlip
+	}
+	b := li.rng.Intn(71)
+	if b >= a {
+		b++ // distinct from a
+	}
+	flipBit(f, b)
+	return DoubleFlip
+}
+
+func flipBit(f *flit.Flit, pos int) {
+	if pos < 64 {
+		f.Word = ecc.FlipDataBit(f.Word, pos)
+	} else {
+		f.Check = ecc.FlipCheckBit(f.Check, pos-64)
+	}
+}
+
+// LogicInjector decides, operation by operation, whether a router's logic
+// suffers a single-event upset. One injector per router per fault class;
+// the single-event-upset assumption (at most one fault at a time, §4.1) is
+// the caller's responsibility via configuration (enable one class per
+// experiment, as the paper does for Fig. 13).
+type LogicInjector struct {
+	class Class
+	rate  float64
+	rng   *sim.RNG
+
+	// script, when non-nil, overrides the stochastic draw: operation k
+	// upsets iff script[k] (operations past the end never upset). Used by
+	// white-box tests that need a fault at an exact operation.
+	script []bool
+	idx    int
+	picks  []int
+	pickI  int
+}
+
+// NewLogicInjector creates an injector for one fault class.
+func NewLogicInjector(class Class, rate float64, rng *sim.RNG) *LogicInjector {
+	if rate < 0 || rate > 1 {
+		panic("fault: logic upset rate must be in [0,1]")
+	}
+	return &LogicInjector{class: class, rate: rate, rng: rng}
+}
+
+// NewScriptedLogicInjector creates a deterministic injector: operation k
+// upsets iff script[k], and corruption-target choices are taken from
+// picks (cycled). Test tooling for exercising exact fault scenarios.
+func NewScriptedLogicInjector(class Class, script []bool, picks []int) *LogicInjector {
+	if len(picks) == 0 {
+		picks = []int{0}
+	}
+	return &LogicInjector{class: class, script: script, picks: picks}
+}
+
+// Class returns the injector's fault class.
+func (li *LogicInjector) Class() Class { return li.class }
+
+// Upset reports whether the current operation suffers an upset.
+func (li *LogicInjector) Upset() bool {
+	if li == nil {
+		return false
+	}
+	if li.script != nil {
+		if li.idx >= len(li.script) {
+			return false
+		}
+		hit := li.script[li.idx]
+		li.idx++
+		return hit
+	}
+	if li.rate == 0 {
+		return false
+	}
+	return li.rng.Bool(li.rate)
+}
+
+// Pick returns a uniform value in [0, n), for choosing corrupted targets
+// (which VC id to clobber, which port to misdirect to, ...).
+func (li *LogicInjector) Pick(n int) int {
+	if li.script != nil {
+		v := li.picks[li.pickI%len(li.picks)]
+		li.pickI++
+		return v % n
+	}
+	return li.rng.Intn(n)
+}
+
+// Counters tallies fault-handling activity for the statistics pipeline.
+// The "corrected errors" series of Fig. 13(a) is the sum, per class, of
+// errors the corresponding protection mechanism repaired.
+type Counters struct {
+	// Injected counts upsets actually injected, per class.
+	Injected map[Class]uint64
+	// Corrected counts errors repaired by a protection mechanism:
+	// SEC/DED corrections plus HBH retransmissions for LinkError;
+	// AC invalidations for VA/SA; VA-state catches and neighbor NACKs
+	// for RT.
+	Corrected map[Class]uint64
+	// Undetected counts upsets no mechanism caught (e.g. benign adaptive
+	// misroutes, or any class with its protection disabled).
+	Undetected map[Class]uint64
+	// Retransmissions counts HBH flit retransmission events.
+	Retransmissions uint64
+	// NACKs counts NACK signals sent.
+	NACKs uint64
+	// DroppedFlits counts flits discarded at receivers during the HBH
+	// drop window.
+	DroppedFlits uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		Injected:   make(map[Class]uint64),
+		Corrected:  make(map[Class]uint64),
+		Undetected: make(map[Class]uint64),
+	}
+}
+
+// AddInjected records an injected upset.
+func (c *Counters) AddInjected(cl Class) { c.Injected[cl]++ }
+
+// AddCorrected records a repaired error.
+func (c *Counters) AddCorrected(cl Class) { c.Corrected[cl]++ }
+
+// AddUndetected records an upset that escaped protection.
+func (c *Counters) AddUndetected(cl Class) { c.Undetected[cl]++ }

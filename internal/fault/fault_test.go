@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/sim"
+)
+
+func cleanFlit() flit.Flit {
+	f := flit.Packet{ID: 1, Src: 0, Dst: 5, Size: 2}.Flits()[0]
+	return f
+}
+
+func TestLinkInjectorRate(t *testing.T) {
+	inj := NewLinkInjector(0.1, 0.05, sim.NewRNG(1))
+	var single, double, clean int
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		f := cleanFlit()
+		switch inj.Corrupt(&f) {
+		case NoError:
+			clean++
+		case SingleFlip:
+			single++
+		case DoubleFlip:
+			double++
+		}
+	}
+	errFrac := float64(single+double) / n
+	if math.Abs(errFrac-0.1) > 0.01 {
+		t.Fatalf("error rate %.4f, want ~0.1", errFrac)
+	}
+	dblFrac := float64(double) / float64(single+double)
+	if math.Abs(dblFrac-0.05) > 0.01 {
+		t.Fatalf("double fraction %.4f, want ~0.05", dblFrac)
+	}
+}
+
+func TestLinkInjectorZeroRate(t *testing.T) {
+	inj := NewLinkInjector(0, 0.05, sim.NewRNG(1))
+	f := cleanFlit()
+	for i := 0; i < 1000; i++ {
+		if inj.Corrupt(&f) != NoError {
+			t.Fatal("zero-rate injector corrupted a flit")
+		}
+	}
+}
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var inj *LinkInjector
+	f := cleanFlit()
+	if inj.Corrupt(&f) != NoError {
+		t.Fatal("nil injector corrupted")
+	}
+}
+
+// The injected corruption must be exactly what the ECC sees: singles
+// decode as Corrected, doubles as Detected.
+func TestInjectionMatchesECCOutcome(t *testing.T) {
+	inj := NewLinkInjector(1, 0.5, sim.NewRNG(9))
+	for i := 0; i < 5000; i++ {
+		f := cleanFlit()
+		out := inj.Corrupt(&f)
+		_, _, dec := ecc.Decode(f.Word, f.Check)
+		switch out {
+		case SingleFlip:
+			if dec != ecc.Corrected {
+				t.Fatalf("single flip decoded as %v", dec)
+			}
+		case DoubleFlip:
+			if dec != ecc.Detected {
+				t.Fatalf("double flip decoded as %v", dec)
+			}
+		default:
+			t.Fatal("rate-1 injector produced no error")
+		}
+	}
+}
+
+func TestDoubleFlipsDistinctBits(t *testing.T) {
+	// If the two flips ever hit the same bit they would cancel and decode
+	// clean; the injector must prevent that.
+	inj := NewLinkInjector(1, 1, sim.NewRNG(4))
+	for i := 0; i < 5000; i++ {
+		f := cleanFlit()
+		inj.Corrupt(&f)
+		if _, _, dec := ecc.Decode(f.Word, f.Check); dec == ecc.OK {
+			t.Fatal("double flip cancelled itself")
+		}
+	}
+}
+
+func TestLogicInjectorRate(t *testing.T) {
+	inj := NewLogicInjector(SALogic, 0.01, sim.NewRNG(2))
+	if inj.Class() != SALogic {
+		t.Fatal("class wrong")
+	}
+	hits := 0
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if inj.Upset() {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.01) > 0.002 {
+		t.Fatalf("upset rate %.5f, want ~0.01", frac)
+	}
+}
+
+func TestNilLogicInjectorNeverUpsets(t *testing.T) {
+	var inj *LogicInjector
+	for i := 0; i < 100; i++ {
+		if inj.Upset() {
+			t.Fatal("nil injector upset")
+		}
+	}
+}
+
+func TestInjectorPanicsOnBadRates(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLinkInjector(-0.1, 0, sim.NewRNG(1)) },
+		func() { NewLinkInjector(1.1, 0, sim.NewRNG(1)) },
+		func() { NewLinkInjector(0.5, 2, sim.NewRNG(1)) },
+		func() { NewLogicInjector(RTLogic, -1, sim.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad rate did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		LinkError: "LINK", RTLogic: "RT-Logic", VALogic: "VA-Logic", SALogic: "SA-Logic",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.AddInjected(LinkError)
+	c.AddInjected(LinkError)
+	c.AddCorrected(LinkError)
+	c.AddUndetected(SALogic)
+	if c.Injected[LinkError] != 2 || c.Corrected[LinkError] != 1 || c.Undetected[SALogic] != 1 {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+}

@@ -1,0 +1,103 @@
+// Package link models the inter-router transmission path of Fig. 3: the
+// per-VC FIFO transmission buffer, the 3-flit-deep barrel-shifter
+// retransmission buffer, the channel wires (flit, credit, NACK), and the
+// fault-injecting link itself.
+package link
+
+import (
+	"fmt"
+
+	"ftnoc/internal/flit"
+)
+
+// FIFO is a bounded flit queue: the "normal transmission buffer" of the
+// paper (one per virtual channel). During deadlock recovery its effective
+// capacity is extended by the depth of the associated retransmission
+// buffer (§3.2.1) — the flow-control equivalent of physically shifting
+// flits into the barrel shifter (see DESIGN.md for the equivalence
+// argument; the literal Fig. 10 mechanics are modelled in package
+// deadlock).
+type FIFO struct {
+	cap   int
+	extra int // recovery-mode capacity extension
+	buf   []flit.Flit
+}
+
+// NewFIFO creates a queue holding at most capacity flits.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 1 {
+		panic("link: FIFO capacity must be >= 1")
+	}
+	return &FIFO{cap: capacity}
+}
+
+// Cap returns the nominal (non-recovery) capacity.
+func (q *FIFO) Cap() int { return q.cap }
+
+// EffectiveCap returns the capacity including any recovery extension.
+func (q *FIFO) EffectiveCap() int { return q.cap + q.extra }
+
+// Len returns the current occupancy.
+func (q *FIFO) Len() int { return len(q.buf) }
+
+// Free returns the number of empty slots at the current effective capacity.
+func (q *FIFO) Free() int { return q.EffectiveCap() - len(q.buf) }
+
+// Full reports whether no slot is free.
+func (q *FIFO) Full() bool { return q.Free() <= 0 }
+
+// Empty reports whether the queue holds no flits.
+func (q *FIFO) Empty() bool { return len(q.buf) == 0 }
+
+// Push appends a flit. It panics on overflow — the credit protocol must
+// prevent it, so an overflow is a flow-control bug, not a runtime
+// condition.
+func (q *FIFO) Push(f flit.Flit) {
+	if q.Full() {
+		panic(fmt.Sprintf("link: FIFO overflow (cap %d): %v", q.EffectiveCap(), f))
+	}
+	q.buf = append(q.buf, f)
+}
+
+// Front returns the oldest flit without removing it.
+func (q *FIFO) Front() (flit.Flit, bool) {
+	if len(q.buf) == 0 {
+		return flit.Flit{}, false
+	}
+	return q.buf[0], true
+}
+
+// Pop removes and returns the oldest flit.
+func (q *FIFO) Pop() (flit.Flit, bool) {
+	if len(q.buf) == 0 {
+		return flit.Flit{}, false
+	}
+	f := q.buf[0]
+	q.buf = q.buf[1:]
+	return f, true
+}
+
+// ExtendForRecovery grows the effective capacity by extra slots while the
+// VC participates in deadlock recovery.
+func (q *FIFO) ExtendForRecovery(extra int) {
+	if extra < 0 {
+		panic("link: negative recovery extension")
+	}
+	q.extra = extra
+}
+
+// EndRecovery reverts to nominal capacity. Occupancy above nominal
+// capacity is permitted to persist; the queue simply accepts no new flits
+// until it drains below nominal.
+func (q *FIFO) EndRecovery() { q.extra = 0 }
+
+// InRecovery reports whether a capacity extension is active.
+func (q *FIFO) InRecovery() bool { return q.extra > 0 }
+
+// Snapshot returns a copy of the queued flits, oldest first (for tests and
+// trace tooling).
+func (q *FIFO) Snapshot() []flit.Flit {
+	out := make([]flit.Flit, len(q.buf))
+	copy(out, q.buf)
+	return out
+}

@@ -1,0 +1,207 @@
+package link
+
+import (
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/sim"
+	"ftnoc/internal/stats"
+)
+
+// Protection selects the link-error handling scheme compared in Fig. 5.
+type Protection uint8
+
+// Link protection schemes.
+const (
+	// HBH is the paper's flit-based hop-by-hop scheme (§3.1): every flit
+	// is SEC/DED-checked at every hop; single errors are corrected in
+	// place, double errors trigger a NACK and barrel-shifter
+	// retransmission.
+	HBH Protection = iota + 1
+	// E2E is the end-to-end baseline: data flits are checked only at the
+	// destination and any error forces whole-packet source
+	// retransmission. Header flits still get hop-by-hop checking, as the
+	// paper (following [1]) prescribes for both baselines, so corrupted
+	// headers never misroute.
+	E2E
+	// FEC is the forward-error-correction baseline: single errors are
+	// corrected at each hop, but uncorrectable double errors in data
+	// flits survive to the destination and force source retransmission.
+	FEC
+)
+
+// String implements fmt.Stringer.
+func (p Protection) String() string {
+	switch p {
+	case HBH:
+		return "HBH"
+	case E2E:
+		return "E2E"
+	case FEC:
+		return "FEC"
+	default:
+		return "unknown"
+	}
+}
+
+// Credit is the backpressure token returned when a buffer slot frees.
+type Credit struct {
+	VC uint8
+}
+
+// NACKKind distinguishes the reasons a NACK handshake fires.
+type NACKKind uint8
+
+// NACK kinds.
+const (
+	// NACKLinkError asks the transmitter to replay its retransmission
+	// buffer for a VC after an uncorrectable link error (§3.1).
+	NACKLinkError NACKKind = iota + 1
+	// NACKIgnore tells neighbors to discard the previous cycle's
+	// transmission after an AC-detected allocation error (§4.1, §4.3).
+	NACKIgnore
+	// NACKMisroute reports a deterministic-routing consistency violation
+	// detected at the receiving router (§4.2); the sender must re-route.
+	NACKMisroute
+	// NACKRecoveryOn tells the transmitter the receiving node has entered
+	// deadlock-recovery mode: no NEW wormholes may be opened onto this
+	// channel until NACKRecoveryOff, so fresh packets cannot consume the
+	// buffer slack the recovery creates (§3.2.1: "no new packets are
+	// allowed to enter the transmission buffers that are involved in the
+	// deadlock recovery").
+	NACKRecoveryOn
+	// NACKRecoveryOff lifts the NACKRecoveryOn restriction.
+	NACKRecoveryOff
+)
+
+// NACK is the error-handshake message travelling opposite to the flits.
+type NACK struct {
+	VC   uint8
+	Kind NACKKind
+}
+
+// Latencies of the three wire groups, in cycles. Flits take one cycle
+// (§2.2, single-cycle links). Credits take one cycle. NACKs become
+// visible to the transmitter two cycles after the flawed flit arrived:
+// one cycle of error checking plus one cycle of signal propagation —
+// which, with the one-cycle link, gives the paper's 3-cycle NACK window.
+const (
+	FlitLatency   = 1
+	CreditLatency = 1
+	NACKLatency   = 2
+)
+
+// Channel is one direction of an inter-router (or PE-router) connection:
+// a flit wire forward, and credit + NACK wires backward.
+type Channel struct {
+	flits   *sim.Pipe[flit.Flit]
+	credits *sim.Pipe[Credit]
+	nacks   *sim.Pipe[NACK]
+
+	injector fault.Corruptor // nil for fault-free channels
+	events   *stats.Events
+	counters *fault.Counters
+	local    bool // PE<->router channel: no fault injection, separate energy class
+
+	// Handshake-line fault modelling (§4.6).
+	hsRate float64
+	hsTMR  bool
+	hsRNG  *sim.RNG
+}
+
+// SetHandshakeFaults enables transient faults on the backward NACK wires
+// at the given per-signal rate. With tmr true the lines are triplicated
+// and voted (§4.6), masking every single fault; without it a faulted
+// NACK is lost in transit.
+func (c *Channel) SetHandshakeFaults(rate float64, tmr bool, rng *sim.RNG) {
+	if rate < 0 || rate > 1 {
+		panic("link: handshake fault rate must be in [0,1]")
+	}
+	c.hsRate = rate
+	c.hsTMR = tmr
+	c.hsRNG = rng
+}
+
+// NewChannel wires a channel into kernel k. injector may be nil for a
+// fault-free link (e.g. the PE-to-router channel, which the paper does
+// not inject faults into). events and counters must be non-nil.
+func NewChannel(k *sim.Kernel, injector fault.Corruptor, local bool, events *stats.Events, counters *fault.Counters) *Channel {
+	return &Channel{
+		flits:    sim.NewPipe[flit.Flit](k, FlitLatency),
+		credits:  sim.NewPipe[Credit](k, CreditLatency),
+		nacks:    sim.NewPipe[NACK](k, NACKLatency),
+		injector: injector,
+		events:   events,
+		counters: counters,
+		local:    local,
+	}
+}
+
+// Send puts a flit on the wire, applying fault injection. It returns the
+// injection outcome, which the transmitter records but must NOT act on —
+// only the receiver's ECC unit may observe corruption.
+func (c *Channel) Send(f flit.Flit) fault.LinkOutcome {
+	out := fault.NoError
+	if c.injector != nil {
+		out = c.injector.Corrupt(&f)
+	}
+	if out != fault.NoError {
+		c.counters.AddInjected(fault.LinkError)
+	}
+	f.Hops++
+	if c.local {
+		c.events.LocalTraversals++
+	} else {
+		c.events.LinkTraversals++
+	}
+	c.flits.Push(f)
+	return out
+}
+
+// Recv removes the flit (at most one per cycle) visible on the wire.
+func (c *Channel) Recv() (flit.Flit, bool) { return c.flits.Pop() }
+
+// SendCredit returns a buffer slot to the transmitter.
+func (c *Channel) SendCredit(vc uint8) {
+	c.events.Credits++
+	c.credits.Push(Credit{VC: vc})
+}
+
+// RecvCredits drains all credits visible this cycle.
+func (c *Channel) RecvCredits() []Credit { return c.credits.PopAll() }
+
+// SendNACK raises the error handshake toward the transmitter.
+func (c *Channel) SendNACK(vc uint8, kind NACKKind) {
+	c.events.NACKs++
+	c.counters.NACKs++
+	c.nacks.Push(NACK{VC: vc, Kind: kind})
+}
+
+// RecvNACKs drains all NACKs visible this cycle, applying handshake-line
+// fault injection: a faulted signal is masked by the TMR voter when
+// enabled, or lost otherwise.
+func (c *Channel) RecvNACKs() []NACK {
+	ns := c.nacks.PopAll()
+	if c.hsRate == 0 || len(ns) == 0 {
+		return ns
+	}
+	kept := ns[:0]
+	for _, n := range ns {
+		if c.hsRNG.Bool(c.hsRate) {
+			c.counters.AddInjected(fault.HandshakeError)
+			if c.hsTMR {
+				// Two clean copies out-vote the faulted line.
+				c.counters.AddCorrected(fault.HandshakeError)
+				kept = append(kept, n)
+				continue
+			}
+			c.counters.AddUndetected(fault.HandshakeError)
+			continue
+		}
+		kept = append(kept, n)
+	}
+	return kept
+}
+
+// Pending reports the number of flits anywhere in the forward wire,
+// including not-yet-visible ones (used by drain detection).
+func (c *Channel) Pending() int { return c.flits.InFlight() }

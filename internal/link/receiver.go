@@ -1,0 +1,164 @@
+package link
+
+import (
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/stats"
+)
+
+// dropWindow is how many cycles after an uncorrectable error the receiver
+// keeps dropping arrivals on the affected VC: exactly the two in-flight
+// flits the transmitter sent before the NACK reached it (Fig. 4).
+const dropWindow = 2
+
+// Receiver is the receiving side of a channel for one input port: the
+// error detection/correction unit of Fig. 1 plus the per-VC drop windows
+// of the HBH protocol. Accepted flits are handed to the router for
+// buffering; the router returns credits through ReturnCredit as buffer
+// slots free.
+type Receiver struct {
+	ch         *Channel
+	protection Protection
+	dropUntil  []uint64
+	events     *stats.Events
+	counters   *fault.Counters
+}
+
+// NewReceiver creates the receiving side of a channel with vcs virtual
+// channels under the given protection scheme.
+func NewReceiver(ch *Channel, vcs int, protection Protection, events *stats.Events, counters *fault.Counters) *Receiver {
+	return &Receiver{
+		ch:         ch,
+		protection: protection,
+		dropUntil:  make([]uint64, vcs),
+		events:     events,
+		counters:   counters,
+	}
+}
+
+// Protection returns the receiver's link-error handling scheme.
+func (r *Receiver) Protection() Protection { return r.protection }
+
+// ReceiveAll processes every arrival visible this cycle. At most one data
+// flit per cycle can be accepted (the transmitter owns the physical
+// channel), but control flits (probes/activations) may share a cycle with
+// it; they bypass buffers and credits.
+func (r *Receiver) ReceiveAll(cycle uint64) (data []flit.Flit, ctrl []flit.Flit) {
+	for {
+		f, got := r.ch.Recv()
+		if !got {
+			return data, ctrl
+		}
+		if d, ok, c := r.receiveOne(f, cycle); c != nil {
+			ctrl = append(ctrl, *c)
+		} else if ok {
+			data = append(data, d)
+		}
+	}
+}
+
+// receiveOne classifies and error-checks a single arrival.
+func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (data flit.Flit, ok bool, ctrl *flit.Flit) {
+	if !f.IsData() {
+		// Control flit: always decode (it travels under the error
+		// correcting blanket, §3.2.2); an uncorrectable one is dropped
+		// and the sender's threshold timer will retry.
+		word, check, out := r.decode(f)
+		r.events.ECCDecodes++
+		switch out {
+		case ecc.Detected:
+			return flit.Flit{}, false, nil
+		case ecc.Corrected:
+			r.events.ECCCorrections++
+			r.counters.AddCorrected(fault.LinkError)
+		}
+		f.Word, f.Check = word, check
+		return flit.Flit{}, false, &f
+	}
+
+	vc := int(f.VC)
+	if vc >= len(r.dropUntil) {
+		// A corrupted VC identifier in the sideband; treat as an
+		// uncorrectable arrival on VC 0.
+		vc = 0
+		f.VC = 0
+	}
+	if r.dropUntil[vc] >= cycle && r.dropUntil[vc] != 0 {
+		// Inside the drop window: this flit was sent before the NACK
+		// reached the transmitter and will be replayed. Return its
+		// reserved slot.
+		r.counters.DroppedFlits++
+		r.ch.SendCredit(uint8(vc))
+		return flit.Flit{}, false, nil
+	}
+
+	checkIt := r.protection != E2E || f.Type == flit.Head
+	if !checkIt {
+		// E2E data flit: no hop-by-hop check; corruption (if any) rides
+		// along to the destination.
+		return f, true, nil
+	}
+
+	r.events.ECCDecodes++
+	word, check, out := ecc.Decode(f.Word, f.Check)
+	switch out {
+	case ecc.OK:
+		return f, true, nil
+	case ecc.Corrected:
+		if r.protection == E2E {
+			// E2E provides detection only: even a single-bit header error
+			// goes down the retransmission path.
+			r.nack(vc, cycle)
+			return flit.Flit{}, false, nil
+		}
+		r.events.ECCCorrections++
+		r.counters.AddCorrected(fault.LinkError)
+		f.Word, f.Check = word, check
+		return f, true, nil
+	default: // ecc.Detected
+		if r.protection == FEC && f.Type != flit.Head {
+			// FEC cannot repair a double error in a data flit; it is
+			// delivered corrupt and caught end-to-end.
+			return f, true, nil
+		}
+		r.nack(vc, cycle)
+		return flit.Flit{}, false, nil
+	}
+}
+
+// nack initiates hop-by-hop retransmission for a VC: drop the corrupt
+// flit (returning its slot), open the drop window for the two in-flight
+// flits behind it, and raise the NACK handshake.
+func (r *Receiver) nack(vc int, cycle uint64) {
+	r.counters.DroppedFlits++
+	r.counters.AddCorrected(fault.LinkError)
+	r.ch.SendCredit(uint8(vc))
+	r.ch.SendNACK(uint8(vc), NACKLinkError)
+	r.dropUntil[vc] = cycle + dropWindow
+}
+
+// decode applies SEC/DED to a flit and returns the (possibly corrected)
+// word/check pair.
+func (r *Receiver) decode(f flit.Flit) (uint64, uint8, ecc.Outcome) {
+	return ecc.Decode(f.Word, f.Check)
+}
+
+// ReturnCredit hands a freed buffer slot back to the transmitter. The
+// router calls this when a flit leaves the input VC buffer.
+func (r *Receiver) ReturnCredit(vc int) { r.ch.SendCredit(uint8(vc)) }
+
+// SendNACK lets the router raise non-link NACKs (AC invalidation,
+// misroute reports) on this receiver's backward handshake wires.
+func (r *Receiver) SendNACK(vc int, kind NACKKind) { r.ch.SendNACK(uint8(vc), kind) }
+
+// ForceDrop lets the router reject a flit the ECC accepted — the
+// misroute-consistency check of §4.2. The flit's slot is returned, the
+// stated NACK is raised, and the drop window opens so the in-flight flits
+// behind it are discarded like any retransmission episode.
+func (r *Receiver) ForceDrop(vc int, cycle uint64, kind NACKKind) {
+	r.counters.DroppedFlits++
+	r.ch.SendCredit(uint8(vc))
+	r.ch.SendNACK(uint8(vc), kind)
+	r.dropUntil[vc] = cycle + dropWindow
+}

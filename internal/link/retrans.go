@@ -1,0 +1,96 @@
+package link
+
+import (
+	"fmt"
+
+	"ftnoc/internal/flit"
+)
+
+// NACKWindow is the number of cycles after transmission during which a
+// NACK for a flit can still arrive: 1 cycle link traversal + 1 cycle
+// error checking at the receiver + 1 cycle NACK propagation (§3.1). It is
+// also therefore the required depth of the retransmission buffer.
+const NACKWindow = 3
+
+// RetransBuffer is the barrel-shifter retransmission buffer of Fig. 3,
+// one per virtual channel. A flit is captured when it is transmitted on
+// the link; it shifts toward the front as cycles pass and is discarded
+// once the NACK window has elapsed without complaint. On a NACK, the
+// still-buffered flits (the corrupted one plus any sent after it) are
+// drained, in order, for retransmission.
+type RetransBuffer struct {
+	depth   int
+	entries []retransEntry
+}
+
+type retransEntry struct {
+	f    flit.Flit
+	sent uint64
+}
+
+// NewRetransBuffer creates a barrel shifter of the given depth. The HBH
+// scheme needs exactly NACKWindow slots; the duplicate-buffer option of
+// §4.5 doubles that.
+func NewRetransBuffer(depth int) *RetransBuffer {
+	if depth < 1 {
+		panic("link: retransmission buffer depth must be >= 1")
+	}
+	return &RetransBuffer{depth: depth}
+}
+
+// Depth returns the configured slot count.
+func (rb *RetransBuffer) Depth() int { return rb.depth }
+
+// Len returns the number of occupied slots.
+func (rb *RetransBuffer) Len() int { return len(rb.entries) }
+
+// Empty reports whether no flit is retained.
+func (rb *RetransBuffer) Empty() bool { return len(rb.entries) == 0 }
+
+// Capture stores a copy of a flit transmitted at the given cycle. It
+// panics if the shifter is full: the flow-control invariant is that at
+// most NACKWindow flits can be inside their NACK window at once, so
+// overflow indicates the transmitter failed to call Expire each cycle.
+func (rb *RetransBuffer) Capture(f flit.Flit, cycle uint64) {
+	if len(rb.entries) >= rb.depth {
+		panic(fmt.Sprintf("link: retransmission buffer overflow (depth %d)", rb.depth))
+	}
+	rb.entries = append(rb.entries, retransEntry{f: f, sent: cycle})
+}
+
+// Expire discards entries whose NACK window has elapsed: a flit sent at
+// cycle s has its NACK, if any, visible at the transmitter at exactly
+// s+NACKWindow, so once that cycle's NACKs have been processed (the
+// caller runs Expire after NACK ingestion) the slot is free — the
+// barrel-shift to the front and off the end. Freeing at s+NACKWindow is
+// what lets a 3-deep shifter sustain one flit per cycle. It returns the
+// number of slots freed.
+func (rb *RetransBuffer) Expire(cycle uint64) int {
+	n := 0
+	for len(rb.entries) > 0 && cycle >= rb.entries[0].sent+NACKWindow {
+		rb.entries = rb.entries[1:]
+		n++
+	}
+	return n
+}
+
+// Drain removes and returns all retained flits, oldest first. The caller
+// retransmits them in order (re-capturing each as it goes back out on the
+// wire).
+func (rb *RetransBuffer) Drain() []flit.Flit {
+	out := make([]flit.Flit, len(rb.entries))
+	for i, e := range rb.entries {
+		out[i] = e.f
+	}
+	rb.entries = rb.entries[:0]
+	return out
+}
+
+// Snapshot returns copies of the retained flits, oldest first.
+func (rb *RetransBuffer) Snapshot() []flit.Flit {
+	out := make([]flit.Flit, len(rb.entries))
+	for i, e := range rb.entries {
+		out[i] = e.f
+	}
+	return out
+}

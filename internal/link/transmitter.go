@@ -1,0 +1,197 @@
+package link
+
+import (
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/sim"
+	"ftnoc/internal/stats"
+)
+
+// Transmitter is the sending side of Fig. 3 for one output port: per-VC
+// credit counters, per-VC barrel-shifter retransmission buffers, and the
+// replay queue that services NACKs. The FIFO "transmission buffer" of
+// Fig. 3 is the upstream input-VC buffer feeding this port; the router
+// owns it.
+type Transmitter struct {
+	ch       *Channel
+	shifters []*RetransBuffer
+	credits  []int
+	replay   []flit.Flit
+	events   *stats.Events
+	counters *fault.Counters
+
+	// Retransmission-buffer soft errors (§4.5).
+	rbRate      float64
+	rbDuplicate bool
+	rbRNG       *sim.RNG
+}
+
+// SetRetransBufFaults enables soft errors inside the retransmission
+// buffers at the given per-capture rate. With duplicate buffers (§4.5)
+// the second copy masks every upset; without them the stored copy is
+// corrupted and replaying it can never succeed.
+func (t *Transmitter) SetRetransBufFaults(rate float64, duplicate bool, rng *sim.RNG) {
+	if rate < 0 || rate > 1 {
+		panic("link: retrans-buffer fault rate must be in [0,1]")
+	}
+	t.rbRate = rate
+	t.rbDuplicate = duplicate
+	t.rbRNG = rng
+}
+
+// NewTransmitter creates the sending side of a channel with vcs virtual
+// channels, each granted downstreamCap credits and a shifterDepth-deep
+// retransmission buffer (NACKWindow for the paper's scheme; 2*NACKWindow
+// with the duplicate-buffer option of §4.5).
+func NewTransmitter(ch *Channel, vcs, downstreamCap, shifterDepth int, events *stats.Events, counters *fault.Counters) *Transmitter {
+	if vcs < 1 || downstreamCap < 1 {
+		panic("link: transmitter needs >=1 VC and >=1 credit")
+	}
+	t := &Transmitter{
+		ch:       ch,
+		shifters: make([]*RetransBuffer, vcs),
+		credits:  make([]int, vcs),
+		events:   events,
+		counters: counters,
+	}
+	for i := range t.shifters {
+		t.shifters[i] = NewRetransBuffer(shifterDepth)
+		t.credits[i] = downstreamCap
+	}
+	return t
+}
+
+// BeginCycle ingests the cycle's incoming handshakes: credits replenish
+// counters; link-error NACKs drain the affected shifter into the replay
+// queue. NACKs of other kinds (AC invalidations, misroute reports) are
+// returned for the router to act on — their flits stay in the shifters
+// until the router Recalls them. Must be called exactly once per cycle,
+// before any send, and must be followed by ExpireShifters once the
+// returned NACKs have been handled.
+func (t *Transmitter) BeginCycle(cycle uint64) []NACK {
+	var routerNACKs []NACK
+	for _, n := range t.ch.RecvNACKs() {
+		if n.Kind != NACKLinkError {
+			routerNACKs = append(routerNACKs, n)
+			continue
+		}
+		if int(n.VC) >= len(t.shifters) {
+			continue // corrupted handshake naming a non-existent VC; drop
+		}
+		t.replay = append(t.replay, t.shifters[n.VC].Drain()...)
+	}
+	for _, c := range t.ch.RecvCredits() {
+		if int(c.VC) < len(t.credits) {
+			t.credits[c.VC]++
+		}
+	}
+	return routerNACKs
+}
+
+// ExpireShifters frees retransmission-buffer slots whose NACK window has
+// elapsed. It must run every cycle after BeginCycle's NACKs — including
+// misroute NACKs, whose Recall must see the full window — have been
+// processed, and before any send.
+func (t *Transmitter) ExpireShifters(cycle uint64) {
+	for _, sh := range t.shifters {
+		sh.Expire(cycle)
+	}
+}
+
+// Credits returns the free downstream slots for a VC.
+func (t *Transmitter) Credits(vc int) int { return t.credits[vc] }
+
+// HasReplay reports whether NACKed flits are waiting to be re-sent; while
+// true the router must not grant new flits to this port (replay has
+// priority for the physical channel).
+func (t *Transmitter) HasReplay() bool { return len(t.replay) > 0 }
+
+// TickReplay re-sends the oldest replay flit if one is ready and credited.
+// It returns true if the port was used this cycle.
+func (t *Transmitter) TickReplay(cycle uint64) bool {
+	if len(t.replay) == 0 {
+		return false
+	}
+	f := t.replay[0]
+	vc := int(f.VC)
+	if t.credits[vc] <= 0 {
+		// The credits returned by the receiver's drops are still in
+		// flight; the port idles this cycle but stays reserved.
+		return true
+	}
+	t.replay = t.replay[1:]
+	t.sendOnWire(f, cycle)
+	t.events.Retransmitted++
+	t.counters.Retransmissions++
+	return true
+}
+
+// Send transmits a data flit on the given VC, consuming a credit and
+// capturing a clean copy in the VC's retransmission buffer. The caller
+// must have checked Credits(vc) > 0 and HasReplay() == false.
+func (t *Transmitter) Send(f flit.Flit, vc int, cycle uint64) {
+	if t.credits[vc] <= 0 {
+		panic("link: send without credit")
+	}
+	if len(t.replay) > 0 {
+		panic("link: send while replay pending")
+	}
+	f.VC = uint8(vc)
+	t.sendOnWire(f, cycle)
+}
+
+func (t *Transmitter) sendOnWire(f flit.Flit, cycle uint64) {
+	vc := int(f.VC)
+	t.credits[vc]--
+	// Capture the clean copy before the wire corrupts it. A soft error in
+	// the buffer itself (§4.5) corrupts the stored copy with two bit
+	// flips — uncorrectable, so a replay of it is doomed. Duplicate
+	// buffers hold a second copy that out-survives the single upset.
+	stored := f
+	if t.rbRate > 0 && t.rbRNG.Bool(t.rbRate) {
+		t.counters.AddInjected(fault.RetransBufError)
+		if t.rbDuplicate {
+			t.counters.AddCorrected(fault.RetransBufError)
+		} else {
+			t.counters.AddUndetected(fault.RetransBufError)
+			stored.Word = ecc.FlipDataBit(ecc.FlipDataBit(stored.Word, t.rbRNG.Intn(64)), (t.rbRNG.Intn(63)+17)%64)
+		}
+	}
+	t.shifters[vc].Capture(stored, cycle)
+	t.events.RetransWrites++
+	t.ch.Send(f)
+}
+
+// SendControl transmits a probe/activation flit. Control flits bypass the
+// buffer/credit machinery (they feed the retransmission-buffer direct
+// input of Fig. 3) and are not captured: a lost probe is retried by the
+// blocked node's threshold timer.
+func (t *Transmitter) SendControl(f flit.Flit) {
+	t.events.Probes++
+	t.ch.Send(f)
+}
+
+// ShifterOccupancy returns the summed occupancy and capacity of the
+// port's retransmission buffers, for the Fig. 9 utilization metric.
+func (t *Transmitter) ShifterOccupancy() (occupied, capacity int) {
+	for _, sh := range t.shifters {
+		occupied += sh.Len()
+		capacity += sh.Depth()
+	}
+	return occupied, capacity
+}
+
+// PendingReplay returns the number of queued replay flits (tests).
+func (t *Transmitter) PendingReplay() int { return len(t.replay) }
+
+// Recall drains a VC's retransmission buffer without scheduling replay:
+// the misroute-recovery path of §4.2, where the sender must re-route the
+// recalled header (and any body flits behind it) rather than re-send them
+// on the same path.
+func (t *Transmitter) Recall(vc int) []flit.Flit {
+	if vc < 0 || vc >= len(t.shifters) {
+		return nil
+	}
+	return t.shifters[vc].Drain()
+}

@@ -1,0 +1,161 @@
+// Package network assembles routers, links and processing elements into
+// the paper's evaluation platform (§2.2): an 8x8 mesh of 3-stage
+// pipelined routers with 5 physical channels per router, 3 virtual
+// channels per PC and 4-flit messages, plus the traffic, fault-injection
+// and measurement machinery around it.
+package network
+
+import (
+	"ftnoc/internal/fault"
+	"ftnoc/internal/link"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/traffic"
+)
+
+// Config describes a complete simulation. NewConfig returns the paper's
+// defaults; callers override fields before passing it to New.
+type Config struct {
+	// Topology.
+	TopologyKind  topology.Kind
+	Width, Height int
+
+	// Router microarchitecture.
+	VCs           int // virtual channels per physical channel
+	BufDepth      int // per-VC input buffer depth T, in flits
+	PipelineDepth int // 1-4 router pipeline stages
+
+	// Protocol.
+	Protection link.Protection
+	Routing    routing.Algorithm
+	// DuplicateRetrans doubles the retransmission buffers (§4.5) to
+	// survive soft errors inside the buffers themselves
+	// (Faults.RetransBuf).
+	DuplicateRetrans bool
+
+	// Protection mechanisms.
+	ACEnabled       bool
+	RecoveryEnabled bool
+	// TMREnabled triplicates-and-votes the handshake lines (§4.6),
+	// masking Faults.Handshake upsets. On by default in NewConfig.
+	TMREnabled bool
+	Cthres     uint64
+
+	// Workload.
+	Pattern       traffic.Pattern
+	InjectionRate float64 // flits/node/cycle
+	PacketSize    int     // flits per message, >= 2
+	// InjectLimit stops traffic generation after this many packets have
+	// been created network-wide (0 = unlimited). Burst workloads isolate
+	// recovery correctness — a fixed message population must fully drain
+	// (the premise of the Eq. 1 theorem) — from sustained-overload
+	// behaviour.
+	InjectLimit uint64
+
+	// Fault injection.
+	Faults fault.Rates
+	// HardFaults lists permanently failed directed links, applied before
+	// the simulation starts.
+	HardFaults []topology.LinkID
+
+	// TracePIDs lists packet IDs whose journey through the network should
+	// be recorded (one line per location change); the traces appear in
+	// Results.Traces. Packet IDs are allocated sequentially from 1 in
+	// injection order, deterministically per seed.
+	TracePIDs []uint64
+
+	// Measurement.
+	WarmupMessages uint64
+	TotalMessages  uint64 // ejected messages, including warm-up
+	MaxCycles      uint64 // safety bound
+	// StallCycles: abort (Stalled=true) if no message ejects for this
+	// long after warm-up traffic has started. Catches unrecovered
+	// deadlocks without hanging the harness.
+	StallCycles uint64
+
+	// E2ETimeout is how long an E2E/FEC source retains a packet copy for
+	// possible retransmission before assuming delivery.
+	E2ETimeout uint64
+
+	Seed uint64
+}
+
+// NewConfig returns the paper's evaluation platform defaults: 8x8 mesh,
+// 3 VCs/PC, 4-flit buffers and packets, 3-stage routers, XY routing, HBH
+// protection, AC on, deadlock recovery on, uniform NR traffic at 0.25
+// flits/node/cycle. Message counts default to a CI-friendly scale; use
+// PaperScale to get the full 300k-message runs.
+func NewConfig() Config {
+	return Config{
+		TopologyKind:    topology.Mesh,
+		Width:           8,
+		Height:          8,
+		VCs:             3,
+		BufDepth:        4,
+		PipelineDepth:   3,
+		Protection:      link.HBH,
+		Routing:         routing.XY,
+		ACEnabled:       true,
+		RecoveryEnabled: true,
+		TMREnabled:      true,
+		Pattern:         traffic.UniformRandom,
+		InjectionRate:   0.25,
+		PacketSize:      4,
+		Faults:          fault.Rates{LinkDouble: fault.DefaultLinkDouble},
+		WarmupMessages:  2_000,
+		TotalMessages:   8_000,
+		MaxCycles:       2_000_000,
+		StallCycles:     100_000,
+		E2ETimeout:      2_048,
+		Seed:            1,
+	}
+}
+
+// PaperScale adjusts the message counts to the paper's 300,000 ejected
+// messages with 100,000 warm-up (§2.2).
+func (c Config) PaperScale() Config {
+	c.WarmupMessages = 100_000
+	c.TotalMessages = 300_000
+	c.MaxCycles = 50_000_000
+	return c
+}
+
+func (c *Config) validate() {
+	switch {
+	case c.Width < 2 || c.Height < 1 || c.Width*c.Height < 2:
+		panic("network: topology too small")
+	case c.VCs < 1:
+		panic("network: need at least one VC")
+	case c.BufDepth < 1:
+		panic("network: BufDepth must be >= 1")
+	case c.PacketSize < 2:
+		panic("network: PacketSize must be >= 2 (head + tail)")
+	case c.PipelineDepth < 1 || c.PipelineDepth > 4:
+		panic("network: PipelineDepth must be in [1,4]")
+	case c.InjectionRate < 0 || c.InjectionRate > 1:
+		panic("network: InjectionRate must be in [0,1]")
+	case c.TotalMessages == 0 || c.TotalMessages < c.WarmupMessages:
+		panic("network: TotalMessages must be >= WarmupMessages and > 0")
+	}
+	if c.Protection == 0 {
+		c.Protection = link.HBH
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000
+	}
+	if c.StallCycles == 0 {
+		c.StallCycles = 100_000
+	}
+	if c.E2ETimeout == 0 {
+		c.E2ETimeout = 2_048
+	}
+}
+
+// shifterDepth returns the retransmission-buffer depth implied by the
+// duplicate-buffer option.
+func (c Config) shifterDepth() int {
+	if c.DuplicateRetrans {
+		return 2 * link.NACKWindow
+	}
+	return link.NACKWindow
+}

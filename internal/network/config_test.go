@@ -1,0 +1,97 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"ftnoc/internal/topology"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Width = 6
+	cfg.Faults.Link = 1e-3
+	cfg.HardFaults = []topology.LinkID{{From: 5, Dir: topology.East}}
+	cfg.TracePIDs = []uint64{7}
+	cfg.DuplicateRetrans = true
+
+	var b strings.Builder
+	if err := cfg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConfig(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 6 || got.Faults.Link != 1e-3 || !got.DuplicateRetrans {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.HardFaults) != 1 || got.HardFaults[0].From != 5 || got.HardFaults[0].Dir != topology.East {
+		t.Fatalf("hard faults lost: %+v", got.HardFaults)
+	}
+	if len(got.TracePIDs) != 1 || got.TracePIDs[0] != 7 {
+		t.Fatalf("trace pids lost: %+v", got.TracePIDs)
+	}
+}
+
+func TestReadConfigPartialKeepsDefaults(t *testing.T) {
+	got, err := ReadConfig(strings.NewReader(`{"Width": 4, "Height": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 4 || got.Height != 4 {
+		t.Fatal("overrides not applied")
+	}
+	// Everything else keeps paper defaults.
+	if got.VCs != 3 || got.PacketSize != 4 || got.InjectionRate != 0.25 || !got.ACEnabled {
+		t.Fatalf("defaults lost: %+v", got)
+	}
+}
+
+func TestReadConfigRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader(`{"Widht": 4}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Width = 1; c.Height = 1 },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.BufDepth = 0 },
+		func(c *Config) { c.PacketSize = 1 },
+		func(c *Config) { c.PipelineDepth = 0 },
+		func(c *Config) { c.InjectionRate = 1.5 },
+		func(c *Config) { c.TotalMessages = 0 },
+		func(c *Config) { c.TotalMessages = 5; c.WarmupMessages = 10 },
+	}
+	for i, mutate := range bad {
+		cfg := NewConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestShifterDepthOption(t *testing.T) {
+	cfg := NewConfig()
+	if cfg.shifterDepth() != 3 {
+		t.Fatalf("default shifter depth %d, want 3", cfg.shifterDepth())
+	}
+	cfg.DuplicateRetrans = true
+	if cfg.shifterDepth() != 6 {
+		t.Fatalf("duplicate shifter depth %d, want 6", cfg.shifterDepth())
+	}
+}
+
+func TestResultsString(t *testing.T) {
+	if (Results{}).String() == "" {
+		t.Fatal("empty Results.String")
+	}
+}

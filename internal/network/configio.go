@@ -1,0 +1,33 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serialises the configuration, indented, for experiment
+// management. Enum fields serialise as their numeric codes; the zero
+// value of optional enums means "default".
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("network: encoding config: %w", err)
+	}
+	return nil
+}
+
+// ReadConfig parses a configuration written by WriteJSON. Fields absent
+// from the document keep NewConfig defaults, so a partial document is a
+// valid override file. The result is validated lazily by New, like any
+// hand-built Config.
+func ReadConfig(r io.Reader) (Config, error) {
+	cfg := NewConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("network: decoding config: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,442 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/link"
+	"ftnoc/internal/router"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/sim"
+	"ftnoc/internal/stats"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/traffic"
+)
+
+// Network is a fully assembled simulation: topology, routers, links, PEs,
+// fault injectors and measurement probes.
+type Network struct {
+	cfg     Config
+	kernel  sim.Kernel
+	topo    *topology.Topology
+	routers []*router.Router
+	pes     []*pe
+
+	events     stats.Events
+	counters   *fault.Counters
+	latency    stats.LatencyStats
+	txUtil     stats.Utilization
+	rtUtil     stats.Utilization
+	routerUtil []stats.Utilization // per-router transmission-buffer utilization
+
+	pidCounter uint64
+	injected   uint64
+	delivered  uint64
+	lastEject  uint64 // cycle of most recent delivery, for stall detection
+
+	measuring    bool
+	warmupEvents stats.Events
+	warmupCycle  uint64
+
+	// Packet-journey tracing.
+	traceLast map[flit.PacketID]string
+	traces    map[flit.PacketID][]string
+
+	// Failure-mode tallies.
+	corruptedPackets uint64
+	lostPackets      uint64
+	sinkAnomalies    uint64
+	e2eNACKs         uint64
+	e2eRetransmits   uint64
+	e2eBufMax        int
+}
+
+// New builds a network from cfg. It panics on invalid configuration —
+// construction is programmer-driven, not input-driven.
+func New(cfg Config) *Network {
+	cfg.validate()
+	n := &Network{cfg: cfg, counters: fault.NewCounters()}
+	root := sim.NewRNG(cfg.Seed)
+
+	kind := cfg.TopologyKind
+	if kind == 0 {
+		kind = topology.Mesh
+	}
+	n.topo = topology.New(kind, cfg.Width, cfg.Height)
+	for _, hf := range cfg.HardFaults {
+		n.topo.FailLink(hf.From, hf.Dir)
+	}
+	route := routing.New(cfg.Routing, n.topo)
+	xyCheck := !cfg.Routing.Adaptive()
+
+	nodes := n.topo.Nodes()
+	n.routers = make([]*router.Router, nodes)
+	n.pes = make([]*pe, nodes)
+
+	logicRNG := root.Split()
+	for i := 0; i < nodes; i++ {
+		rc := router.Config{
+			ID:              flit.NodeID(i),
+			Topo:            n.topo,
+			Route:           route,
+			VCs:             cfg.VCs,
+			BufDepth:        cfg.BufDepth,
+			PipelineDepth:   cfg.PipelineDepth,
+			Protection:      cfg.Protection,
+			ACEnabled:       cfg.ACEnabled,
+			XYCheck:         xyCheck,
+			RecoveryEnabled: cfg.RecoveryEnabled,
+			Cthres:          cfg.Cthres,
+			Events:          &n.events,
+			Counters:        n.counters,
+		}
+		if cfg.Faults.RT > 0 {
+			rc.RTFault = fault.NewLogicInjector(fault.RTLogic, cfg.Faults.RT, logicRNG.Split())
+		}
+		if cfg.Faults.VA > 0 {
+			rc.VAFault = fault.NewLogicInjector(fault.VALogic, cfg.Faults.VA, logicRNG.Split())
+		}
+		if cfg.Faults.SA > 0 {
+			rc.SAFault = fault.NewLogicInjector(fault.SALogic, cfg.Faults.SA, logicRNG.Split())
+		}
+		if cfg.Faults.Xbar > 0 {
+			rc.XbarFault = fault.NewLogicInjector(fault.XbarError, cfg.Faults.Xbar, logicRNG.Split())
+		}
+		n.routers[i] = router.New(rc)
+	}
+
+	// Inter-router links: one channel per direction.
+	linkRNG := root.Split()
+	for _, l := range n.topo.Links() {
+		dst, _ := n.topo.Neighbor(l.From, l.Dir)
+		var inj fault.Corruptor
+		if cfg.Faults.Link > 0 {
+			inj = fault.NewLinkInjector(cfg.Faults.Link, cfg.Faults.LinkDouble, linkRNG.Split())
+		}
+		ch := link.NewChannel(&n.kernel, inj, false, &n.events, n.counters)
+		if cfg.Faults.Handshake > 0 {
+			ch.SetHandshakeFaults(cfg.Faults.Handshake, cfg.TMREnabled, linkRNG.Split())
+		}
+		tx := link.NewTransmitter(ch, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
+		if cfg.Faults.RetransBuf > 0 {
+			tx.SetRetransBufFaults(cfg.Faults.RetransBuf, cfg.DuplicateRetrans, linkRNG.Split())
+		}
+		rx := link.NewReceiver(ch, cfg.VCs, cfg.Protection, &n.events, n.counters)
+		n.routers[l.From].AttachOutput(l.Dir, tx)
+		n.routers[dst].AttachInput(l.Dir.Opposite(), rx)
+	}
+
+	// PE <-> router local channels (fault-free, §2.2).
+	trafficRNG := root.Split()
+	for i := 0; i < nodes; i++ {
+		id := flit.NodeID(i)
+		// PE -> router.
+		up := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
+		upTx := link.NewTransmitter(up, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
+		upRx := link.NewReceiver(up, cfg.VCs, cfg.Protection, &n.events, n.counters)
+		n.routers[i].AttachInput(topology.Local, upRx)
+		// Router -> PE.
+		down := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
+		downTx := link.NewTransmitter(down, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
+		downRx := link.NewReceiver(down, cfg.VCs, cfg.Protection, &n.events, n.counters)
+		n.routers[i].AttachOutput(topology.Local, downTx)
+
+		src := traffic.NewSource(id, n.topo, cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, trafficRNG.Split())
+		n.pes[i] = newPE(n, id, src, upTx, downRx)
+	}
+
+	for i := 0; i < nodes; i++ {
+		n.kernel.Register(n.routers[i])
+		n.kernel.Register(sim.ActorFunc(n.pes[i].Tick))
+	}
+	if len(cfg.TracePIDs) > 0 {
+		n.traceLast = make(map[flit.PacketID]string, len(cfg.TracePIDs))
+		n.traces = make(map[flit.PacketID][]string, len(cfg.TracePIDs))
+		for _, pid := range cfg.TracePIDs {
+			n.traceLast[flit.PacketID(pid)] = ""
+		}
+	}
+	return n
+}
+
+// samplePacketTraces records location changes for every traced packet.
+func (n *Network) samplePacketTraces() {
+	for pid := range n.traceLast {
+		var locs []string
+		for i, r := range n.routers {
+			for _, l := range r.FindPacket(pid) {
+				locs = append(locs, fmt.Sprintf("router%d/%s", i, l))
+			}
+		}
+		sig := strings.Join(locs, " ")
+		if sig == n.traceLast[pid] {
+			continue
+		}
+		n.traceLast[pid] = sig
+		if sig == "" {
+			sig = "(in flight / source / delivered)"
+		}
+		n.traces[pid] = append(n.traces[pid], fmt.Sprintf("cycle %d: %s", n.kernel.Cycle(), sig))
+	}
+}
+
+// Topology returns the network's topology (for tooling).
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Kernel exposes the simulation kernel for fine-grained stepping in tests.
+func (n *Network) Kernel() *sim.Kernel { return &n.kernel }
+
+// Routers exposes the router array (read-only use).
+func (n *Network) Routers() []*router.Router { return n.routers }
+
+// nextPID allocates a packet identifier.
+func (n *Network) nextPID() flit.PacketID {
+	n.pidCounter++
+	return flit.PacketID(n.pidCounter)
+}
+
+// recordDelivery accounts one cleanly ejected message.
+func (n *Network) recordDelivery(cycle, injectedAt uint64) {
+	n.delivered++
+	n.lastEject = cycle
+	if n.delivered == n.cfg.WarmupMessages {
+		n.startMeasuring(cycle)
+	}
+	if n.measuring && n.delivered > n.cfg.WarmupMessages {
+		n.latency.Record(cycle - injectedAt)
+	}
+}
+
+func (n *Network) startMeasuring(cycle uint64) {
+	n.measuring = true
+	n.warmupEvents = n.events
+	n.warmupCycle = cycle
+}
+
+// Run drives the simulation until TotalMessages have ejected, the network
+// stalls, or MaxCycles elapse, then returns the measurements.
+func (n *Network) Run() Results {
+	if n.cfg.WarmupMessages == 0 {
+		n.startMeasuring(0)
+	}
+	stalled := false
+	for n.delivered < n.cfg.TotalMessages {
+		c := n.kernel.Cycle()
+		if c >= n.cfg.MaxCycles {
+			break
+		}
+		if c > n.lastEject+n.cfg.StallCycles && (n.delivered > 0 || c > n.cfg.StallCycles) {
+			stalled = true
+			break
+		}
+		n.kernel.Step()
+		if n.measuring {
+			n.sampleUtilization()
+		}
+		if n.traceLast != nil {
+			n.samplePacketTraces()
+		}
+	}
+	return n.results(stalled)
+}
+
+// sampleUtilization records this cycle's buffer occupancies (Figs. 8-9)
+// plus the per-router breakdown for floorplan heatmaps.
+func (n *Network) sampleUtilization() {
+	if n.routerUtil == nil {
+		n.routerUtil = make([]stats.Utilization, len(n.routers))
+	}
+	to, tc, ro, rc := 0, 0, 0, 0
+	for i, r := range n.routers {
+		o, c := r.BufferOccupancy()
+		n.routerUtil[i].Sample(o, c)
+		to += o
+		tc += c
+		o, c = r.ShifterOccupancy()
+		ro += o
+		rc += c
+	}
+	n.txUtil.Sample(to, tc)
+	n.rtUtil.Sample(ro, rc)
+}
+
+// Snapshot renders every router's live VC state — a debugging view of
+// the whole chip at the current cycle.
+func (n *Network) Snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d, delivered %d\n", n.kernel.Cycle(), n.delivered)
+	for i, r := range n.routers {
+		state := r.DebugVCs(n.kernel.Cycle())
+		if state == "" && !r.InRecovery() {
+			continue
+		}
+		fmt.Fprintf(&b, "router %2d recovery=%v: %s\n", i, r.InRecovery(), state)
+	}
+	return b.String()
+}
+
+// results assembles the final measurement record.
+func (n *Network) results(stalled bool) Results {
+	measured := stats.Events{}
+	if n.measuring {
+		measured = n.events
+		w := n.warmupEvents
+		measured = subtractEvents(measured, w)
+	}
+	cycles := n.kernel.Cycle()
+	measuredCycles := uint64(0)
+	if n.measuring && cycles > n.warmupCycle {
+		measuredCycles = cycles - n.warmupCycle
+	}
+	var recoveries, probes, viol, stray uint64
+	for _, r := range n.routers {
+		recoveries += r.Recoveries()
+		probes += r.ProbesSent()
+		viol += r.WormholeViolations()
+		stray += r.StrayFlits()
+	}
+	measuredMsgs := uint64(0)
+	if n.delivered > n.cfg.WarmupMessages {
+		measuredMsgs = n.delivered - n.cfg.WarmupMessages
+	}
+	res := Results{
+		Cycles:             cycles,
+		LatencyHist:        n.latency.Histogram(latencyBinWidth, latencyBins),
+		MeasuredCycles:     measuredCycles,
+		Delivered:          n.delivered,
+		MeasuredMessages:   measuredMsgs,
+		AvgLatency:         n.latency.Mean(),
+		P95Latency:         n.latency.Percentile(95),
+		MaxLatency:         n.latency.Max(),
+		Events:             measured,
+		TotalEvents:        n.events,
+		TxBufUtil:          n.txUtil.Mean(),
+		RtBufUtil:          n.rtUtil.Mean(),
+		RouterTxUtil:       routerMeans(n.routerUtil),
+		Counters:           n.counters,
+		Recoveries:         recoveries,
+		ProbesSent:         probes,
+		WormholeViolations: viol,
+		StrayFlits:         stray,
+		CorruptedPackets:   n.corruptedPackets,
+		LostPackets:        n.lostPackets,
+		SinkAnomalies:      n.sinkAnomalies,
+		E2ENACKs:           n.e2eNACKs,
+		E2ERetransmits:     n.e2eRetransmits,
+		E2EBufMax:          n.e2eBufMax,
+		Traces:             n.exportTraces(),
+		Stalled:            stalled,
+		Throughput: stats.Throughput{
+			FlitsDelivered:    measuredMsgs * uint64(n.cfg.PacketSize),
+			MessagesDelivered: measuredMsgs,
+			Cycles:            measuredCycles,
+			Nodes:             n.topo.Nodes(),
+		},
+	}
+	return res
+}
+
+// Latency histogram shape: 24 bins of 10 cycles, last bin open-ended.
+const (
+	latencyBinWidth = 10
+	latencyBins     = 24
+)
+
+// routerMeans extracts the time-averaged per-router utilizations.
+func routerMeans(us []stats.Utilization) []float64 {
+	if us == nil {
+		return nil
+	}
+	out := make([]float64, len(us))
+	for i := range us {
+		out[i] = us[i].Mean()
+	}
+	return out
+}
+
+func subtractEvents(a, b stats.Events) stats.Events {
+	return stats.Events{
+		BufWrites:       a.BufWrites - b.BufWrites,
+		BufReads:        a.BufReads - b.BufReads,
+		XbTraversals:    a.XbTraversals - b.XbTraversals,
+		LinkTraversals:  a.LinkTraversals - b.LinkTraversals,
+		LocalTraversals: a.LocalTraversals - b.LocalTraversals,
+		VAAllocs:        a.VAAllocs - b.VAAllocs,
+		SAAllocs:        a.SAAllocs - b.SAAllocs,
+		RetransWrites:   a.RetransWrites - b.RetransWrites,
+		Retransmitted:   a.Retransmitted - b.Retransmitted,
+		NACKs:           a.NACKs - b.NACKs,
+		Credits:         a.Credits - b.Credits,
+		Probes:          a.Probes - b.Probes,
+		ECCDecodes:      a.ECCDecodes - b.ECCDecodes,
+		ECCCorrections:  a.ECCCorrections - b.ECCCorrections,
+		ACChecks:        a.ACChecks - b.ACChecks,
+		RTComputes:      a.RTComputes - b.RTComputes,
+	}
+}
+
+// Results is the measurement record of one simulation run. Event counts
+// and latency cover the post-warm-up window; Total* fields cover the
+// whole run.
+type Results struct {
+	Cycles           uint64
+	MeasuredCycles   uint64
+	Delivered        uint64
+	MeasuredMessages uint64
+
+	AvgLatency float64
+	P95Latency float64
+	MaxLatency float64
+	// LatencyHist buckets measured message latencies into latencyBins
+	// bins of latencyBinWidth cycles (last bin is open-ended).
+	LatencyHist []int
+	Throughput  stats.Throughput
+
+	Events      stats.Events
+	TotalEvents stats.Events
+
+	TxBufUtil float64 // transmission (input VC) buffer utilization, Fig. 8
+	RtBufUtil float64 // retransmission buffer utilization, Fig. 9
+	// RouterTxUtil is the per-router breakdown of TxBufUtil, indexed by
+	// node id (nil if measurement never started).
+	RouterTxUtil []float64
+
+	Counters *fault.Counters
+
+	Recoveries         uint64
+	ProbesSent         uint64
+	WormholeViolations uint64
+	StrayFlits         uint64
+	CorruptedPackets   uint64
+	LostPackets        uint64
+	SinkAnomalies      uint64
+	E2ENACKs           uint64
+	E2ERetransmits     uint64
+	E2EBufMax          int
+
+	// Traces holds the recorded journeys of Config.TracePIDs packets,
+	// keyed by packet ID, one line per location change.
+	Traces map[uint64][]string
+
+	Stalled bool
+}
+
+// exportTraces converts the internal trace map to the public form.
+func (n *Network) exportTraces() map[uint64][]string {
+	if n.traces == nil {
+		return nil
+	}
+	out := make(map[uint64][]string, len(n.traces))
+	for pid, lines := range n.traces {
+		out[uint64(pid)] = lines
+	}
+	return out
+}
+
+// String summarises the run for human consumption.
+func (r Results) String() string {
+	return fmt.Sprintf("delivered %d msgs in %d cycles: avg latency %.1f cyc, tx-util %.3f, rt-util %.3f, retrans %d, recoveries %d",
+		r.Delivered, r.Cycles, r.AvgLatency, r.TxBufUtil, r.RtBufUtil, r.TotalEvents.Retransmitted, r.Recoveries)
+}

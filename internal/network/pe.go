@@ -1,0 +1,305 @@
+package network
+
+import (
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/link"
+	"ftnoc/internal/traffic"
+)
+
+// nackMagic marks a tail payload as an end-to-end retransmission request
+// (E2E/FEC baselines): the tail word is nackMagic<<32 | packetID. A
+// 32-bit magic makes accidental collision with a pseudo-random payload
+// word practically impossible.
+const nackMagic = uint64(0xE2E1F17A)
+
+// isNACKRequest reports whether a tail word encodes a retransmission
+// request, and for which packet.
+func isNACKRequest(word uint64) (flit.PacketID, bool) {
+	if word>>32 != nackMagic {
+		return 0, false
+	}
+	return flit.PacketID(word & 0xffffffff), true
+}
+
+// retained is an E2E/FEC source-side packet copy awaiting implicit
+// acknowledgement (timeout) or a retransmission request.
+type retained struct {
+	pkt      flit.Packet
+	deadline uint64
+}
+
+// pe is one node's processing element: traffic source, packet injector,
+// destination sink, and — under the E2E/FEC baselines — the end-to-end
+// retransmission endpoint.
+type pe struct {
+	net *Network
+	id  flit.NodeID
+	src *traffic.Source
+	tx  *link.Transmitter
+	rx  *link.Receiver
+
+	// Injection side.
+	queue   []flit.Packet // waiting packets; front is next to start
+	ctrl    [][]flit.Flit // pre-built priority packets (e2e NACKs) awaiting a VC
+	vcFlits [][]flit.Flit // per VC, remaining flits of the packet being injected
+	vcRR    int
+
+	// Sink side, per VC of the router->PE channel.
+	sinkPID     []flit.PacketID
+	sinkSrc     []flit.NodeID
+	sinkBorn    []uint64
+	sinkCorrupt []bool
+	sinkLive    []bool
+	sinkNextSeq []uint8
+
+	// E2E/FEC source retention buffer.
+	retention map[flit.PacketID]retained
+}
+
+func newPE(n *Network, id flit.NodeID, src *traffic.Source, tx *link.Transmitter, rx *link.Receiver) *pe {
+	vcs := n.cfg.VCs
+	return &pe{
+		net:         n,
+		id:          id,
+		src:         src,
+		tx:          tx,
+		rx:          rx,
+		vcFlits:     make([][]flit.Flit, vcs),
+		sinkPID:     make([]flit.PacketID, vcs),
+		sinkSrc:     make([]flit.NodeID, vcs),
+		sinkBorn:    make([]uint64, vcs),
+		sinkCorrupt: make([]bool, vcs),
+		sinkLive:    make([]bool, vcs),
+		sinkNextSeq: make([]uint8, vcs),
+		retention:   make(map[flit.PacketID]retained),
+	}
+}
+
+// Tick runs one cycle of PE behaviour.
+func (p *pe) Tick(cycle uint64) {
+	p.tx.BeginCycle(cycle)
+	p.tx.ExpireShifters(cycle)
+	p.eject(cycle)
+	p.generate(cycle)
+	p.assign()
+	p.inject(cycle)
+	if p.usesRetention() && cycle%256 == 0 {
+		p.sweepRetention(cycle)
+	}
+}
+
+func (p *pe) usesRetention() bool {
+	return p.net.cfg.Protection == link.E2E || p.net.cfg.Protection == link.FEC
+}
+
+// generate asks the traffic source for this cycle's injection.
+func (p *pe) generate(cycle uint64) {
+	if lim := p.net.cfg.InjectLimit; lim != 0 && p.net.injected >= lim {
+		return
+	}
+	dst, ok := p.src.Tick()
+	if !ok {
+		return
+	}
+	p.net.injected++
+	p.queue = append(p.queue, flit.Packet{
+		ID:         p.net.nextPID(),
+		Src:        p.id,
+		Dst:        dst,
+		Size:       p.net.cfg.PacketSize,
+		InjectedAt: cycle,
+	})
+}
+
+// assign moves the next packet (priority control first, then the data
+// queue) onto an idle injection VC.
+func (p *pe) assign() {
+	for v := range p.vcFlits {
+		if len(p.vcFlits[v]) != 0 {
+			continue
+		}
+		switch {
+		case len(p.ctrl) > 0:
+			p.vcFlits[v] = p.ctrl[0]
+			p.ctrl = p.ctrl[1:]
+		case len(p.queue) > 0:
+			p.vcFlits[v] = p.queue[0].Flits()
+			p.queue = p.queue[1:]
+		default:
+			return
+		}
+	}
+}
+
+// inject sends at most one flit into the router's local port, rotating
+// across VCs for fairness.
+func (p *pe) inject(cycle uint64) {
+	n := len(p.vcFlits)
+	for i := 0; i < n; i++ {
+		v := (p.vcRR + i) % n
+		fs := p.vcFlits[v]
+		if len(fs) == 0 || p.tx.Credits(v) <= 0 || p.tx.HasReplay() {
+			continue
+		}
+		f := fs[0]
+		p.vcFlits[v] = fs[1:]
+		p.tx.Send(f, v, cycle)
+		_, isReq := isNACKRequest(f.Word)
+		if f.Type == flit.Tail && p.usesRetention() && !isReq {
+			p.retention[f.PID] = retained{
+				pkt:      flit.Packet{ID: f.PID, Src: f.Src, Dst: f.Dst, Size: p.net.cfg.PacketSize, InjectedAt: f.InjectedAt},
+				deadline: cycle + p.net.cfg.E2ETimeout,
+			}
+			if occ := len(p.retention); occ > p.net.e2eBufMax {
+				p.net.e2eBufMax = occ
+			}
+		}
+		p.vcRR = v + 1
+		return
+	}
+}
+
+// eject consumes the cycle's arrivals from the router and reassembles
+// packets.
+func (p *pe) eject(cycle uint64) {
+	data, _ := p.rx.ReceiveAll(cycle)
+	for _, f := range data {
+		vc := int(f.VC)
+		if vc >= len(p.sinkPID) {
+			vc = 0
+		}
+		p.rx.ReturnCredit(vc)
+		p.consume(cycle, vc, f)
+	}
+}
+
+// consume runs the destination-side integrity check and packet assembly
+// for one flit.
+func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
+	switch f.Type {
+	case flit.Head:
+		if p.sinkLive[vc] {
+			// Previous packet never closed: stranded wormhole debris
+			// (possible only with unprotected logic faults).
+			p.net.sinkAnomalies++
+		}
+		hdr := flit.DecodeHeader(f.Word)
+		p.sinkLive[vc] = true
+		p.sinkPID[vc] = hdr.PID
+		p.sinkSrc[vc] = hdr.Src
+		p.sinkBorn[vc] = f.InjectedAt
+		p.sinkCorrupt[vc] = false
+		p.sinkNextSeq[vc] = 1
+		if hdr.Dst != p.id {
+			// Misdelivered packet that escaped every check.
+			p.sinkCorrupt[vc] = true
+			p.net.sinkAnomalies++
+		}
+		return
+	case flit.Body, flit.Tail:
+		if !p.sinkLive[vc] {
+			p.net.sinkAnomalies++
+			return
+		}
+		// Sequence continuity: a gap means flits were lost in transit
+		// (e.g. a retransmission NACK lost on an unprotected handshake
+		// line, §4.6).
+		if f.Seq != p.sinkNextSeq[vc] || f.PID != p.sinkPID[vc] {
+			p.sinkCorrupt[vc] = true
+		} else {
+			p.sinkNextSeq[vc]++
+		}
+		if p.flitCorrupt(f) {
+			p.sinkCorrupt[vc] = true
+		}
+		if f.Type != flit.Tail {
+			return
+		}
+	default:
+		return
+	}
+
+	// Tail: packet complete.
+	p.sinkLive[vc] = false
+	pid, src, born, corrupt := p.sinkPID[vc], p.sinkSrc[vc], p.sinkBorn[vc], p.sinkCorrupt[vc]
+
+	if reqPID, isReq := isNACKRequest(f.Word); isReq && !corrupt && p.usesRetention() {
+		// An end-to-end retransmission request addressed to us.
+		p.handleRetransRequest(cycle, reqPID)
+		return
+	}
+	if corrupt {
+		p.net.corruptedPackets++
+		if p.usesRetention() {
+			p.sendRetransRequest(cycle, src, pid)
+		}
+		return
+	}
+	p.net.recordDelivery(cycle, born)
+}
+
+// flitCorrupt applies the destination's end check per protection scheme.
+func (p *pe) flitCorrupt(f flit.Flit) bool {
+	_, _, out := ecc.Decode(f.Word, f.Check)
+	p.net.events.ECCDecodes++
+	switch p.net.cfg.Protection {
+	case link.E2E:
+		// Detection-only at the destination: any error condemns the packet.
+		return out != ecc.OK
+	default:
+		// HBH/FEC corrected singles at the hops; only uncorrectable
+		// residue condemns the packet.
+		return out == ecc.Detected
+	}
+}
+
+// sendRetransRequest injects the 2-flit end-to-end NACK packet back to
+// the source, ahead of local traffic.
+func (p *pe) sendRetransRequest(cycle uint64, src flit.NodeID, pid flit.PacketID) {
+	req := flit.Packet{
+		ID:         p.net.nextPID(),
+		Src:        p.id,
+		Dst:        src,
+		Size:       2,
+		InjectedAt: cycle,
+	}
+	fs := req.Flits()
+	word := nackMagic<<32 | uint64(pid)&0xffffffff
+	fs[1].Word = word
+	fs[1].Check = ecc.Encode(word)
+	p.net.e2eNACKs++
+	// Control traffic jumps the queue: packet loss recovery cannot wait
+	// behind a saturated source.
+	p.queuePacketFront(fs)
+}
+
+// queuePacketFront stages pre-built flits ahead of all data traffic.
+func (p *pe) queuePacketFront(fs []flit.Flit) {
+	p.ctrl = append(p.ctrl, fs)
+}
+
+// handleRetransRequest re-injects a retained packet.
+func (p *pe) handleRetransRequest(cycle uint64, pid flit.PacketID) {
+	ret, ok := p.retention[pid]
+	if !ok {
+		// Evicted: the packet is unrecoverable.
+		p.net.lostPackets++
+		return
+	}
+	ret.deadline = cycle + p.net.cfg.E2ETimeout
+	p.retention[pid] = ret
+	p.net.e2eRetransmits++
+	// Retransmission keeps the original injection timestamp so measured
+	// latency includes the recovery round trip.
+	p.queue = append([]flit.Packet{ret.pkt}, p.queue...)
+}
+
+// sweepRetention drops copies whose implicit-ACK timeout expired.
+func (p *pe) sweepRetention(cycle uint64) {
+	for pid, ret := range p.retention {
+		if cycle > ret.deadline {
+			delete(p.retention, pid)
+		}
+	}
+}

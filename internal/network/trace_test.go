@@ -1,0 +1,74 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+// Packet tracing records a coherent journey: the packet appears at its
+// source router's Local port, moves through intermediate routers, and
+// finally disappears on delivery.
+func TestPacketTracing(t *testing.T) {
+	cfg := smallConfig()
+	cfg.InjectionRate = 0.05
+	cfg.TotalMessages = 300
+	cfg.WarmupMessages = 0
+	cfg.TracePIDs = []uint64{5, 17}
+	res := New(cfg).Run()
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traced %d packets, want 2", len(res.Traces))
+	}
+	for pid, lines := range res.Traces {
+		if len(lines) < 2 {
+			t.Fatalf("packet %d trace too short: %v", pid, lines)
+		}
+		// First sighting must be at a Local input port (injection).
+		if !strings.Contains(lines[0], "/L") {
+			t.Errorf("packet %d first seen off the local port: %q", pid, lines[0])
+		}
+		// The journey must end with the packet gone (delivered).
+		last := lines[len(lines)-1]
+		if !strings.Contains(last, "delivered") {
+			t.Errorf("packet %d trace does not end in delivery: %q", pid, last)
+		}
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "cycle ") {
+				t.Errorf("malformed trace line %q", l)
+			}
+		}
+	}
+}
+
+// Tracing must not perturb the simulation: identical results with and
+// without it.
+func TestTracingIsPure(t *testing.T) {
+	base := smallConfig()
+	base.TotalMessages = 400
+	base.WarmupMessages = 100
+	a := New(base).Run()
+	traced := base
+	traced.TracePIDs = []uint64{1, 2, 3}
+	b := New(traced).Run()
+	if a.AvgLatency != b.AvgLatency || a.Cycles != b.Cycles || a.TotalEvents != b.TotalEvents {
+		t.Fatal("tracing perturbed the simulation")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	cfg := smallConfig()
+	n := New(cfg)
+	for i := 0; i < 40; i++ {
+		n.Kernel().Step()
+	}
+	s := n.Snapshot()
+	if !strings.Contains(s, "cycle 40") {
+		t.Fatalf("snapshot missing cycle header: %q", s)
+	}
+	// At 0.25 injection some router must be holding flits by cycle 40.
+	if !strings.Contains(s, "router") {
+		t.Fatalf("snapshot shows no occupied routers:\n%s", s)
+	}
+}

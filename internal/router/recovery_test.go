@@ -1,0 +1,119 @@
+package router
+
+import (
+	"testing"
+
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+)
+
+// These white-box tests inject exactly one scripted logic fault and check
+// the paper's recovery behaviour and latency accounting (§4.1-§4.3).
+
+// A single RT misdirection under deterministic routing, aimed at a
+// legal-but-wrong port, must be caught by the neighbor's consistency
+// check and recovered by recall + re-route (§4.2), delivering the packet
+// intact with a bounded penalty.
+func TestMisrouteRecoveryEndToEnd(t *testing.T) {
+	// Build a 1x3 mesh row: src router 0, middle router 1, dst router 2.
+	// Packet 0 -> 2 should head East at router 1; the fault misdirects
+	// the routing computation at router 0... router 0's only legal wrong
+	// choice from the fault is caught by the VA (edge ports), so place
+	// the fault at the middle router where West is legal-but-wrong.
+	p := newRow(t)
+	// Router 1's first routing computation upsets; Pick(5)=4 selects West
+	// (ports are L,N,E,S,W = 0..4) — legal at router 1, wrong for dst 2.
+	p.b.cfg.RTFault = fault.NewScriptedLogicInjector(fault.RTLogic, []bool{true}, []int{4})
+
+	p.autoSink()
+	p.driveSource(flit.Packet{ID: 1, Src: 0, Dst: 2, Size: 4}.Flits())
+	for i := 0; i < 40; i++ {
+		p.k.Step()
+		p.checkInvariants(t)
+	}
+	if len(p.arrived) != 4 {
+		t.Fatalf("arrived %d flits, want 4", len(p.arrived))
+	}
+	for i, f := range p.arrived {
+		if int(f.Seq) != i {
+			t.Fatalf("order broken: %v", p.arrived)
+		}
+	}
+	if got := p.ctr.Corrected[fault.RTLogic]; got != 1 {
+		t.Fatalf("corrected %d RT faults, want 1", got)
+	}
+	// Fault-free head arrival is cycle 10 (3 routers x 3 stages + wire);
+	// the misroute costs the West round trip + recall + re-route.
+	if p.arrivedAt[0] <= 10 || p.arrivedAt[0] > 22 {
+		t.Fatalf("head arrived at %d; expected a bounded misroute penalty after 10", p.arrivedAt[0])
+	}
+}
+
+// A single VA upset is invalidated by the AC within the cycle and retried:
+// one cycle of added latency, nothing corrupted (§4.1).
+func TestVAUpsetSingleCyclePenalty(t *testing.T) {
+	clean := newPair(t, 3)
+	clean.autoSink()
+	clean.driveSource(flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 2}.Flits())
+	clean.k.Run(20)
+
+	faulty := newPair(t, 3)
+	// First VA allocation at router a upsets (scenario 1: invalid VC).
+	faulty.a.cfg.VAFault = fault.NewScriptedLogicInjector(fault.VALogic, []bool{true}, []int{0})
+	faulty.autoSink()
+	faulty.driveSource(flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 2}.Flits())
+	faulty.k.Run(20)
+
+	if len(clean.arrived) != 2 || len(faulty.arrived) != 2 {
+		t.Fatalf("arrivals: clean %d faulty %d", len(clean.arrived), len(faulty.arrived))
+	}
+	delta := faulty.arrivedAt[0] - clean.arrivedAt[0]
+	if delta != 1 {
+		t.Fatalf("VA upset cost %d cycles, want exactly 1 (§4.1)", delta)
+	}
+	if faulty.ctr.Corrected[fault.VALogic] != 1 {
+		t.Fatalf("corrected %d VA upsets, want 1", faulty.ctr.Corrected[fault.VALogic])
+	}
+}
+
+// A single SA upset that corrupts the winning grant is squashed by the AC
+// and the flit retries next cycle (§4.3).
+func TestSAUpsetSquashedByAC(t *testing.T) {
+	clean := newPair(t, 3)
+	clean.autoSink()
+	clean.driveSource(flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 2}.Flits())
+	clean.k.Run(20)
+
+	faulty := newPair(t, 3)
+	// The first SA request at router a upsets; pick 1.. makes upsetWins
+	// true and misdirects the grant.
+	faulty.a.cfg.SAFault = fault.NewScriptedLogicInjector(fault.SALogic, []bool{true}, []int{1})
+	faulty.autoSink()
+	faulty.driveSource(flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 2}.Flits())
+	faulty.k.Run(20)
+
+	if len(faulty.arrived) != 2 {
+		t.Fatalf("arrived %d flits, want 2", len(faulty.arrived))
+	}
+	if faulty.ctr.Corrected[fault.SALogic] != 1 {
+		t.Fatalf("corrected %d SA upsets, want 1", faulty.ctr.Corrected[fault.SALogic])
+	}
+	delta := faulty.arrivedAt[0] - clean.arrivedAt[0]
+	if delta != 1 {
+		t.Fatalf("SA upset cost %d cycles, want exactly 1", delta)
+	}
+}
+
+// newRow wires a 3x1 mesh (routers a=0, b=1, c=2) reusing the pair
+// plumbing: a's local input injects, c's local output ejects.
+type row struct {
+	*pair
+	c *Router
+}
+
+func newRow(t *testing.T) *row {
+	t.Helper()
+	// Build on the pair helper but with a 3-wide topology.
+	p := buildGrid(t, 3, 1, 3)
+	return &row{pair: p, c: p.extra[0]}
+}

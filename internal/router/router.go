@@ -1,0 +1,813 @@
+package router
+
+import (
+	"fmt"
+
+	"ftnoc/internal/ac"
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/link"
+	"ftnoc/internal/topology"
+)
+
+// probeSeenWindow is how long a node remembers having forwarded a probe
+// from a given origin, for validating activations (Rule 3).
+const probeSeenWindow = 512
+
+// reprobeInterval is how long a blocked VC waits after sending a probe
+// before assuming it was lost (e.g. corrupted on the wire) and probing
+// again.
+const reprobeInterval = 2 * DefaultCthres
+
+// Router is one pipelined virtual-channel wormhole router (Fig. 1). It
+// implements sim.Actor; the network registers it with the kernel and
+// attaches channel endpoints to its ports.
+type Router struct {
+	cfg Config
+	id  flit.NodeID
+
+	in  [topology.NumPorts]*inPort
+	out [topology.NumPorts]*outputPort
+
+	vaRR  int // rotates VA priority over input VCs
+	outRR int // rotates SA priority over output ports
+
+	// Deadlock machinery (§3.2.2).
+	probeSeen  map[probeKey]uint64
+	inRecovery bool
+	doneStreak int // consecutive all-clear cycles before recovery exits
+
+	// Diagnostic counters, exported via accessors.
+	recoveries         uint64
+	probesSent         uint64
+	wormholeViolations uint64
+	strayFlits         uint64
+}
+
+type inPort struct {
+	port topology.Port
+	rx   *link.Receiver
+	vcs  []*inputVC
+}
+
+// New creates a router. Ports start unattached; wire them with
+// AttachInput / AttachOutput before the first Tick.
+func New(cfg Config) *Router {
+	cfg.validate()
+	return &Router{
+		cfg:       cfg,
+		id:        cfg.ID,
+		probeSeen: make(map[probeKey]uint64),
+	}
+}
+
+// ID returns the router's node identifier.
+func (r *Router) ID() flit.NodeID { return r.id }
+
+// AttachInput connects the receiving side of a channel to port p and
+// creates the port's input VC buffers.
+func (r *Router) AttachInput(p topology.Port, rx *link.Receiver) {
+	vcs := make([]*inputVC, r.cfg.VCs)
+	for i := range vcs {
+		vcs[i] = &inputVC{port: p, idx: i, buf: link.NewFIFO(r.cfg.BufDepth)}
+	}
+	r.in[p] = &inPort{port: p, rx: rx, vcs: vcs}
+}
+
+// AttachOutput connects the transmitting side of a channel to port p.
+func (r *Router) AttachOutput(p topology.Port, tx *link.Transmitter) {
+	r.out[p] = &outputPort{port: p, tx: tx, vcs: make([]outputVC, r.cfg.VCs)}
+}
+
+// Tick evaluates one cycle of the router pipeline. The phases mirror the
+// atomic modules of Fig. 2; all cross-router effects go through latched
+// channel wires, so intra-cycle phase order is purely local.
+func (r *Router) Tick(cycle uint64) {
+	r.beginOutputs(cycle)
+	r.ingest(cycle)
+	r.advance(cycle)
+	r.allocateVA(cycle)
+	r.allocateSA(cycle)
+	r.deadlock(cycle)
+}
+
+// beginOutputs ingests handshakes on every output channel and services
+// misroute NACKs (§4.2 recovery).
+func (r *Router) beginOutputs(cycle uint64) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		op := r.out[p]
+		if op == nil {
+			continue
+		}
+		for _, n := range op.tx.BeginCycle(cycle) {
+			switch n.Kind {
+			case link.NACKMisroute:
+				r.recoverMisroute(p, int(n.VC), cycle)
+			case link.NACKRecoveryOn:
+				op.downstreamRecovering = true
+			case link.NACKRecoveryOff:
+				op.downstreamRecovering = false
+			}
+			// NACKIgnore carries no action for the transmitter: the AC
+			// invalidation already prevented the erroneous state from
+			// being used; the handshake exists for energy accounting.
+		}
+		op.tx.ExpireShifters(cycle)
+	}
+}
+
+// recoverMisroute handles a neighbor's report that the header we sent on
+// (p, ov) violated the deterministic route: recall the sent flits from
+// the retransmission buffer, release the allocation, and re-route
+// (§4.2 — "the header flit is still in the previous router's
+// retransmission buffer").
+func (r *Router) recoverMisroute(p topology.Port, ov int, cycle uint64) {
+	op := r.out[p]
+	if ov < 0 || ov >= len(op.vcs) || !op.vcs[ov].busy {
+		return
+	}
+	owner := op.vcs[ov]
+	ivc := r.in[owner.inPort].vcs[owner.inVC]
+	recalled := op.tx.Recall(ov)
+	op.vcs[ov] = outputVC{}
+	ivc.pending = append(recalled, ivc.pending...)
+	ivc.state = vcVAWait
+	ivc.candidates = r.computeRoute(ivc)
+	ivc.earliestVA = cycle + 1 // the re-routing process (§4.2)
+	r.cfg.Counters.AddCorrected(fault.RTLogic)
+}
+
+// ingest receives this cycle's arrivals on every input port, applies the
+// misroute consistency check to headers, and writes accepted flits into
+// the VC buffers.
+func (r *Router) ingest(cycle uint64) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		ip := r.in[p]
+		if ip == nil {
+			continue
+		}
+		data, ctrl := ip.rx.ReceiveAll(cycle)
+		for _, f := range ctrl {
+			r.handleControl(cycle, p, f)
+		}
+		for _, f := range data {
+			r.ingestData(cycle, ip, f)
+		}
+	}
+}
+
+func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
+	vc := int(f.VC)
+	if vc >= len(ip.vcs) {
+		vc = 0
+	}
+	ivc := ip.vcs[vc]
+
+	if f.Type == flit.Head && ip.port != topology.Local && r.cfg.XYCheck {
+		// §4.2: under deterministic routing, a misdirected header is
+		// detected by the router that receives it — the arrival direction
+		// must match the route the previous node should have taken.
+		if up, ok := r.cfg.Topo.Neighbor(r.id, ip.port); ok {
+			dst := flit.DecodeHeader(f.Word).Dst
+			exp := r.cfg.Route.Route(up, dst)
+			if len(exp) == 1 && exp[0] != ip.port.Opposite() {
+				ip.rx.ForceDrop(vc, cycle, link.NACKMisroute)
+				return
+			}
+		}
+	}
+
+	if ivc.buf.Full() {
+		// Flow control forbids this for healthy traffic; it happens only
+		// when an unprotected logic fault (AC-off ablation) has corrupted
+		// wormhole state. Drop and reclaim the slot.
+		r.wormholeViolations++
+		ip.rx.ReturnCredit(vc)
+		return
+	}
+	if ivc.occupied() == 0 {
+		ivc.lastProgress = cycle
+	}
+	ivc.buf.Push(f)
+	r.cfg.Events.BufWrites++
+}
+
+// advance starts the pipeline for newly headed packets: an idle VC with a
+// Head flit at its buffer front computes its route (the RT stage; folded
+// into arrival by look-ahead for depths <= 3) and enters VA wait.
+func (r *Router) advance(cycle uint64) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		ip := r.in[p]
+		if ip == nil {
+			continue
+		}
+		for _, ivc := range ip.vcs {
+			if ivc.state != vcIdle {
+				continue
+			}
+			f, ok := ivc.front()
+			if !ok {
+				continue
+			}
+			if f.Type != flit.Head {
+				// Stray flit with no wormhole: only possible when an
+				// unprotected fault broke packet framing. Drop it.
+				if _, fromBuf := ivc.popFront(); fromBuf {
+					ip.rx.ReturnCredit(ivc.idx)
+				}
+				r.strayFlits++
+				r.wormholeViolations++
+				continue
+			}
+			ivc.dst = flit.DecodeHeader(f.Word).Dst
+			ivc.candidates = r.computeRoute(ivc)
+			ivc.state = vcVAWait
+			ivc.earliestVA = cycle + vaOffset(r.cfg.PipelineDepth)
+		}
+	}
+}
+
+// computeRoute runs the routing function for the packet resident in ivc,
+// with RT-logic fault injection (§4.2: a transient fault misdirects the
+// packet by replacing the candidate set).
+func (r *Router) computeRoute(ivc *inputVC) []topology.Port {
+	r.cfg.Events.RTComputes++
+	cands := r.cfg.Route.Route(r.id, ivc.dst)
+	if r.cfg.RTFault.Upset() {
+		r.cfg.Counters.AddInjected(fault.RTLogic)
+		cands = []topology.Port{topology.Port(r.cfg.RTFault.Pick(int(topology.NumPorts)))}
+	}
+	return cands
+}
+
+// legalCandidates filters the RT candidate set down to ports that the VC
+// allocator's state information permits: existing, un-faulted links, and
+// Local only for packets that have arrived (§4.2 — the VA "is aware of
+// blocked links or links which are not permitted due to physical
+// constraints").
+func (r *Router) legalCandidates(ivc *inputVC) []topology.Port {
+	var legal []topology.Port
+	for _, p := range ivc.candidates {
+		if !p.Valid() {
+			continue
+		}
+		if p == topology.Local {
+			if ivc.dst == r.id && r.out[p] != nil {
+				legal = append(legal, p)
+			}
+			continue
+		}
+		if r.out[p] != nil && r.cfg.Topo.LinkUp(r.id, p) {
+			legal = append(legal, p)
+		}
+	}
+	return legal
+}
+
+// existingBindings snapshots the VA state table for the comparator.
+func (r *Router) existingBindings() []ac.Binding {
+	var bs []ac.Binding
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		op := r.out[p]
+		if op == nil {
+			continue
+		}
+		for v := range op.vcs {
+			if op.vcs[v].busy {
+				bs = append(bs, ac.Binding{
+					InPort: op.vcs[v].inPort, InVC: op.vcs[v].inVC,
+					OutPort: p, OutVC: v,
+				})
+			}
+		}
+	}
+	return bs
+}
+
+// allocateVA runs the VC allocator: each waiting header arbitrates for a
+// free output VC on one of its candidate ports. Fresh allocations are
+// screened by the Allocation Comparator (§4.1).
+func (r *Router) allocateVA(cycle uint64) {
+	n := r.inputVCCount()
+	for i := 0; i < n; i++ {
+		ivc := r.inputVCAt((r.vaRR + i) % n)
+		if ivc == nil || ivc.state != vcVAWait || cycle < ivc.earliestVA {
+			continue
+		}
+		if r.inRecovery && ivc.port == topology.Local {
+			// A recovering node admits no new traffic from its own PE
+			// (§3.2.1): injected packets would consume the recovery slack.
+			continue
+		}
+		if _, ok := ivc.front(); !ok {
+			continue
+		}
+		r.cfg.Events.VAAllocs++
+
+		legal := r.legalCandidates(ivc)
+		if len(legal) == 0 {
+			// Every candidate is blocked, missing, or physically
+			// impossible: the VA state info has caught a misdirection
+			// (§4.2). Re-route with a one-cycle penalty.
+			r.cfg.Counters.AddCorrected(fault.RTLogic)
+			ivc.candidates = r.computeRoute(ivc)
+			ivc.earliestVA = cycle + 1
+			continue
+		}
+
+		grantPort, grantVC := topology.Port(0), -1
+		for _, p := range legal {
+			if r.out[p].downstreamRecovering && !ivc.member && ivc.blockedFor(cycle) < 4*r.cfg.Cthres {
+				// §3.2.1: "no new packets are allowed to enter the
+				// transmission buffers that are involved in the deadlock
+				// recovery." Deadlock members — packets the detection
+				// probes ran through — must still advance (their advance
+				// IS the recovery), but fresh traffic would consume the
+				// slack the recovery created.
+				continue
+			}
+			if v := r.out[p].freeVC(r.vaRR); v >= 0 {
+				grantPort, grantVC = p, v
+				break
+			}
+		}
+		if grantVC < 0 {
+			continue // all candidate VCs reserved; retry next cycle
+		}
+
+		b := ac.Binding{InPort: ivc.port, InVC: ivc.idx, OutPort: grantPort, OutVC: grantVC}
+		corrupted := false
+		if r.cfg.VAFault.Upset() {
+			r.cfg.Counters.AddInjected(fault.VALogic)
+			b = r.corruptBinding(b)
+			corrupted = true
+		}
+
+		if r.cfg.ACEnabled {
+			r.cfg.Events.ACChecks++
+			if v := ac.CheckVA(b, ivc.candidates, r.cfg.VCs, int(topology.NumPorts), r.existingBindings()); v != ac.None {
+				// Invalidate the previous allocation and redo it: one
+				// cycle of latency (§4.1). In routers of depth <= 2 the
+				// speculative transmission must also be squashed with an
+				// ignore-NACK to the neighbors.
+				r.cfg.Counters.AddCorrected(fault.VALogic)
+				if r.cfg.PipelineDepth <= 2 {
+					r.cfg.Events.NACKs++
+				}
+				ivc.earliestVA = cycle + 1
+				continue
+			}
+		}
+
+		// Commit (possibly corrupt, if the AC is disabled).
+		ivc.state = vcActive
+		ivc.outPort, ivc.outVC = b.OutPort, b.OutVC
+		if int(b.OutPort) < int(topology.NumPorts) && r.out[b.OutPort] != nil && b.OutVC >= 0 && b.OutVC < r.cfg.VCs {
+			r.out[b.OutPort].vcs[b.OutVC] = outputVC{busy: true, inPort: ivc.port, inVC: ivc.idx, corrupt: corrupted}
+		}
+		if saAfterVA(r.cfg.PipelineDepth) {
+			ivc.earliestSA = cycle + 1
+		} else {
+			ivc.earliestSA = cycle
+		}
+		if corrupted {
+			r.cfg.Counters.AddUndetected(fault.VALogic)
+		}
+	}
+	r.vaRR++
+}
+
+// corruptBinding damages a fresh VA allocation the way a single-event
+// upset would (§4.1 scenarios 1-3 and 4b).
+func (r *Router) corruptBinding(b ac.Binding) ac.Binding {
+	switch r.cfg.VAFault.Pick(3) {
+	case 0: // scenario 1: invalid output VC id
+		b.OutVC = r.cfg.VCs + r.cfg.VAFault.Pick(2)
+	case 1: // scenarios 2/3: collide with a reserved output VC
+		if ex := r.existingBindings(); len(ex) > 0 {
+			e := ex[r.cfg.VAFault.Pick(len(ex))]
+			b.OutPort, b.OutVC = e.OutPort, e.OutVC
+		} else {
+			b.OutVC = r.cfg.VCs
+		}
+	default: // scenario 4b: VC on a physical channel other than intended
+		shift := 1 + r.cfg.VAFault.Pick(int(topology.NumPorts)-1)
+		b.OutPort = topology.Port((int(b.OutPort) + shift) % int(topology.NumPorts))
+	}
+	return b
+}
+
+// saRequest is one switch-allocation requester this cycle.
+type saRequest struct {
+	ivc   *inputVC
+	upset bool
+}
+
+// allocateSA arbitrates the crossbar per output port, screens the grant
+// vector with the Allocation Comparator (§4.3), and performs switch +
+// link traversal for the winners.
+func (r *Router) allocateSA(cycle uint64) {
+	grantedInput := [topology.NumPorts]bool{}
+	var grants []ac.Grant
+	var grantReqs []saRequest
+
+	for i := 0; i < int(topology.NumPorts); i++ {
+		p := topology.Port((r.outRR + i) % int(topology.NumPorts))
+		op := r.out[p]
+		if op == nil {
+			continue
+		}
+		if op.tx.HasReplay() {
+			// Retransmission has channel priority (§3.1).
+			op.tx.TickReplay(cycle)
+			continue
+		}
+		var winner *saRequest
+		n := r.inputVCCount()
+		for j := 0; j < n; j++ {
+			ivc := r.inputVCAt((op.saRR + j) % n)
+			if ivc == nil || !r.eligibleForSA(ivc, p, cycle) || grantedInput[ivc.port] {
+				continue
+			}
+			r.cfg.Events.SAAllocs++
+			req := saRequest{ivc: ivc}
+			if r.cfg.SAFault.Upset() {
+				r.cfg.Counters.AddInjected(fault.SALogic)
+				req.upset = true
+			}
+			if winner == nil {
+				w := req
+				winner = &w
+			} else if req.upset {
+				// A losing requester hit by an upset: the fault denied it
+				// nothing (it had already lost) — the benign case (a).
+				r.cfg.Counters.AddUndetected(fault.SALogic)
+			}
+			// Non-winning clean requesters simply retry next cycle.
+		}
+		if winner == nil {
+			continue
+		}
+		op.saRR++
+		if winner.upset && !winner.ivc.upsetWins(r) {
+			// Case (a) of §4.3: the upset suppressed the grant. The flit
+			// keeps requesting; one cycle lost, nothing to correct.
+			r.cfg.Counters.AddUndetected(fault.SALogic)
+			continue
+		}
+		grantedInput[winner.ivc.port] = true
+		grants = append(grants, ac.Grant{InPort: winner.ivc.port, InVC: winner.ivc.idx, OutPort: p})
+		grantReqs = append(grantReqs, *winner)
+	}
+	r.outRR++
+
+	// Inject grant-vector corruption for upset winners (cases b-d).
+	for i := range grants {
+		if grantReqs[i].upset {
+			grants[i] = r.corruptGrant(grants, i)
+		}
+	}
+
+	// Allocation Comparator screen (§4.3): cancel violating grants; the
+	// flits retry next cycle (one-cycle latency overhead) and, in the
+	// parallelised pipelines, neighbors are NACKed to ignore the squashed
+	// transmission.
+	keep := grants
+	if r.cfg.ACEnabled {
+		r.cfg.Events.ACChecks++
+		viol := ac.CheckSA(grants, int(topology.NumPorts), r.lookupBinding)
+		keep = keep[:0]
+		kept := make([]saRequest, 0, len(grantReqs))
+		for i, v := range viol {
+			if v == ac.None {
+				keep = append(keep, grants[i])
+				kept = append(kept, grantReqs[i])
+				continue
+			}
+			r.cfg.Counters.AddCorrected(fault.SALogic)
+			r.cfg.Events.NACKs++
+		}
+		grantReqs = kept
+	}
+
+	for i, g := range keep {
+		r.executeGrant(cycle, g, grantReqs[i].upset && !r.cfg.ACEnabled)
+	}
+}
+
+// upsetWins decides whether an SA upset on a winning request corrupts the
+// grant (cases b-d) rather than suppressing it (case a). Drawn from the
+// injector stream to stay deterministic.
+func (v *inputVC) upsetWins(r *Router) bool { return r.cfg.SAFault.Pick(4) != 0 }
+
+// corruptGrant damages grant i the way §4.3 describes: misdirection to a
+// wrong output (b), collision with another grant's output (c), or
+// multicast is approximated as misdirection of the duplicate (d).
+func (r *Router) corruptGrant(grants []ac.Grant, i int) ac.Grant {
+	g := grants[i]
+	switch r.cfg.SAFault.Pick(2) {
+	case 0: // wrong output port
+		shift := 1 + r.cfg.SAFault.Pick(int(topology.NumPorts)-1)
+		g.OutPort = topology.Port((int(g.OutPort) + shift) % int(topology.NumPorts))
+	default: // crossbar collision with another granted output
+		if len(grants) > 1 {
+			j := r.cfg.SAFault.Pick(len(grants) - 1)
+			if j >= i {
+				j++
+			}
+			g.OutPort = grants[j].OutPort
+		} else {
+			shift := 1 + r.cfg.SAFault.Pick(int(topology.NumPorts)-1)
+			g.OutPort = topology.Port((int(g.OutPort) + shift) % int(topology.NumPorts))
+		}
+	}
+	return g
+}
+
+// lookupBinding resolves the VA state entry for an input VC, for the
+// comparator's SA/VA agreement check.
+func (r *Router) lookupBinding(inPort topology.Port, inVC int) (ac.Binding, bool) {
+	if r.in[inPort] == nil || inVC >= len(r.in[inPort].vcs) {
+		return ac.Binding{}, false
+	}
+	ivc := r.in[inPort].vcs[inVC]
+	if ivc.state != vcActive {
+		return ac.Binding{}, false
+	}
+	return ac.Binding{InPort: inPort, InVC: inVC, OutPort: ivc.outPort, OutVC: ivc.outVC}, true
+}
+
+// eligibleForSA reports whether ivc may request output port p this cycle.
+func (r *Router) eligibleForSA(ivc *inputVC, p topology.Port, cycle uint64) bool {
+	if ivc.state != vcActive || ivc.outPort != p {
+		return false
+	}
+	if ivc.outVC < 0 || ivc.outVC >= r.cfg.VCs {
+		return false // scenario-1 VA corruption left the packet stranded
+	}
+	f, ok := ivc.front()
+	if !ok {
+		return false
+	}
+	if f.Type == flit.Head && cycle < ivc.earliestSA {
+		return false
+	}
+	return r.out[p].tx.Credits(ivc.outVC) > 0
+}
+
+// executeGrant pops the granted flit, traverses the crossbar, and puts it
+// on the wire. corruptedPath marks an uncaught SA corruption (AC-off
+// ablation): the flit goes to the corrupted grant's port if that is
+// physically possible, otherwise it is lost.
+func (r *Router) executeGrant(cycle uint64, g ac.Grant, corrupted bool) {
+	ivc := r.in[g.InPort].vcs[g.InVC]
+	f, fromBuf := ivc.popFront()
+	if fromBuf {
+		r.in[g.InPort].rx.ReturnCredit(g.InVC)
+	}
+	r.cfg.Events.BufReads++
+	r.cfg.Events.XbTraversals++
+	if r.cfg.XbarFault.Upset() {
+		// §4.4: a transient fault in the crossbar flips one datapath bit;
+		// the next hop's SEC/DED unit corrects it, so the upset is benign
+		// by construction.
+		r.cfg.Counters.AddInjected(fault.XbarError)
+		r.cfg.Counters.AddCorrected(fault.XbarError)
+		f.Word = ecc.FlipDataBit(f.Word, r.cfg.XbarFault.Pick(64))
+	}
+	ivc.lastProgress = cycle
+	ivc.probeOutstanding = false
+
+	op := r.out[g.OutPort]
+	vc := ivc.outVC
+	switch {
+	case op == nil || vc >= r.cfg.VCs:
+		// Uncaught corruption pointed nowhere usable: the flit is lost.
+		r.strayFlits++
+		r.cfg.Counters.AddUndetected(fault.SALogic)
+	case corrupted && op.tx.Credits(vc) <= 0:
+		r.strayFlits++
+		r.cfg.Counters.AddUndetected(fault.SALogic)
+	case op.tx.HasReplay():
+		// The corrupted grant targets a port busy replaying; flit lost.
+		r.strayFlits++
+		r.cfg.Counters.AddUndetected(fault.SALogic)
+	default:
+		op.tx.Send(f, vc, cycle)
+		if corrupted {
+			r.cfg.Counters.AddUndetected(fault.SALogic)
+		}
+	}
+
+	if f.Type == flit.Tail {
+		// Tail releases the wormhole (close the VA state entry and free
+		// the input VC for the next packet).
+		if ivc.outPort.Valid() && r.out[ivc.outPort] != nil && ivc.outVC < r.cfg.VCs {
+			r.out[ivc.outPort].vcs[ivc.outVC] = outputVC{}
+		}
+		ivc.reset(cycle)
+	}
+}
+
+// inputVCCount and inputVCAt flatten (port, vc) pairs for round-robin
+// iteration.
+func (r *Router) inputVCCount() int { return int(topology.NumPorts) * r.cfg.VCs }
+
+func (r *Router) inputVCAt(i int) *inputVC {
+	p := topology.Port(i / r.cfg.VCs)
+	if r.in[p] == nil {
+		return nil
+	}
+	return r.in[p].vcs[i%r.cfg.VCs]
+}
+
+// BufferOccupancy sums input VC buffer occupancy and capacity (the
+// transmission-buffer utilization metric of Fig. 8).
+func (r *Router) BufferOccupancy() (occupied, capacity int) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for _, ivc := range r.in[p].vcs {
+			occupied += ivc.buf.Len()
+			capacity += ivc.buf.Cap()
+		}
+	}
+	return occupied, capacity
+}
+
+// ShifterOccupancy sums retransmission-buffer occupancy and capacity (the
+// metric of Fig. 9). Flits parked during deadlock recovery conceptually
+// occupy the shifters (that is the resource-sharing point of §3.2), so
+// pending queues count as occupancy.
+func (r *Router) ShifterOccupancy() (occupied, capacity int) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.out[p] != nil {
+			o, c := r.out[p].tx.ShifterOccupancy()
+			occupied += o
+			capacity += c
+		}
+		if r.in[p] != nil {
+			for _, ivc := range r.in[p].vcs {
+				occupied += len(ivc.pending)
+			}
+		}
+	}
+	return occupied, capacity
+}
+
+// InRecovery reports whether the router is in deadlock-recovery mode.
+func (r *Router) InRecovery() bool { return r.inRecovery }
+
+// Recoveries returns how many times this router entered recovery mode.
+func (r *Router) Recoveries() uint64 { return r.recoveries }
+
+// ProbesSent returns how many suspicion probes this router originated.
+func (r *Router) ProbesSent() uint64 { return r.probesSent }
+
+// WormholeViolations returns how many flits were dropped due to corrupted
+// wormhole state (nonzero only with unprotected logic faults).
+func (r *Router) WormholeViolations() uint64 { return r.wormholeViolations }
+
+// StrayFlits returns how many flits were lost to uncaught misdirections.
+func (r *Router) StrayFlits() uint64 { return r.strayFlits }
+
+// DebugVCs renders a one-line summary of every non-idle input VC: state,
+// occupancy (buffer+pending), blocked time, and allocation. Test tooling.
+func (r *Router) DebugVCs(cycle uint64) string {
+	s := ""
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for _, ivc := range r.in[p].vcs {
+			if ivc.state == vcIdle && ivc.occupied() == 0 {
+				continue
+			}
+			st := "I"
+			switch ivc.state {
+			case vcVAWait:
+				st = "V"
+			case vcActive:
+				st = "A"
+			}
+			s += fmt.Sprintf("[%v%d %s occ%d pend%d blk%d ->%v/%d] ", p, ivc.idx, st, ivc.buf.Len(), len(ivc.pending), ivc.blockedFor(cycle), ivc.outPort, ivc.outVC)
+		}
+	}
+	return s
+}
+
+// CheckInvariants validates internal consistency: every busy output VC
+// must be owned by an active input VC bound back to it, and every active
+// input VC's binding must be marked busy. It returns a description of the
+// first violation, or "". Test tooling.
+func (r *Router) CheckInvariants() string {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		op := r.out[p]
+		if op == nil {
+			continue
+		}
+		for v := range op.vcs {
+			if !op.vcs[v].busy {
+				continue
+			}
+			own := op.vcs[v]
+			if r.in[own.inPort] == nil || own.inVC >= len(r.in[own.inPort].vcs) {
+				return fmt.Sprintf("router %d: out %v/%d owned by missing VC %v/%d", r.id, p, v, own.inPort, own.inVC)
+			}
+			ivc := r.in[own.inPort].vcs[own.inVC]
+			if ivc.state != vcActive || ivc.outPort != p || ivc.outVC != v {
+				return fmt.Sprintf("router %d: out %v/%d owner %v/%d in state %d bound to %v/%d (leak)",
+					r.id, p, v, own.inPort, own.inVC, ivc.state, ivc.outPort, ivc.outVC)
+			}
+		}
+	}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for _, ivc := range r.in[p].vcs {
+			if ivc.state != vcActive {
+				continue
+			}
+			if !ivc.outPort.Valid() || r.out[ivc.outPort] == nil || ivc.outVC < 0 || ivc.outVC >= r.cfg.VCs {
+				continue // deliberately stranded by an uncaught fault
+			}
+			ov := r.out[ivc.outPort].vcs[ivc.outVC]
+			if !ov.busy || ov.inPort != p || ov.inVC != ivc.idx {
+				return fmt.Sprintf("router %d: active VC %v/%d binding %v/%d not reserved for it (busy=%v owner=%v/%d)",
+					r.id, p, ivc.idx, ivc.outPort, ivc.outVC, ov.busy, ov.inPort, ov.inVC)
+			}
+		}
+	}
+	return ""
+}
+
+// DebugWants lists, for each VA-waiting VC, its legal candidates and
+// their output VC busy states. Test tooling.
+func (r *Router) DebugWants() string {
+	s := ""
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for _, ivc := range r.in[p].vcs {
+			if ivc.state != vcVAWait {
+				continue
+			}
+			s += fmt.Sprintf("[%v%d dst%d wants", p, ivc.idx, ivc.dst)
+			for _, c := range r.legalCandidates(ivc) {
+				busy := "?"
+				if r.out[c] != nil {
+					busy = ""
+					for v := range r.out[c].vcs {
+						if r.out[c].vcs[v].busy {
+							busy += "B"
+						} else {
+							busy += "-"
+						}
+					}
+				}
+				s += fmt.Sprintf(" %v:%s", c, busy)
+			}
+			s += "] "
+		}
+	}
+	return s
+}
+
+// FindPacket lists where a packet's flits currently reside in this
+// router: one entry per input VC holding them, with buffer/pending
+// occupancy split. Trace tooling; O(ports x VCs x depth).
+func (r *Router) FindPacket(pid flit.PacketID) []string {
+	var out []string
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for _, ivc := range r.in[p].vcs {
+			inBuf, inPend := 0, 0
+			for _, f := range ivc.buf.Snapshot() {
+				if f.PID == pid {
+					inBuf++
+				}
+			}
+			for _, f := range ivc.pending {
+				if f.PID == pid {
+					inPend++
+				}
+			}
+			if inBuf+inPend == 0 {
+				continue
+			}
+			loc := fmt.Sprintf("%v%d[buf:%d", p, ivc.idx, inBuf)
+			if inPend > 0 {
+				loc += fmt.Sprintf(" parked:%d", inPend)
+			}
+			loc += "]"
+			out = append(out, loc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package router
+
+import (
+	"testing"
+
+	"ftnoc/internal/fault"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/link"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/sim"
+	"ftnoc/internal/stats"
+	"ftnoc/internal/topology"
+)
+
+// pair wires two routers on a 2x1 mesh (node 0 west, node 1 east) with
+// manually driven PE endpoints, for white-box pipeline tests.
+type pair struct {
+	k   sim.Kernel
+	ev  stats.Events
+	ctr *fault.Counters
+	a   *Router // node 0
+	b   *Router // node 1
+
+	srcTx *link.Transmitter // test -> a.Local
+	dstRx *link.Receiver    // last router's Local -> test
+
+	// extra holds routers beyond a and b for wider grids (buildGrid).
+	extra []*Router
+
+	arrived   []flit.Flit
+	arrivedAt []uint64
+}
+
+func newPair(t *testing.T, depth int) *pair {
+	t.Helper()
+	return buildGrid(t, 2, 1, depth)
+}
+
+// buildGrid wires a w x h mesh of routers with PE endpoints everywhere;
+// the test drives node 0's local input and consumes the last node's
+// local output.
+func buildGrid(t *testing.T, w, h, depth int) *pair {
+	t.Helper()
+	p := &pair{ctr: fault.NewCounters()}
+	topo := topology.New(topology.Mesh, w, h)
+	route := routing.New(routing.XY, topo)
+	routers := make([]*Router, topo.Nodes())
+	for i := range routers {
+		routers[i] = New(Config{
+			ID: flit.NodeID(i), Topo: topo, Route: route,
+			VCs: 2, BufDepth: 4, PipelineDepth: depth,
+			Protection: link.HBH, ACEnabled: true, XYCheck: true,
+			RecoveryEnabled: true,
+			Events:          &p.ev, Counters: p.ctr,
+		})
+	}
+	p.a, p.b = routers[0], routers[1]
+	if len(routers) > 2 {
+		p.extra = routers[2:]
+	}
+
+	for _, l := range topo.Links() {
+		dst, _ := topo.Neighbor(l.From, l.Dir)
+		ch := link.NewChannel(&p.k, nil, false, &p.ev, p.ctr)
+		routers[l.From].AttachOutput(l.Dir, link.NewTransmitter(ch, 2, 4, link.NACKWindow, &p.ev, p.ctr))
+		routers[dst].AttachInput(l.Dir.Opposite(), link.NewReceiver(ch, 2, link.HBH, &p.ev, p.ctr))
+	}
+
+	mkLocal := func(r *Router) (*link.Transmitter, *link.Receiver) {
+		up := link.NewChannel(&p.k, nil, true, &p.ev, p.ctr)
+		upTx := link.NewTransmitter(up, 2, 4, link.NACKWindow, &p.ev, p.ctr)
+		r.AttachInput(topology.Local, link.NewReceiver(up, 2, link.HBH, &p.ev, p.ctr))
+		down := link.NewChannel(&p.k, nil, true, &p.ev, p.ctr)
+		r.AttachOutput(topology.Local, link.NewTransmitter(down, 2, 4, link.NACKWindow, &p.ev, p.ctr))
+		return upTx, link.NewReceiver(down, 2, link.HBH, &p.ev, p.ctr)
+	}
+	for i, r := range routers {
+		tx, rx := mkLocal(r)
+		if i == 0 {
+			p.srcTx = tx
+		}
+		if i == len(routers)-1 {
+			p.dstRx = rx
+		}
+	}
+	for _, r := range routers {
+		p.k.Register(r)
+	}
+	return p
+}
+
+// autoSink registers the default destination PE: consume every arrival
+// and return its credit immediately.
+func (p *pair) autoSink() {
+	p.k.Register(sim.ActorFunc(func(c uint64) {
+		data, _ := p.dstRx.ReceiveAll(c)
+		for _, f := range data {
+			p.dstRx.ReturnCredit(int(f.VC))
+			p.arrived = append(p.arrived, f)
+			p.arrivedAt = append(p.arrivedAt, c)
+		}
+	}))
+}
+
+// driveSource sends the flits on local VC 0 as credits permit.
+func (p *pair) driveSource(flits []flit.Flit) {
+	rest := flits
+	p.k.Register(sim.ActorFunc(func(c uint64) {
+		p.srcTx.BeginCycle(c)
+		p.srcTx.ExpireShifters(c)
+		if len(rest) > 0 && p.srcTx.Credits(0) > 0 {
+			p.srcTx.Send(rest[0], 0, c)
+			rest = rest[1:]
+		}
+	}))
+}
+
+func (p *pair) checkInvariants(t *testing.T) {
+	t.Helper()
+	rs := append([]*Router{p.a, p.b}, p.extra...)
+	for _, r := range rs {
+		if msg := r.CheckInvariants(); msg != "" {
+			t.Fatalf("invariant violated at cycle %d: %s", p.k.Cycle(), msg)
+		}
+	}
+}
+
+func TestSinglePacketTraversal(t *testing.T) {
+	p := newPair(t, 3)
+	p.autoSink()
+	pkt := flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 4}
+	p.driveSource(pkt.Flits())
+	for i := 0; i < 20; i++ {
+		p.k.Step()
+		p.checkInvariants(t)
+	}
+	if len(p.arrived) != 4 {
+		t.Fatalf("arrived %d flits, want 4", len(p.arrived))
+	}
+	for i, f := range p.arrived {
+		if int(f.Seq) != i {
+			t.Fatalf("out of order at %d: %v", i, f)
+		}
+	}
+	// Depth-3 pipeline: inject@0, a-ingest@1, VA@2, SA+send@3, b-ingest@4,
+	// VA@5, SA+eject@6, PE@7; body flits stream 1/cycle behind.
+	if p.arrivedAt[0] != 7 {
+		t.Fatalf("head arrived at %d, want 7", p.arrivedAt[0])
+	}
+	if p.arrivedAt[3] != 10 {
+		t.Fatalf("tail arrived at %d, want 10", p.arrivedAt[3])
+	}
+}
+
+func TestPipelineDepthHeadLatency(t *testing.T) {
+	want := map[int]uint64{1: 3, 2: 5, 3: 7, 4: 9}
+	for depth, at := range want {
+		p := newPair(t, depth)
+		p.autoSink()
+		p.driveSource(flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 2}.Flits())
+		for i := 0; i < 20; i++ {
+			p.k.Step()
+		}
+		if len(p.arrived) == 0 {
+			t.Fatalf("depth %d: nothing arrived", depth)
+		}
+		if p.arrivedAt[0] != at {
+			t.Errorf("depth %d: head at cycle %d, want %d", depth, p.arrivedAt[0], at)
+		}
+	}
+}
+
+// Two packets on the same source VC: the second's head must not enter
+// the pipeline until the first's tail released the wormhole, and both
+// must arrive intact and ordered.
+func TestWormholeExclusivity(t *testing.T) {
+	p := newPair(t, 3)
+	p.autoSink()
+	fs := flit.Packet{ID: 1, Src: 0, Dst: 1, Size: 3}.Flits()
+	fs = append(fs, flit.Packet{ID: 2, Src: 0, Dst: 1, Size: 3}.Flits()...)
+	p.driveSource(fs)
+	for i := 0; i < 30; i++ {
+		p.k.Step()
+		p.checkInvariants(t)
+	}
+	if len(p.arrived) != 6 {
+		t.Fatalf("arrived %d flits, want 6", len(p.arrived))
+	}
+	for i, f := range p.arrived {
+		wantPID := flit.PacketID(1 + i/3)
+		if f.PID != wantPID || int(f.Seq) != i%3 {
+			t.Fatalf("flit %d = %v, want packet %d seq %d", i, f, wantPID, i%3)
+		}
+	}
+}
+
+// Credit backpressure: with the sink withholding credits, the number of
+// flits absorbed by the network is bounded by the total buffering along
+// the path, and nothing is lost once the sink opens up.
+func TestCreditBackpressure(t *testing.T) {
+	p := newPair(t, 3)
+	// A sink that hoards credits until released.
+	hold := true
+	var held []int
+	p.k.Register(sim.ActorFunc(func(c uint64) {
+		data, _ := p.dstRx.ReceiveAll(c)
+		for _, f := range data {
+			p.arrived = append(p.arrived, f)
+			p.arrivedAt = append(p.arrivedAt, c)
+			if hold {
+				held = append(held, int(f.VC))
+				continue
+			}
+			p.dstRx.ReturnCredit(int(f.VC))
+		}
+	}))
+	var fs []flit.Flit
+	for pid := 1; pid <= 8; pid++ {
+		fs = append(fs, flit.Packet{ID: flit.PacketID(pid), Src: 0, Dst: 1, Size: 4}.Flits()...)
+	}
+	p.driveSource(fs)
+	p.k.Run(100)
+	// The sink accepted at most its buffer depth (4) before starving.
+	firstWave := len(p.arrived)
+	if firstWave > 8 {
+		t.Fatalf("sink absorbed %d flits with credits withheld; backpressure broken", firstWave)
+	}
+	hold = false
+	for _, vc := range held {
+		p.dstRx.ReturnCredit(vc)
+	}
+	p.k.Run(200)
+	if len(p.arrived) != 32 {
+		t.Fatalf("arrived %d flits after release, want 32", len(p.arrived))
+	}
+}
+
+// A VC allocator must round-robin among competing inputs rather than
+// starving one: two sources (a's Local and b->a traffic) compete for a's
+// East output... simplified here as two VCs of the same local port
+// competing for one output VC at depth 3.
+func TestVCCompetitionNoStarvation(t *testing.T) {
+	p := newPair(t, 3)
+	p.autoSink()
+	// Drive both local VCs with their own packet streams.
+	mkStream := func(vc int, base flit.PacketID) func(uint64) {
+		var queue []flit.Flit
+		next := base
+		return func(c uint64) {
+			if len(queue) == 0 {
+				queue = flit.Packet{ID: next, Src: 0, Dst: 1, Size: 2}.Flits()
+				next += 2
+			}
+			if p.srcTx.Credits(vc) > 0 && !p.srcTx.HasReplay() {
+				p.srcTx.Send(queue[0], vc, c)
+				queue = queue[1:]
+			}
+		}
+	}
+	s0 := mkStream(0, 1)
+	s1 := mkStream(1, 1000)
+	turn := false
+	p.k.Register(sim.ActorFunc(func(c uint64) {
+		p.srcTx.BeginCycle(c)
+		p.srcTx.ExpireShifters(c)
+		// Alternate which VC gets the local channel's single flit slot.
+		if turn {
+			s0(c)
+		} else {
+			s1(c)
+		}
+		turn = !turn
+	}))
+	p.k.Run(300)
+	var low, high int
+	for _, f := range p.arrived {
+		if f.PID < 1000 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("starvation: stream counts %d vs %d", low, high)
+	}
+	ratio := float64(low) / float64(high)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("unfair arbitration: %d vs %d", low, high)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	topo := topology.New(topology.Mesh, 2, 2)
+	route := routing.New(routing.XY, topo)
+	var ev stats.Events
+	ctr := fault.NewCounters()
+	good := Config{Topo: topo, Route: route, VCs: 2, BufDepth: 2, PipelineDepth: 3, Events: &ev, Counters: ctr}
+	New(good) // must not panic
+
+	bad := []func(*Config){
+		func(c *Config) { c.Topo = nil },
+		func(c *Config) { c.Route = nil },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.BufDepth = 0 },
+		func(c *Config) { c.PipelineDepth = 5 },
+		func(c *Config) { c.Events = nil },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestProbeEncodingRoundTrip(t *testing.T) {
+	m := probeMsg{Origin: 42, OriginPort: topology.West, OriginVC: 2, TargetVC: AnyVC, Hops: 17}
+	w, check := encodeProbe(m)
+	got := decodeProbe(w)
+	if got != m {
+		t.Fatalf("round trip %+v -> %+v", m, got)
+	}
+	f := probeFlit(flit.Probe, m)
+	if f.Type != flit.Probe || f.Word != w || f.Check != check {
+		t.Fatalf("probeFlit wrong: %+v", f)
+	}
+}
+
+func TestVAOffsetPerDepth(t *testing.T) {
+	want := map[int]uint64{1: 0, 2: 1, 3: 1, 4: 2}
+	for d, off := range want {
+		if got := vaOffset(d); got != off {
+			t.Errorf("vaOffset(%d) = %d, want %d", d, got, off)
+		}
+	}
+	if saAfterVA(2) || !saAfterVA(3) {
+		t.Error("saAfterVA boundaries wrong")
+	}
+}

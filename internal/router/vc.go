@@ -1,0 +1,150 @@
+package router
+
+import (
+	"ftnoc/internal/flit"
+	"ftnoc/internal/link"
+	"ftnoc/internal/topology"
+)
+
+// vcState is the input virtual channel's pipeline state.
+type vcState uint8
+
+const (
+	// vcIdle: no packet resident; a Head flit at the buffer front starts
+	// a new packet.
+	vcIdle vcState = iota
+	// vcVAWait: route computed, waiting for an output VC (the VA stage).
+	vcVAWait
+	// vcActive: output VC held; flits stream through SA/crossbar until
+	// the tail passes.
+	vcActive
+)
+
+// inputVC is one virtual channel of one input port: the FIFO
+// "transmission buffer", the packet's pipeline state, and the deadlock /
+// misroute recovery queue.
+type inputVC struct {
+	port topology.Port
+	idx  int
+	buf  *link.FIFO
+
+	state      vcState
+	dst        flit.NodeID
+	candidates []topology.Port
+	outPort    topology.Port
+	outVC      int
+
+	// Stage timing (§2.1): the earliest cycles VA/SA may serve the
+	// resident header, derived from pipeline depth.
+	earliestVA uint64
+	earliestSA uint64
+
+	// pending holds flits that already left the buffer but must be
+	// (re)sent before anything else from this VC: flits parked in the
+	// retransmission shifter during deadlock recovery (§3.2.1), or
+	// recalled after a misroute NACK (§4.2). Their buffer credits were
+	// returned when they left the buffer, so popping pending entries
+	// returns no upstream credit.
+	pending []flit.Flit
+
+	// lastProgress is the last cycle a flit left this VC (or it was
+	// empty); the blocked-time clock for deadlock detection (Rule 1).
+	lastProgress uint64
+	// probeOutstanding marks that this VC's suspicion probe is in flight.
+	probeOutstanding bool
+	// probeSentAt is when the last probe left, throttling re-probes.
+	probeSentAt uint64
+	// member marks the resident packet as part of a suspected deadlock
+	// configuration: the deadlock-detection probes traverse exactly the
+	// VCs of the cyclic dependency, so a VC a probe originated from or
+	// passed through is a member. Members may allocate output VCs toward
+	// recovering neighbors (their advance IS the recovery); non-members
+	// are the "new packets" §3.2.1 excludes. Cleared when the packet's
+	// tail leaves.
+	member bool
+}
+
+// front returns the next flit this VC must emit.
+func (v *inputVC) front() (flit.Flit, bool) {
+	if len(v.pending) > 0 {
+		return v.pending[0], true
+	}
+	return v.buf.Front()
+}
+
+// popFront removes the next flit. It reports whether the flit came from
+// the buffer (and therefore frees a credited slot) rather than from the
+// pending queue.
+func (v *inputVC) popFront() (flit.Flit, bool) {
+	if len(v.pending) > 0 {
+		f := v.pending[0]
+		v.pending = v.pending[1:]
+		return f, false
+	}
+	f, ok := v.buf.Pop()
+	if !ok {
+		panic("router: popFront on empty VC")
+	}
+	return f, true
+}
+
+// occupied returns the number of flits resident in this VC (buffer +
+// pending queue).
+func (v *inputVC) occupied() int { return v.buf.Len() + len(v.pending) }
+
+// blockedFor returns how many cycles this VC has gone without emitting a
+// flit while holding at least one.
+func (v *inputVC) blockedFor(cycle uint64) uint64 {
+	if v.state == vcIdle || v.occupied() == 0 {
+		return 0
+	}
+	if cycle < v.lastProgress {
+		return 0
+	}
+	return cycle - v.lastProgress
+}
+
+// reset returns the VC to idle between packets.
+func (v *inputVC) reset(cycle uint64) {
+	v.state = vcIdle
+	v.candidates = nil
+	v.outPort = 0
+	v.outVC = 0
+	v.probeOutstanding = false
+	v.member = false
+	v.lastProgress = cycle
+}
+
+// outputVC tracks one output virtual channel's wormhole reservation.
+type outputVC struct {
+	busy    bool
+	inPort  topology.Port
+	inVC    int
+	corrupt bool // AC-off ablation: binding damaged by an uncaught VA fault
+}
+
+// outputPort is the transmitter side of one physical channel.
+type outputPort struct {
+	port topology.Port
+	tx   *link.Transmitter
+	vcs  []outputVC
+	// saRR rotates switch-allocation priority across (inPort, inVC)
+	// requesters for fairness.
+	saRR int
+	// downstreamRecovering blocks new wormhole creation while the node at
+	// the far end runs deadlock recovery (§3.2.1).
+	downstreamRecovering bool
+}
+
+// freeVC returns the lowest-index free output VC at or after the rotor,
+// or -1.
+func (o *outputPort) freeVC(rotor int) int {
+	n := len(o.vcs)
+	for i := 0; i < n; i++ {
+		v := (rotor + i) % n
+		if !o.vcs[v].busy {
+			return v
+		}
+	}
+	return -1
+}

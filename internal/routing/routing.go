@@ -1,0 +1,228 @@
+// Package routing implements the routing functions evaluated in the
+// paper: deterministic dimension-order XY (the "DT" series of Figs. 8–9)
+// and minimal adaptive routing (the "AD" series), plus west-first and
+// odd-even turn-model algorithms as extensions. A routing function maps
+// (current node, destination) to the set of output ports a header flit may
+// legally request; the VC allocator arbitrates among the candidates.
+package routing
+
+import (
+	"fmt"
+
+	"ftnoc/internal/flit"
+	"ftnoc/internal/topology"
+)
+
+// Algorithm names a routing function.
+type Algorithm uint8
+
+// Supported algorithms.
+const (
+	// XY is deterministic dimension-order routing: exhaust the X offset,
+	// then the Y offset. Deadlock-free on a mesh. The paper's "DT".
+	XY Algorithm = iota + 1
+	// MinimalAdaptive returns every productive direction, giving maximal
+	// minimal-path adaptivity. Not deadlock-free by itself — which is the
+	// point: the paper's recovery scheme (§3.2), not avoidance, handles
+	// deadlock. The paper's "AD".
+	MinimalAdaptive
+	// WestFirst is a turn-model algorithm: all west hops are taken first,
+	// after which the packet may route adaptively among N/E/S. Deadlock-
+	// free on a mesh with bounded adaptivity.
+	WestFirst
+	// OddEven is the odd-even turn model (referenced by the paper as a
+	// fault-tolerant deterministic substrate [26]): it restricts where
+	// east-north/east-south and north-west/south-west turns may occur
+	// based on column parity.
+	OddEven
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case XY:
+		return "xy"
+	case MinimalAdaptive:
+		return "adaptive"
+	case WestFirst:
+		return "west-first"
+	case OddEven:
+		return "odd-even"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Adaptive reports whether the algorithm may return more than one
+// candidate port.
+func (a Algorithm) Adaptive() bool { return a != XY }
+
+// Func computes the legal output ports for a packet at cur heading for
+// dst. Implementations must return Local exactly when cur == dst, and must
+// never return a port without a physical link. Candidate order expresses
+// preference; the allocator tries earlier ports first.
+type Func interface {
+	Route(cur, dst flit.NodeID) []topology.Port
+	Algorithm() Algorithm
+}
+
+// New returns the routing function for algorithm a over topo.
+func New(a Algorithm, topo *topology.Topology) Func {
+	switch a {
+	case XY:
+		return xyFunc{topo}
+	case MinimalAdaptive:
+		return adaptiveFunc{topo}
+	case WestFirst:
+		return westFirstFunc{topo}
+	case OddEven:
+		return oddEvenFunc{topo}
+	default:
+		panic("routing: unknown algorithm")
+	}
+}
+
+// offsets returns the signed coordinate deltas from cur to dst, taking the
+// shortest way around in a torus.
+func offsets(t *topology.Topology, cur, dst flit.NodeID) (dx, dy int) {
+	cc, dc := t.CoordOf(cur), t.CoordOf(dst)
+	dx = dc.X - cc.X
+	dy = dc.Y - cc.Y
+	if t.Kind() == topology.Torus {
+		if dx > t.Width()/2 {
+			dx -= t.Width()
+		} else if dx < -t.Width()/2 {
+			dx += t.Width()
+		}
+		if dy > t.Height()/2 {
+			dy -= t.Height()
+		} else if dy < -t.Height()/2 {
+			dy += t.Height()
+		}
+	}
+	return dx, dy
+}
+
+type xyFunc struct{ t *topology.Topology }
+
+func (f xyFunc) Algorithm() Algorithm { return XY }
+
+func (f xyFunc) Route(cur, dst flit.NodeID) []topology.Port {
+	if cur == dst {
+		return []topology.Port{topology.Local}
+	}
+	dx, dy := offsets(f.t, cur, dst)
+	switch {
+	case dx > 0:
+		return []topology.Port{topology.East}
+	case dx < 0:
+		return []topology.Port{topology.West}
+	case dy > 0:
+		return []topology.Port{topology.South}
+	default:
+		return []topology.Port{topology.North}
+	}
+}
+
+type adaptiveFunc struct{ t *topology.Topology }
+
+func (f adaptiveFunc) Algorithm() Algorithm { return MinimalAdaptive }
+
+func (f adaptiveFunc) Route(cur, dst flit.NodeID) []topology.Port {
+	if cur == dst {
+		return []topology.Port{topology.Local}
+	}
+	dx, dy := offsets(f.t, cur, dst)
+	var ps []topology.Port
+	if dx > 0 {
+		ps = append(ps, topology.East)
+	} else if dx < 0 {
+		ps = append(ps, topology.West)
+	}
+	if dy > 0 {
+		ps = append(ps, topology.South)
+	} else if dy < 0 {
+		ps = append(ps, topology.North)
+	}
+	return ps
+}
+
+type westFirstFunc struct{ t *topology.Topology }
+
+func (f westFirstFunc) Algorithm() Algorithm { return WestFirst }
+
+func (f westFirstFunc) Route(cur, dst flit.NodeID) []topology.Port {
+	if cur == dst {
+		return []topology.Port{topology.Local}
+	}
+	dx, dy := offsets(f.t, cur, dst)
+	if dx < 0 {
+		// All westward movement first, no adaptivity.
+		return []topology.Port{topology.West}
+	}
+	var ps []topology.Port
+	if dx > 0 {
+		ps = append(ps, topology.East)
+	}
+	if dy > 0 {
+		ps = append(ps, topology.South)
+	} else if dy < 0 {
+		ps = append(ps, topology.North)
+	}
+	return ps
+}
+
+type oddEvenFunc struct{ t *topology.Topology }
+
+func (f oddEvenFunc) Algorithm() Algorithm { return OddEven }
+
+// Route implements the odd-even turn model (Chiu): in even columns a
+// packet may not turn from east to north/south; in odd columns it may not
+// turn from north/south to west. Restricting to minimal directions and
+// applying the column-parity rules yields the classic formulation below.
+func (f oddEvenFunc) Route(cur, dst flit.NodeID) []topology.Port {
+	if cur == dst {
+		return []topology.Port{topology.Local}
+	}
+	cc := f.t.CoordOf(cur)
+	dc := f.t.CoordOf(dst)
+	dx, dy := offsets(f.t, cur, dst)
+	var ps []topology.Port
+	if dx == 0 {
+		if dy > 0 {
+			ps = append(ps, topology.South)
+		} else {
+			ps = append(ps, topology.North)
+		}
+		return ps
+	}
+	if dx > 0 { // eastbound
+		if dy == 0 {
+			ps = append(ps, topology.East)
+			return ps
+		}
+		// EN/ES turns are forbidden in even columns, so only allow the
+		// vertical move when the current column is odd, or when the
+		// packet is one column west of the destination (last chance).
+		if cc.X%2 == 1 || cc.X == dc.X-1 {
+			if dy > 0 {
+				ps = append(ps, topology.South)
+			} else {
+				ps = append(ps, topology.North)
+			}
+		}
+		ps = append(ps, topology.East)
+		return ps
+	}
+	// westbound: NW/SW turns are forbidden in odd columns — take the
+	// vertical move only in even columns; West is always available.
+	if dy != 0 && cc.X%2 == 0 {
+		if dy > 0 {
+			ps = append(ps, topology.South)
+		} else {
+			ps = append(ps, topology.North)
+		}
+	}
+	ps = append(ps, topology.West)
+	return ps
+}

@@ -1,0 +1,99 @@
+package sim
+
+// Pipe is a latched delay line carrying values of type T with a fixed
+// latency in cycles. A value pushed during cycle c becomes poppable at the
+// start of cycle c+latency. Pipes are the only legal way for actors to
+// communicate, guaranteeing that intra-cycle evaluation order never leaks.
+//
+// A Pipe with latency 1 models a register stage; the paper's single-cycle
+// inter-router links, single-cycle NACK propagation, and single-cycle
+// error-check delay are all latency-1 pipes.
+type Pipe[T any] struct {
+	latency int
+	// slots[0] holds values visible now; slots[i] becomes visible after i
+	// more latches. Each slot may carry multiple values (e.g. a credit
+	// pipe aggregating several VCs); ordering within a slot is FIFO.
+	slots [][]T
+	// staged collects pushes made during the current cycle; latch moves
+	// them into slots[latency-1] after shifting.
+	staged []T
+}
+
+// NewPipe creates a delay line with the given latency (>= 1) and registers
+// it with the kernel for end-of-cycle latching.
+func NewPipe[T any](k *Kernel, latency int) *Pipe[T] {
+	if latency < 1 {
+		panic("sim: pipe latency must be >= 1")
+	}
+	p := &Pipe[T]{
+		latency: latency,
+		slots:   make([][]T, latency),
+	}
+	k.addLatch(p)
+	return p
+}
+
+// Latency returns the pipe's configured delay in cycles.
+func (p *Pipe[T]) Latency() int { return p.latency }
+
+// Push enqueues v for delivery latency cycles from now.
+func (p *Pipe[T]) Push(v T) {
+	p.staged = append(p.staged, v)
+}
+
+// Pop removes and returns the oldest value visible this cycle. ok is false
+// if no value is available.
+func (p *Pipe[T]) Pop() (v T, ok bool) {
+	head := p.slots[0]
+	if len(head) == 0 {
+		return v, false
+	}
+	v = head[0]
+	p.slots[0] = head[1:]
+	return v, true
+}
+
+// Peek returns the oldest visible value without removing it.
+func (p *Pipe[T]) Peek() (v T, ok bool) {
+	head := p.slots[0]
+	if len(head) == 0 {
+		return v, false
+	}
+	return head[0], true
+}
+
+// PopAll removes and returns every value visible this cycle.
+func (p *Pipe[T]) PopAll() []T {
+	head := p.slots[0]
+	p.slots[0] = nil
+	return head
+}
+
+// Empty reports whether no value is visible this cycle. Values still in
+// flight (pushed fewer than latency cycles ago) do not count.
+func (p *Pipe[T]) Empty() bool { return len(p.slots[0]) == 0 }
+
+// InFlight reports the total number of values buffered anywhere in the
+// pipe, including those not yet visible and any not yet latched.
+func (p *Pipe[T]) InFlight() int {
+	n := len(p.staged)
+	for _, s := range p.slots {
+		n += len(s)
+	}
+	return n
+}
+
+// latch advances the delay line by one cycle.
+func (p *Pipe[T]) latch() {
+	// Undelivered visible values remain visible (slot 0 accumulates), so a
+	// consumer that stalls does not lose data.
+	carry := p.slots[0]
+	copy(p.slots, p.slots[1:])
+	p.slots[p.latency-1] = p.staged
+	p.staged = nil
+	if len(carry) > 0 {
+		p.slots[0] = append(carry, p.slots[0]...)
+	}
+	// Note: for latency 1, slots[0] was overwritten with staged above and
+	// the carry is prepended, preserving FIFO order.
+}

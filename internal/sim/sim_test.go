@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn(10) value %d drawn %d times out of 100000; distribution badly skewed", v, c)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGBoolExtremes(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) hit rate %.4f, want ~0.25", frac)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		p := r.Perm(20)
+		seen := make(map[int]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("Perm(20) not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Split()
+	// Child stream must not replay the parent stream.
+	a, b := parent.Uint64(), child.Uint64()
+	if a == b {
+		t.Fatal("split child replayed parent draw")
+	}
+}
+
+func TestKernelCycleCount(t *testing.T) {
+	var k Kernel
+	k.Run(17)
+	if k.Cycle() != 17 {
+		t.Fatalf("Cycle() = %d, want 17", k.Cycle())
+	}
+}
+
+func TestKernelActorsTickEveryCycle(t *testing.T) {
+	var k Kernel
+	var got []uint64
+	k.Register(ActorFunc(func(c uint64) { got = append(got, c) }))
+	k.Run(5)
+	want := []uint64{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("actor ticked %d times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d saw cycle %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	var k Kernel
+	n := 0
+	k.Register(ActorFunc(func(uint64) { n++ }))
+	ok := k.RunUntil(func() bool { return n >= 3 }, 100)
+	if !ok {
+		t.Fatal("RunUntil did not reach condition")
+	}
+	if n != 3 {
+		t.Fatalf("ran %d cycles, want 3", n)
+	}
+	if ok := k.RunUntil(func() bool { return n >= 1000 }, 10); ok {
+		t.Fatal("RunUntil reported success past its limit")
+	}
+}
+
+func TestPipeLatencyOne(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 1)
+	p.Push(42)
+	if _, ok := p.Pop(); ok {
+		t.Fatal("value visible in the same cycle it was pushed")
+	}
+	k.Step()
+	v, ok := p.Pop()
+	if !ok || v != 42 {
+		t.Fatalf("after 1 cycle got (%d,%v), want (42,true)", v, ok)
+	}
+}
+
+func TestPipeLatencyThree(t *testing.T) {
+	var k Kernel
+	p := NewPipe[string](&k, 3)
+	p.Push("x")
+	for i := 0; i < 2; i++ {
+		k.Step()
+		if !p.Empty() {
+			t.Fatalf("value visible after %d cycles, want 3", i+1)
+		}
+	}
+	k.Step()
+	v, ok := p.Pop()
+	if !ok || v != "x" {
+		t.Fatalf("after 3 cycles got (%q,%v), want (x,true)", v, ok)
+	}
+}
+
+func TestPipeFIFOOrder(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 1)
+	p.Push(1)
+	p.Push(2)
+	k.Step()
+	p.Push(3)
+	a, _ := p.Pop()
+	k.Step()
+	b, _ := p.Pop()
+	c, _ := p.Pop()
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("got order %d,%d,%d, want 1,2,3", a, b, c)
+	}
+}
+
+func TestPipeStalledConsumerKeepsData(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 1)
+	p.Push(9)
+	k.Run(10) // consumer stalls for many cycles
+	v, ok := p.Pop()
+	if !ok || v != 9 {
+		t.Fatalf("stalled value lost: got (%d,%v)", v, ok)
+	}
+}
+
+func TestPipePopAll(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 1)
+	p.Push(1)
+	p.Push(2)
+	k.Step()
+	all := p.PopAll()
+	if len(all) != 2 || all[0] != 1 || all[1] != 2 {
+		t.Fatalf("PopAll = %v, want [1 2]", all)
+	}
+	if !p.Empty() {
+		t.Fatal("pipe not empty after PopAll")
+	}
+}
+
+func TestPipeInFlight(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 2)
+	p.Push(1)
+	if p.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1 (staged)", p.InFlight())
+	}
+	k.Step()
+	p.Push(2)
+	if p.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", p.InFlight())
+	}
+	k.Step()
+	k.Step()
+	if p.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2 (both visible, unconsumed)", p.InFlight())
+	}
+	p.PopAll()
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", p.InFlight())
+	}
+}
+
+func TestPipePanicsOnZeroLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPipe with latency 0 did not panic")
+		}
+	}()
+	var k Kernel
+	NewPipe[int](&k, 0)
+}
+
+// Property: any push sequence through a pipe preserves order and loses
+// nothing, regardless of latency and step pattern.
+func TestPipeLosslessProperty(t *testing.T) {
+	f := func(vals []uint8, latSeed uint8) bool {
+		lat := int(latSeed%4) + 1
+		var k Kernel
+		p := NewPipe[uint8](&k, lat)
+		for _, v := range vals {
+			p.Push(v)
+			k.Step()
+		}
+		k.Run(uint64(lat))
+		got := p.PopAll()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipePeek(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 1)
+	if _, ok := p.Peek(); ok {
+		t.Fatal("peek on empty pipe")
+	}
+	p.Push(7)
+	k.Step()
+	v, ok := p.Peek()
+	if !ok || v != 7 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	// Peek must not consume.
+	if v, ok := p.Pop(); !ok || v != 7 {
+		t.Fatalf("Pop after Peek = %d,%v", v, ok)
+	}
+}
+
+func TestPipeLatencyAccessor(t *testing.T) {
+	var k Kernel
+	if NewPipe[int](&k, 3).Latency() != 3 {
+		t.Fatal("Latency() wrong")
+	}
+}

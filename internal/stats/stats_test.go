@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyStats(t *testing.T) {
+	var s LatencyStats
+	if s.Mean() != 0 || s.Percentile(95) != 0 || s.Max() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	for _, v := range []uint64{10, 20, 30, 40, 50} {
+		s.Record(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Mean() != 30 {
+		t.Fatalf("Mean = %v, want 30", s.Mean())
+	}
+	if s.Max() != 50 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if p := s.Percentile(50); p != 30 {
+		t.Fatalf("P50 = %v, want 30", p)
+	}
+	if p := s.Percentile(100); p != 50 {
+		t.Fatalf("P100 = %v, want 50", p)
+	}
+	if p := s.Percentile(1); p != 10 {
+		t.Fatalf("P1 = %v, want 10", p)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var s LatencyStats
+	for _, v := range []uint64{1, 5, 11, 15, 99, 1000} {
+		s.Record(v)
+	}
+	h := s.Histogram(10, 5)
+	if h[0] != 2 || h[1] != 2 || h[4] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+// Property: mean lies within [min, max] and percentiles are monotone.
+func TestLatencyProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s LatencyStats
+		lo, hi := float64(raw[0]), float64(raw[0])
+		for _, v := range raw {
+			s.Record(uint64(v))
+			lo = math.Min(lo, float64(v))
+			hi = math.Max(hi, float64(v))
+		}
+		if s.Mean() < lo || s.Mean() > hi {
+			return false
+		}
+		prev := 0.0
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	if u.Mean() != 0 {
+		t.Fatal("empty utilization not 0")
+	}
+	u.Sample(1, 4)
+	u.Sample(3, 4)
+	if u.Mean() != 0.5 {
+		t.Fatalf("Mean = %v, want 0.5", u.Mean())
+	}
+	if u.Samples() != 2 {
+		t.Fatalf("Samples = %d", u.Samples())
+	}
+	u.Sample(5, 0) // zero capacity is ignored
+	if u.Samples() != 2 {
+		t.Fatal("zero-capacity sample counted")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{FlitsDelivered: 6400, MessagesDelivered: 1600, Cycles: 100, Nodes: 64}
+	if got := tp.FlitsPerNodePerCycle(); got != 1.0 {
+		t.Fatalf("throughput = %v, want 1.0", got)
+	}
+	if (Throughput{}).FlitsPerNodePerCycle() != 0 {
+		t.Fatal("empty throughput not 0")
+	}
+	if tp.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestEventsAdd(t *testing.T) {
+	a := Events{BufWrites: 1, LinkTraversals: 2, ACChecks: 3, RTComputes: 4}
+	b := Events{BufWrites: 10, Probes: 5, RTComputes: 1}
+	a.Add(b)
+	if a.BufWrites != 11 || a.LinkTraversals != 2 || a.Probes != 5 || a.RTComputes != 5 || a.ACChecks != 3 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}

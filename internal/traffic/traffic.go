@@ -1,0 +1,157 @@
+// Package traffic implements the paper's workload model (§2.2): every
+// node injects fixed-size messages at regular intervals set by the
+// injection rate (flits/node/cycle), with destinations drawn from one of
+// three spatial distributions — normal random (NR), bit-complement (BC)
+// and tornado (TN) — plus transpose, shuffle and hotspot as extensions.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ftnoc/internal/flit"
+	"ftnoc/internal/sim"
+	"ftnoc/internal/topology"
+)
+
+// Pattern selects the destination distribution.
+type Pattern uint8
+
+// Destination patterns. NR, BC and TN are the paper's three; the rest are
+// classic additions from the interconnection-network literature [19, 23].
+const (
+	// UniformRandom (NR): uniform over all nodes except the source.
+	UniformRandom Pattern = iota + 1
+	// BitComplement (BC): node i sends to ~i (within the address width).
+	BitComplement
+	// Tornado (TN): half-ring offset along the X dimension.
+	Tornado
+	// Transpose: (x, y) sends to (y, x); diagonal nodes stay silent.
+	Transpose
+	// Shuffle: address rotated left by one bit.
+	Shuffle
+	// Hotspot: uniform random, but a fixed fraction targets node 0.
+	Hotspot
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "NR"
+	case BitComplement:
+		return "BC"
+	case Tornado:
+		return "TN"
+	case Transpose:
+		return "TP"
+	case Shuffle:
+		return "SH"
+	case Hotspot:
+		return "HS"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// HotspotFraction is the share of Hotspot traffic aimed at the hot node.
+const HotspotFraction = 0.2
+
+// Source produces one node's injection process: a deterministic
+// rate-accumulator (the paper's "regular intervals"), phase-staggered per
+// node so injections do not synchronise across the chip.
+type Source struct {
+	node    flit.NodeID
+	topo    *topology.Topology
+	pattern Pattern
+	// perCycle is the packet injection probability-mass accumulated each
+	// cycle: rate / packetSize.
+	perCycle float64
+	acc      float64
+	rng      *sim.RNG
+}
+
+// NewSource creates the injection process for one node. rate is in
+// flits/node/cycle; packetSize converts it to packets.
+func NewSource(node flit.NodeID, topo *topology.Topology, pattern Pattern, rate float64, packetSize int, rng *sim.RNG) *Source {
+	if rate < 0 {
+		panic("traffic: negative injection rate")
+	}
+	if packetSize < 1 {
+		panic("traffic: packet size must be >= 1")
+	}
+	return &Source{
+		node:     node,
+		topo:     topo,
+		pattern:  pattern,
+		perCycle: rate / float64(packetSize),
+		acc:      rng.Float64(), // random phase
+		rng:      rng,
+	}
+}
+
+// Tick advances one cycle and reports whether a packet should be injected
+// now, and to which destination. ok is false on non-injection cycles and
+// for pattern fixed points (e.g. transpose diagonals).
+func (s *Source) Tick() (dst flit.NodeID, ok bool) {
+	s.acc += s.perCycle
+	if s.acc < 1 {
+		return 0, false
+	}
+	s.acc--
+	d := s.dest()
+	if d == s.node {
+		return 0, false
+	}
+	return d, true
+}
+
+// dest draws a destination per the configured pattern.
+func (s *Source) dest() flit.NodeID {
+	n := s.topo.Nodes()
+	switch s.pattern {
+	case UniformRandom:
+		d := flit.NodeID(s.rng.Intn(n - 1))
+		if d >= s.node {
+			d++
+		}
+		return d
+	case BitComplement:
+		if n&(n-1) == 0 {
+			mask := flit.NodeID(n - 1)
+			return ^s.node & mask
+		}
+		return flit.NodeID(n-1) - s.node
+	case Tornado:
+		c := s.topo.CoordOf(s.node)
+		w := s.topo.Width()
+		c.X = (c.X + (w+1)/2 - 1) % w
+		return s.topo.IDOf(c)
+	case Transpose:
+		c := s.topo.CoordOf(s.node)
+		c.X, c.Y = c.Y, c.X
+		if c.X >= s.topo.Width() || c.Y >= s.topo.Height() {
+			return s.node // non-square grid: out-of-range transposes stay home
+		}
+		return s.topo.IDOf(c)
+	case Shuffle:
+		if n&(n-1) == 0 {
+			width := bits.Len(uint(n - 1))
+			v := uint(s.node)
+			v = (v<<1 | v>>(width-1)) & uint(n-1)
+			return flit.NodeID(v)
+		}
+		return flit.NodeID((int(s.node) * 2) % n)
+	case Hotspot:
+		if s.rng.Bool(HotspotFraction) {
+			return 0
+		}
+		d := flit.NodeID(s.rng.Intn(n - 1))
+		if d >= s.node {
+			d++
+		}
+		return d
+	default:
+		panic("traffic: unknown pattern")
+	}
+}

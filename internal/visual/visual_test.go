@@ -1,0 +1,86 @@
+package visual
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapDimensions(t *testing.T) {
+	s := Heatmap(4, 3, 1, "test", func(x, y int) float64 { return float64(x) / 4 })
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title + 3 rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), s)
+	}
+	for _, row := range lines[1:] {
+		if len([]rune(row)) != 8 { // 4 cells, glyph+space each
+			t.Fatalf("row %q has wrong width", row)
+		}
+	}
+}
+
+func TestHeatmapExtremes(t *testing.T) {
+	s := Heatmap(2, 1, 1, "x", func(x, y int) float64 {
+		if x == 0 {
+			return 0
+		}
+		return 1
+	})
+	row := strings.Split(s, "\n")[1]
+	cells := []rune(row)
+	if cells[0] != '.' {
+		t.Fatalf("zero cell = %q, want '.'", cells[0])
+	}
+	if cells[2] != '█' {
+		t.Fatalf("full cell = %q, want full shade", cells[2])
+	}
+}
+
+func TestHeatmapAutoScale(t *testing.T) {
+	s := Heatmap(2, 1, 0, "x", func(x, y int) float64 { return float64(x) * 5 })
+	if !strings.Contains(s, "=5") {
+		t.Fatalf("auto-scale legend missing: %s", s)
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if Heatmap(0, 3, 1, "x", nil) != "" {
+		t.Fatal("zero-width heatmap not empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := BarChart("t", 10, []string{"aa", "b"}, []float64{10, 5})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####") || strings.Contains(lines[2], "######") {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+}
+
+func TestBarChartMismatched(t *testing.T) {
+	if BarChart("t", 10, []string{"a"}, []float64{1, 2}) != "" {
+		t.Fatal("mismatched inputs not rejected")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1})
+	r := []rune(s)
+	if len(r) != 3 {
+		t.Fatalf("length %d", len(r))
+	}
+	if r[0] != '▁' || r[2] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input not empty")
+	}
+	if Sparkline([]float64{0, 0}) == "" {
+		t.Fatal("all-zero series should still render")
+	}
+}
