@@ -100,10 +100,40 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkNetworkCycle measures raw simulation speed: wall time per
 // simulated cycle of the paper's 8x8 platform at its 0.25 operating
 // point.
+//
+// Compare against BenchmarkNetworkCycleBusAttached: the delta is the
+// cost of structured tracing. With no sink attached (this benchmark) the
+// event bus must be free — publishers guard every emission with the
+// inlinable Bus.Enabled(), so the disabled path performs no event
+// construction and no allocation. The ns/cycle here must match the
+// pre-observability baseline within noise.
 func BenchmarkNetworkCycle(b *testing.B) {
 	cfg := ftnoc.NewConfig()
 	net := ftnoc.New(cfg)
 	k := net.Kernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// nullSink counts events without retaining them: the cheapest possible
+// consumer, isolating the bus's own fan-out cost.
+type nullSink struct{ n uint64 }
+
+func (s *nullSink) Emit(ftnoc.TraceEvent) { s.n++ }
+
+// BenchmarkNetworkCycleBusAttached is the traced counterpart of
+// BenchmarkNetworkCycle: identical platform with a minimal sink
+// attached, so every guard turns true and every event is built and
+// delivered.
+func BenchmarkNetworkCycleBusAttached(b *testing.B) {
+	cfg := ftnoc.NewConfig()
+	cfg.TraceSink = &nullSink{}
+	net := ftnoc.New(cfg)
+	k := net.Kernel()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k.Step()

@@ -9,6 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 
 	"ftnoc"
@@ -41,7 +45,13 @@ func main() {
 	seed := flag.Uint64("seed", cfg.Seed, "simulation seed")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's 300k-message runs")
 	heatmap := flag.Bool("heatmap", false, "print a per-router buffer-utilization floorplan")
-	tracePID := flag.Uint64("trace", 0, "record and print the journey of the packet with this ID")
+	tracePIDs := flag.String("trace", "", "comma-separated packet IDs whose journeys to record and print")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event file (open in Perfetto / chrome://tracing)")
+	eventsOut := flag.String("events-out", "", "stream structured events to an NDJSON file")
+	metricsOut := flag.String("metrics-out", "", "stream sampled per-router metrics to an NDJSON file")
+	metricsEvery := flag.Uint64("metrics-every", 100, "metrics sampling interval in cycles")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	configPath := flag.String("config", "", "load the configuration from a JSON file (other config flags are ignored)")
 	saveConfig := flag.String("save-config", "", "write the effective configuration to a JSON file and exit")
 	flag.Parse()
@@ -68,11 +78,12 @@ func main() {
 	if *paperScale {
 		cfg = cfg.PaperScale()
 	}
-	if *tracePID != 0 {
-		cfg.TracePIDs = []uint64{*tracePID}
+	pids, err := parsePIDs(*tracePIDs)
+	if err != nil {
+		fatal(err)
 	}
+	cfg.TracePIDs = pids
 
-	var err error
 	if cfg.Pattern, err = parsePattern(*pattern); err != nil {
 		fatal(err)
 	}
@@ -108,7 +119,76 @@ func main() {
 		return
 	}
 
+	// Observability sinks: Chrome trace, NDJSON event stream, metrics.
+	var closers []func() error
+	var sinks []ftnoc.TraceSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		ct := ftnoc.NewChromeTrace(f)
+		ct.ProcessName = func(node int) string {
+			return fmt.Sprintf("router %d (%d,%d)", node, node%cfg.Width, node/cfg.Width)
+		}
+		ct.ThreadName = func(port int) string {
+			return fmt.Sprintf("port %v", ftnoc.Port(port))
+		}
+		sinks = append(sinks, ct)
+		closers = append(closers, ct.Close, f.Close)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		nd := ftnoc.NewNDJSONTrace(f)
+		sinks = append(sinks, nd)
+		closers = append(closers, nd.Close, f.Close)
+	}
+	cfg.TraceSink = ftnoc.TeeTrace(sinks...)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		m := ftnoc.NewMetrics(f, *metricsEvery)
+		cfg.Metrics = m
+		closers = append(closers, m.Close, f.Close)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	res := ftnoc.Run(cfg)
+
+	for _, c := range closers {
+		if err := c(); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("platform:       %dx%d %v, %d VCs/PC, %d-flit buffers, %d-stage routers\n",
 		cfg.Width, cfg.Height, cfg.TopologyKind, cfg.VCs, cfg.BufDepth, cfg.PipelineDepth)
@@ -142,9 +222,14 @@ func main() {
 		}
 		fmt.Printf("latency dist:   %s (10-cycle bins from 0)\n", visual.Sparkline(vals))
 	}
-	for pid, lines := range res.Traces {
+	tracedPIDs := make([]uint64, 0, len(res.Traces))
+	for pid := range res.Traces {
+		tracedPIDs = append(tracedPIDs, pid)
+	}
+	sort.Slice(tracedPIDs, func(i, j int) bool { return tracedPIDs[i] < tracedPIDs[j] })
+	for _, pid := range tracedPIDs {
 		fmt.Printf("\ntrace of packet %d:\n", pid)
-		for _, l := range lines {
+		for _, l := range res.Traces[pid] {
 			fmt.Println(" ", l)
 		}
 	}
@@ -154,6 +239,28 @@ func main() {
 			"per-router transmission-buffer utilization",
 			func(x, y int) float64 { return res.RouterTxUtil[y*cfg.Width+x] }))
 	}
+}
+
+// parsePIDs parses the -trace flag: a comma-separated packet ID list.
+// Empty (the default) disables journey tracing; "0" is a valid packet ID
+// list entry no longer conflated with "disabled".
+func parsePIDs(s string) ([]uint64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var pids []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pid, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -trace packet ID %q: %v", part, err)
+		}
+		pids = append(pids, pid)
+	}
+	return pids, nil
 }
 
 func parsePattern(s string) (ftnoc.Pattern, error) {

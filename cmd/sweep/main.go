@@ -9,6 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ftnoc"
 )
@@ -25,7 +28,22 @@ func main() {
 	linkErr := flag.Float64("link-errors", 0, "link error rate")
 	messages := flag.Uint64("messages", 4000, "messages per point (incl. warm-up)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	cfg.Width, cfg.Height = *width, *height
 	cfg.VCs = *vcs
@@ -50,4 +68,27 @@ func main() {
 			rate, res.Throughput.FlitsPerNodePerCycle(), res.AvgLatency, res.P95Latency,
 			ftnoc.EnergyPerMessageNJ(res))
 	}
+}
+
+// writeMemProfile snapshots the heap to path (no-op when empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -33,6 +33,7 @@ import (
 	"ftnoc/internal/power"
 	"ftnoc/internal/routing"
 	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
 	"ftnoc/internal/traffic"
 )
 
@@ -121,6 +122,50 @@ const (
 // want to step the kernel manually or inspect routers mid-run; most
 // callers should use Run.
 type Network = network.Network
+
+// Observability. The simulator publishes typed microarchitectural events
+// (flit lifecycle, NACKs, retransmissions, ECC corrections, AC
+// mismatches, deadlock probes and recovery episodes, fault accounting)
+// to a structured event bus; attach a sink via Config.TraceSink to
+// consume them, and a Metrics registry via Config.Metrics for sampled
+// per-router gauges. See package internal/trace for the event taxonomy.
+
+// TraceEvent is one structured observability record.
+type TraceEvent = trace.Event
+
+// TraceKind classifies a TraceEvent.
+type TraceKind = trace.Kind
+
+// TraceSink consumes structured events (Config.TraceSink).
+type TraceSink = trace.Sink
+
+// Metrics is the sampled time-series registry (Config.Metrics).
+type Metrics = trace.Metrics
+
+// NewNDJSONTrace returns a sink streaming events to w as NDJSON, one
+// fixed-field-order JSON object per line. Close it to flush.
+func NewNDJSONTrace(w io.Writer) *trace.NDJSON { return trace.NewNDJSON(w) }
+
+// NewChromeTrace returns a sink writing the Chrome trace_event format
+// (load into Perfetto / chrome://tracing): one "process" per router, one
+// "thread" per port. Close it to terminate the JSON.
+func NewChromeTrace(w io.Writer) *trace.ChromeTrace { return trace.NewChromeTrace(w) }
+
+// NewMetrics returns a registry that samples its gauges every interval
+// cycles, streaming NDJSON rows to w. Close it to flush.
+func NewMetrics(w io.Writer, interval uint64) *Metrics { return trace.NewMetrics(w, interval) }
+
+// TeeTrace fans one event stream into several sinks.
+func TeeTrace(sinks ...TraceSink) TraceSink { return trace.Tee(sinks...) }
+
+// FilterTracePIDs wraps a sink, passing only events about the given
+// packet IDs.
+func FilterTracePIDs(s TraceSink, pids []uint64) TraceSink { return trace.FilterPIDs(s, pids) }
+
+// FilterTraceKinds wraps a sink, passing only events of the given kinds.
+func FilterTraceKinds(s TraceSink, kinds ...TraceKind) TraceSink {
+	return trace.FilterKinds(s, kinds...)
+}
 
 // ReadConfig parses a JSON configuration (as written by Config.WriteJSON);
 // absent fields keep NewConfig defaults.

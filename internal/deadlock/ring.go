@@ -3,6 +3,8 @@ package deadlock
 import (
 	"fmt"
 	"strings"
+
+	"ftnoc/internal/trace"
 )
 
 // RingFlit is one flit in the ring model, identified the way Fig. 10
@@ -56,6 +58,13 @@ type Ring struct {
 	// instead of buffering it: the packet that breaks the deadlock by
 	// leaving the cyclic dependency.
 	Exit int
+	// Bus, when non-nil and enabled, receives structured events for every
+	// ring action using the same taxonomy as the full simulator: parking
+	// is FlitParked, transmission is FlitDequeued + FlitBuffered (or
+	// FlitEjected through the exit), recovery onset is RecoveryBegin.
+	// Cycle is the step count; Node the ring index; PID encodes the
+	// packet letter.
+	Bus *trace.Bus
 
 	step      int
 	recovery  bool
@@ -92,7 +101,25 @@ func (r *Ring) StepCount() int { return r.step }
 
 // StartRecovery switches every node into deadlock-recovery mode: the
 // initial lateral move of step 2 in Fig. 10 happens on the next Step.
-func (r *Ring) StartRecovery() { r.recovery = true }
+func (r *Ring) StartRecovery() {
+	r.recovery = true
+	if r.Bus.Enabled() {
+		r.Bus.Emit(trace.Event{
+			Cycle: uint64(r.step), Kind: trace.RecoveryBegin, Node: -1, Port: -1, VC: -1,
+		})
+	}
+}
+
+// emit publishes one ring event (kind, node, flit) if a bus is attached.
+func (r *Ring) emit(k trace.Kind, node int, f RingFlit, aux uint64) {
+	if !r.Bus.Enabled() {
+		return
+	}
+	r.Bus.Emit(trace.Event{
+		Cycle: uint64(r.step), Kind: k, Node: int32(node), Port: -1, VC: -1,
+		Seq: uint8(f.Seq), PID: uint64(f.Packet), Aux: aux,
+	})
+}
 
 // Blocked reports whether no flit can move: every transmission buffer is
 // full and no parked flit has downstream space.
@@ -164,16 +191,20 @@ func (r *Ring) Step() {
 			// A transmitted parked flit moves to the back of the shifter
 			// as a sent copy (Fig. 10 steps 3-5).
 			node.sent = append(node.sent, sentCopy{f: mv.f, sent: r.step})
+			r.emit(trace.FlitDequeued, mv.from, mv.f, 0)
 		} else {
 			node.Trans = node.Trans[1:]
 			node.sent = append(node.sent, sentCopy{f: mv.f, sent: r.step})
+			r.emit(trace.FlitDequeued, mv.from, mv.f, trace.DequeuedFromBuffer)
 		}
 		dst := (mv.from + 1) % n
 		if dst == r.Exit {
 			r.delivered++
+			r.emit(trace.FlitEjected, dst, mv.f, 0)
 			continue
 		}
 		r.Nodes[dst].Trans = append(r.Nodes[dst].Trans, mv.f)
+		r.emit(trace.FlitBuffered, dst, mv.f, 0)
 	}
 
 	// Phase 3: recovery parking into free shifter slots.
@@ -186,10 +217,11 @@ func (r *Ring) Step() {
 			continue // this node can always transmit; no need to park
 		}
 		for len(node.Trans) > 0 && node.shifterUsed() < node.R {
-			node.Parked = append(node.Parked, node.Trans[0])
+			f := node.Trans[0]
+			node.Parked = append(node.Parked, f)
 			node.Trans = node.Trans[1:]
+			r.emit(trace.FlitParked, i, f, 0)
 		}
-		_ = i
 	}
 }
 

@@ -238,6 +238,20 @@ func (li *LogicInjector) Pick(n int) int {
 	return li.rng.Intn(n)
 }
 
+// CounterOp distinguishes the three accounting outcomes an Observer can
+// be notified of.
+type CounterOp uint8
+
+// Counter operations.
+const (
+	// OpInjected: an upset was actually injected.
+	OpInjected CounterOp = iota + 1
+	// OpCorrected: a protection mechanism repaired an error.
+	OpCorrected
+	// OpUndetected: an upset escaped every mechanism.
+	OpUndetected
+)
+
 // Counters tallies fault-handling activity for the statistics pipeline.
 // The "corrected errors" series of Fig. 13(a) is the sum, per class, of
 // errors the corresponding protection mechanism repaired.
@@ -259,6 +273,13 @@ type Counters struct {
 	// DroppedFlits counts flits discarded at receivers during the HBH
 	// drop window.
 	DroppedFlits uint64
+
+	// Observer, when non-nil, is invoked synchronously on every
+	// class-accounting call. The network uses it to republish fault
+	// accounting onto the structured event bus with cycle context; it
+	// must not mutate simulation state. Excluded from JSON so Results
+	// containing Counters still serialise.
+	Observer func(op CounterOp, cl Class) `json:"-"`
 }
 
 // NewCounters returns an empty counter set.
@@ -271,10 +292,25 @@ func NewCounters() *Counters {
 }
 
 // AddInjected records an injected upset.
-func (c *Counters) AddInjected(cl Class) { c.Injected[cl]++ }
+func (c *Counters) AddInjected(cl Class) {
+	c.Injected[cl]++
+	if c.Observer != nil {
+		c.Observer(OpInjected, cl)
+	}
+}
 
 // AddCorrected records a repaired error.
-func (c *Counters) AddCorrected(cl Class) { c.Corrected[cl]++ }
+func (c *Counters) AddCorrected(cl Class) {
+	c.Corrected[cl]++
+	if c.Observer != nil {
+		c.Observer(OpCorrected, cl)
+	}
+}
 
 // AddUndetected records an upset that escaped protection.
-func (c *Counters) AddUndetected(cl Class) { c.Undetected[cl]++ }
+func (c *Counters) AddUndetected(cl Class) {
+	c.Undetected[cl]++
+	if c.Observer != nil {
+		c.Observer(OpUndetected, cl)
+	}
+}

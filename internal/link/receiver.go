@@ -5,6 +5,7 @@ import (
 	"ftnoc/internal/fault"
 	"ftnoc/internal/flit"
 	"ftnoc/internal/stats"
+	"ftnoc/internal/trace"
 )
 
 // dropWindow is how many cycles after an uncorrectable error the receiver
@@ -23,6 +24,27 @@ type Receiver struct {
 	dropUntil  []uint64
 	events     *stats.Events
 	counters   *fault.Counters
+
+	// Event-bus identity (set by SetTrace; bus may be nil).
+	bus       *trace.Bus
+	traceNode int32
+	tracePort int8
+}
+
+// SetTrace attaches the structured event bus and this receiver's
+// (node, port) identity for event attribution.
+func (r *Receiver) SetTrace(bus *trace.Bus, node int32, port int8) {
+	r.bus, r.traceNode, r.tracePort = bus, node, port
+}
+
+// emitECCCorrected publishes a single-bit correction event.
+func (r *Receiver) emitECCCorrected(cycle uint64, vc int8, pid uint64, seq uint8) {
+	if r.bus.Enabled() {
+		r.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.ECCCorrected,
+			Node: r.traceNode, Port: r.tracePort, VC: vc, PID: pid, Seq: seq,
+		})
+	}
 }
 
 // NewReceiver creates the receiving side of a channel with vcs virtual
@@ -72,6 +94,7 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (data flit.Flit, ok boo
 		case ecc.Corrected:
 			r.events.ECCCorrections++
 			r.counters.AddCorrected(fault.LinkError)
+			r.emitECCCorrected(cycle, -1, 0, 0)
 		}
 		f.Word, f.Check = word, check
 		return flit.Flit{}, false, &f
@@ -114,6 +137,7 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (data flit.Flit, ok boo
 		}
 		r.events.ECCCorrections++
 		r.counters.AddCorrected(fault.LinkError)
+		r.emitECCCorrected(cycle, int8(vc), uint64(f.PID), f.Seq)
 		f.Word, f.Check = word, check
 		return f, true, nil
 	default: // ecc.Detected
@@ -136,6 +160,17 @@ func (r *Receiver) nack(vc int, cycle uint64) {
 	r.ch.SendCredit(uint8(vc))
 	r.ch.SendNACK(uint8(vc), NACKLinkError)
 	r.dropUntil[vc] = cycle + dropWindow
+	r.emitNACK(cycle, vc, NACKLinkError)
+}
+
+// emitNACK publishes a NACK handshake event.
+func (r *Receiver) emitNACK(cycle uint64, vc int, kind NACKKind) {
+	if r.bus.Enabled() {
+		r.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.NACKSent,
+			Node: r.traceNode, Port: r.tracePort, VC: int8(vc), Aux: uint64(kind),
+		})
+	}
 }
 
 // decode applies SEC/DED to a flit and returns the (possibly corrected)
@@ -161,4 +196,5 @@ func (r *Receiver) ForceDrop(vc int, cycle uint64, kind NACKKind) {
 	r.ch.SendCredit(uint8(vc))
 	r.ch.SendNACK(uint8(vc), kind)
 	r.dropUntil[vc] = cycle + dropWindow
+	r.emitNACK(cycle, vc, kind)
 }

@@ -6,6 +6,7 @@ import (
 	"ftnoc/internal/flit"
 	"ftnoc/internal/sim"
 	"ftnoc/internal/stats"
+	"ftnoc/internal/trace"
 )
 
 // Transmitter is the sending side of Fig. 3 for one output port: per-VC
@@ -25,6 +26,17 @@ type Transmitter struct {
 	rbRate      float64
 	rbDuplicate bool
 	rbRNG       *sim.RNG
+
+	// Event-bus identity (set by SetTrace; bus may be nil).
+	bus       *trace.Bus
+	traceNode int32
+	tracePort int8
+}
+
+// SetTrace attaches the structured event bus and this transmitter's
+// (node, port) identity for event attribution.
+func (t *Transmitter) SetTrace(bus *trace.Bus, node int32, port int8) {
+	t.bus, t.traceNode, t.tracePort = bus, node, port
 }
 
 // SetRetransBufFaults enables soft errors inside the retransmission
@@ -124,6 +136,13 @@ func (t *Transmitter) TickReplay(cycle uint64) bool {
 	t.sendOnWire(f, cycle)
 	t.events.Retransmitted++
 	t.counters.Retransmissions++
+	if t.bus.Enabled() {
+		t.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.Retransmit,
+			Node: t.traceNode, Port: t.tracePort, VC: int8(vc),
+			PID: uint64(f.PID), Seq: f.Seq,
+		})
+	}
 	return true
 }
 

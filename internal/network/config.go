@@ -10,6 +10,7 @@ import (
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
 	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
 	"ftnoc/internal/traffic"
 )
 
@@ -61,8 +62,21 @@ type Config struct {
 	// TracePIDs lists packet IDs whose journey through the network should
 	// be recorded (one line per location change); the traces appear in
 	// Results.Traces. Packet IDs are allocated sequentially from 1 in
-	// injection order, deterministically per seed.
+	// injection order, deterministically per seed. Implemented as a
+	// consumer of the structured event bus.
 	TracePIDs []uint64
+
+	// TraceSink, when non-nil, receives every structured event the
+	// simulation publishes (see package trace for the taxonomy). Wrap it
+	// with trace.FilterPIDs/FilterKinds to subscribe selectively, or
+	// trace.Tee to fan out. Excluded from JSON: sinks are not data.
+	TraceSink trace.Sink `json:"-"`
+
+	// Metrics, when non-nil, is the time-series registry the network
+	// populates with per-router gauges (VC occupancy, retransmission
+	// buffer depth, credit stalls) and samples every Metrics.Interval()
+	// cycles. Excluded from JSON for the same reason as TraceSink.
+	Metrics *trace.Metrics `json:"-"`
 
 	// Measurement.
 	WarmupMessages uint64

@@ -1,0 +1,145 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
+)
+
+// journeyTracker is the event-bus consumer behind Config.TracePIDs: it
+// folds flit-movement events into per-packet buffer-residency counts and
+// renders, at each cycle boundary, the same human-readable location
+// signature the original polling tracer produced — byte for byte.
+//
+// The count model mirrors what Router.FindPacket used to observe: a flit
+// is visible while it sits in an input-VC buffer (buf) or in that VC's
+// recovery parking list (parked). Everything else — wires, shifters,
+// PE queues — is "in flight".
+type journeyTracker struct {
+	pids map[uint64]*journeyState
+}
+
+// journeyKey identifies one input VC of one router.
+type journeyKey struct {
+	node int32
+	port int8
+	vc   int8
+}
+
+type journeyCount struct{ buf, parked int }
+
+type journeyState struct {
+	counts map[journeyKey]journeyCount
+	last   string
+	lines  []string
+}
+
+func newJourneyTracker(pids []uint64) *journeyTracker {
+	t := &journeyTracker{pids: make(map[uint64]*journeyState, len(pids))}
+	for _, pid := range pids {
+		if _, dup := t.pids[pid]; dup {
+			continue
+		}
+		t.pids[pid] = &journeyState{counts: make(map[journeyKey]journeyCount)}
+	}
+	return t
+}
+
+// Emit implements trace.Sink, folding one flit-movement event into the
+// residency counts. Non-movement kinds and untraced packets are ignored.
+func (t *journeyTracker) Emit(e trace.Event) {
+	var dBuf, dParked int
+	switch e.Kind {
+	case trace.FlitBuffered:
+		dBuf = 1
+	case trace.FlitDequeued:
+		if e.Aux&trace.DequeuedFromBuffer != 0 {
+			dBuf = -1
+		} else {
+			dParked = -1
+		}
+	case trace.FlitParked:
+		dBuf, dParked = -1, 1
+	case trace.FlitRecalled:
+		dParked = 1
+	default:
+		return
+	}
+	s, ok := t.pids[e.PID]
+	if !ok {
+		return
+	}
+	k := journeyKey{node: e.Node, port: e.Port, vc: e.VC}
+	c := s.counts[k]
+	c.buf += dBuf
+	c.parked += dParked
+	if c.buf == 0 && c.parked == 0 {
+		delete(s.counts, k)
+	} else {
+		s.counts[k] = c
+	}
+}
+
+// endCycle renders each traced packet's location signature for the cycle
+// that just completed and appends a trace line when it changed.
+func (t *journeyTracker) endCycle(cycle uint64) {
+	for _, s := range t.pids {
+		sig := s.signature()
+		if sig == s.last {
+			continue
+		}
+		s.last = sig
+		if sig == "" {
+			sig = "(in flight / source / delivered)"
+		}
+		s.lines = append(s.lines, fmt.Sprintf("cycle %d: %s", cycle, sig))
+	}
+}
+
+// signature renders the occupied input VCs in (router, port, VC) order,
+// matching the original router-by-router poll.
+func (s *journeyState) signature() string {
+	if len(s.counts) == 0 {
+		return ""
+	}
+	keys := make([]journeyKey, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.port != b.port {
+			return a.port < b.port
+		}
+		return a.vc < b.vc
+	})
+	locs := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c := s.counts[k]
+		loc := fmt.Sprintf("router%d/%v%d[buf:%d", k.node, topology.Port(k.port), k.vc, c.buf)
+		if c.parked > 0 {
+			loc += fmt.Sprintf(" parked:%d", c.parked)
+		}
+		loc += "]"
+		locs = append(locs, loc)
+	}
+	return strings.Join(locs, " ")
+}
+
+// export converts the recorded journeys to the public Results form: only
+// packets that produced at least one line appear.
+func (t *journeyTracker) export() map[uint64][]string {
+	out := make(map[uint64][]string, len(t.pids))
+	for pid, s := range t.pids {
+		if len(s.lines) > 0 {
+			out[pid] = s.lines
+		}
+	}
+	return out
+}

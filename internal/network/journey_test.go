@@ -1,0 +1,57 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ftnoc/internal/flit"
+	"ftnoc/internal/routing"
+)
+
+// legacySignature polls the routers the way the removed sampler did.
+func legacySignature(n *Network, pid uint64) string {
+	var locs []string
+	for i, r := range n.routers {
+		for _, l := range r.FindPacket(flit.PacketID(pid)) {
+			locs = append(locs, fmt.Sprintf("router%d/%s", i, l))
+		}
+	}
+	return strings.Join(locs, " ")
+}
+
+// The journey tracker's event-folded counts must agree with a direct
+// poll of the router state at every single cycle — including under
+// heavy link errors and deadlock recovery, where flits are parked,
+// replayed and recalled. This is the live invariant behind the golden
+// test.
+func TestJourneyMatchesFindPacketEveryCycle(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WarmupMessages = 0
+	cfg.TotalMessages = 400
+	cfg.Routing = routing.MinimalAdaptive
+	cfg.VCs = 2
+	cfg.InjectionRate = 0.5
+	cfg.Faults.Link = 5e-3
+	cfg.Cthres = 32
+	cfg.Seed = 13
+	pids := make([]uint64, 0, 120)
+	for pid := uint64(1); pid <= 120; pid++ {
+		pids = append(pids, pid)
+	}
+	cfg.TracePIDs = pids
+
+	n := New(cfg)
+	for cycle := 0; cycle < 3_000; cycle++ {
+		n.kernel.Step()
+		n.journey.endCycle(n.kernel.Cycle())
+		for _, pid := range pids {
+			want := legacySignature(n, pid)
+			got := n.journey.pids[pid].signature()
+			if got != want {
+				t.Fatalf("cycle %d pid %d:\n  journey: %q\n  poll:    %q",
+					n.kernel.Cycle(), pid, got, want)
+			}
+		}
+	}
+}

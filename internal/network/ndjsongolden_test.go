@@ -1,0 +1,69 @@
+package network
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftnoc/internal/trace"
+)
+
+// ndjsonGoldenConfig is a small run with link errors, so the event
+// stream includes the retransmission and ECC paths, bounded tightly
+// enough to keep the golden file reviewable.
+func ndjsonGoldenConfig() Config {
+	cfg := smallConfig()
+	cfg.WarmupMessages = 0
+	cfg.TotalMessages = 12
+	cfg.InjectLimit = 12
+	cfg.Faults.Link = 1e-2
+	cfg.Seed = 11
+	return cfg
+}
+
+// captureNDJSON runs the config with an NDJSON sink attached and returns
+// the raw stream.
+func captureNDJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := trace.NewNDJSON(&buf)
+	cfg.TraceSink = sink
+	res := New(cfg).Run()
+	if res.Stalled {
+		t.Fatal("stalled")
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The NDJSON event stream must be a deterministic function of the
+// configuration and seed: two identical runs produce identical bytes,
+// and the bytes match the checked-in golden file.
+func TestNDJSONGoldenDeterminism(t *testing.T) {
+	got := captureNDJSON(t, ndjsonGoldenConfig())
+	again := captureNDJSON(t, ndjsonGoldenConfig())
+	if !bytes.Equal(got, again) {
+		t.Fatal("two identical runs produced different NDJSON streams")
+	}
+
+	path := filepath.Join("testdata", "events_golden.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("NDJSON stream diverged from golden (len got %d, want %d)", len(got), len(want))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ftnoc/internal/sim"
 	"ftnoc/internal/stats"
 	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
 	"ftnoc/internal/traffic"
 )
 
@@ -40,9 +41,9 @@ type Network struct {
 	warmupEvents stats.Events
 	warmupCycle  uint64
 
-	// Packet-journey tracing.
-	traceLast map[flit.PacketID]string
-	traces    map[flit.PacketID][]string
+	// Structured event bus and its built-in consumers.
+	bus     trace.Bus
+	journey *journeyTracker
 
 	// Failure-mode tallies.
 	corruptedPackets uint64
@@ -71,6 +72,36 @@ func New(cfg Config) *Network {
 	route := routing.New(cfg.Routing, n.topo)
 	xyCheck := !cfg.Routing.Adaptive()
 
+	// Observability: attach the packet-journey tracker and any caller
+	// sink before construction, so routers capture a bus that is already
+	// final. With no sinks the bus stays disabled and costs nothing.
+	if len(cfg.TracePIDs) > 0 {
+		n.journey = newJourneyTracker(cfg.TracePIDs)
+		n.bus.Attach(n.journey)
+	}
+	n.bus.Attach(cfg.TraceSink)
+	if n.bus.Enabled() {
+		// Republish fault accounting as structured events, stamped with
+		// the live cycle (the counters themselves are cycle-blind).
+		n.counters.Observer = func(op fault.CounterOp, cl fault.Class) {
+			var k trace.Kind
+			switch op {
+			case fault.OpInjected:
+				k = trace.FaultInjected
+			case fault.OpCorrected:
+				k = trace.FaultCorrected
+			case fault.OpUndetected:
+				k = trace.FaultUndetected
+			default:
+				return
+			}
+			n.bus.Emit(trace.Event{
+				Cycle: n.kernel.Cycle(), Kind: k,
+				Node: -1, Port: -1, VC: -1, Aux: uint64(cl),
+			})
+		}
+	}
+
 	nodes := n.topo.Nodes()
 	n.routers = make([]*router.Router, nodes)
 	n.pes = make([]*pe, nodes)
@@ -91,6 +122,7 @@ func New(cfg Config) *Network {
 			Cthres:          cfg.Cthres,
 			Events:          &n.events,
 			Counters:        n.counters,
+			Bus:             &n.bus,
 		}
 		if cfg.Faults.RT > 0 {
 			rc.RTFault = fault.NewLogicInjector(fault.RTLogic, cfg.Faults.RT, logicRNG.Split())
@@ -124,6 +156,8 @@ func New(cfg Config) *Network {
 			tx.SetRetransBufFaults(cfg.Faults.RetransBuf, cfg.DuplicateRetrans, linkRNG.Split())
 		}
 		rx := link.NewReceiver(ch, cfg.VCs, cfg.Protection, &n.events, n.counters)
+		tx.SetTrace(&n.bus, int32(l.From), int8(l.Dir))
+		rx.SetTrace(&n.bus, int32(dst), int8(l.Dir.Opposite()))
 		n.routers[l.From].AttachOutput(l.Dir, tx)
 		n.routers[dst].AttachInput(l.Dir.Opposite(), rx)
 	}
@@ -136,11 +170,15 @@ func New(cfg Config) *Network {
 		up := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
 		upTx := link.NewTransmitter(up, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
 		upRx := link.NewReceiver(up, cfg.VCs, cfg.Protection, &n.events, n.counters)
+		upTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
+		upRx.SetTrace(&n.bus, int32(i), int8(topology.Local))
 		n.routers[i].AttachInput(topology.Local, upRx)
 		// Router -> PE.
 		down := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
 		downTx := link.NewTransmitter(down, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
 		downRx := link.NewReceiver(down, cfg.VCs, cfg.Protection, &n.events, n.counters)
+		downTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
+		downRx.SetTrace(&n.bus, int32(i), int8(topology.Local))
 		n.routers[i].AttachOutput(topology.Local, downTx)
 
 		src := traffic.NewSource(id, n.topo, cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, trafficRNG.Split())
@@ -151,36 +189,36 @@ func New(cfg Config) *Network {
 		n.kernel.Register(n.routers[i])
 		n.kernel.Register(sim.ActorFunc(n.pes[i].Tick))
 	}
-	if len(cfg.TracePIDs) > 0 {
-		n.traceLast = make(map[flit.PacketID]string, len(cfg.TracePIDs))
-		n.traces = make(map[flit.PacketID][]string, len(cfg.TracePIDs))
-		for _, pid := range cfg.TracePIDs {
-			n.traceLast[flit.PacketID(pid)] = ""
+
+	// Metrics registry: per-router gauges, sampled by Run.
+	if cfg.Metrics != nil {
+		for i := range n.routers {
+			r := n.routers[i]
+			cfg.Metrics.Register(i, "vc-occupancy", func() float64 {
+				return occupancyFraction(r.BufferOccupancy())
+			})
+			cfg.Metrics.Register(i, "retrans-occupancy", func() float64 {
+				return occupancyFraction(r.ShifterOccupancy())
+			})
+			cfg.Metrics.Register(i, "credit-stalls", func() float64 {
+				return float64(r.CreditStalls())
+			})
 		}
 	}
 	return n
 }
 
-// samplePacketTraces records location changes for every traced packet.
-func (n *Network) samplePacketTraces() {
-	for pid := range n.traceLast {
-		var locs []string
-		for i, r := range n.routers {
-			for _, l := range r.FindPacket(pid) {
-				locs = append(locs, fmt.Sprintf("router%d/%s", i, l))
-			}
-		}
-		sig := strings.Join(locs, " ")
-		if sig == n.traceLast[pid] {
-			continue
-		}
-		n.traceLast[pid] = sig
-		if sig == "" {
-			sig = "(in flight / source / delivered)"
-		}
-		n.traces[pid] = append(n.traces[pid], fmt.Sprintf("cycle %d: %s", n.kernel.Cycle(), sig))
+// occupancyFraction turns an (occupied, capacity) pair into [0,1].
+func occupancyFraction(occupied, capacity int) float64 {
+	if capacity == 0 {
+		return 0
 	}
+	return float64(occupied) / float64(capacity)
 }
+
+// Bus exposes the network's structured event bus, letting embedding
+// harnesses attach additional sinks before Run.
+func (n *Network) Bus() *trace.Bus { return &n.bus }
 
 // Topology returns the network's topology (for tooling).
 func (n *Network) Topology() *topology.Topology { return n.topo }
@@ -235,8 +273,11 @@ func (n *Network) Run() Results {
 		if n.measuring {
 			n.sampleUtilization()
 		}
-		if n.traceLast != nil {
-			n.samplePacketTraces()
+		if n.journey != nil {
+			n.journey.endCycle(n.kernel.Cycle())
+		}
+		if n.cfg.Metrics != nil {
+			n.cfg.Metrics.Tick(n.kernel.Cycle())
 		}
 	}
 	return n.results(stalled)
@@ -326,7 +367,7 @@ func (n *Network) results(stalled bool) Results {
 		E2ENACKs:           n.e2eNACKs,
 		E2ERetransmits:     n.e2eRetransmits,
 		E2EBufMax:          n.e2eBufMax,
-		Traces:             n.exportTraces(),
+		Traces:             n.tracesForResults(),
 		Stalled:            stalled,
 		Throughput: stats.Throughput{
 			FlitsDelivered:    measuredMsgs * uint64(n.cfg.PacketSize),
@@ -423,16 +464,13 @@ type Results struct {
 	Stalled bool
 }
 
-// exportTraces converts the internal trace map to the public form.
-func (n *Network) exportTraces() map[uint64][]string {
-	if n.traces == nil {
+// tracesForResults exports the journey tracker's recorded lines (nil
+// when tracing was not configured).
+func (n *Network) tracesForResults() map[uint64][]string {
+	if n.journey == nil {
 		return nil
 	}
-	out := make(map[uint64][]string, len(n.traces))
-	for pid, lines := range n.traces {
-		out[uint64(pid)] = lines
-	}
-	return out
+	return n.journey.export()
 }
 
 // String summarises the run for human consumption.

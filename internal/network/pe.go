@@ -4,6 +4,7 @@ import (
 	"ftnoc/internal/ecc"
 	"ftnoc/internal/flit"
 	"ftnoc/internal/link"
+	"ftnoc/internal/trace"
 	"ftnoc/internal/traffic"
 )
 
@@ -103,13 +104,21 @@ func (p *pe) generate(cycle uint64) {
 		return
 	}
 	p.net.injected++
+	pid := p.net.nextPID()
 	p.queue = append(p.queue, flit.Packet{
-		ID:         p.net.nextPID(),
+		ID:         pid,
 		Src:        p.id,
 		Dst:        dst,
 		Size:       p.net.cfg.PacketSize,
 		InjectedAt: cycle,
 	})
+	if p.net.bus.Enabled() {
+		p.net.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitInjected,
+			Node: int32(p.id), Port: -1, VC: -1,
+			PID: uint64(pid), Aux: uint64(dst),
+		})
+	}
 }
 
 // assign moves the next packet (priority control first, then the data
@@ -235,6 +244,13 @@ func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
 			p.sendRetransRequest(cycle, src, pid)
 		}
 		return
+	}
+	if p.net.bus.Enabled() {
+		p.net.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitEjected,
+			Node: int32(p.id), Port: -1, VC: int8(vc),
+			PID: uint64(pid), Aux: uint64(src),
+		})
 	}
 	p.net.recordDelivery(cycle, born)
 }

@@ -12,6 +12,7 @@ import (
 	"ftnoc/internal/routing"
 	"ftnoc/internal/stats"
 	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
 )
 
 // DefaultCthres is the default blocked-cycle threshold before a router
@@ -63,6 +64,10 @@ type Config struct {
 	// Events and Counters are the shared accounting sinks (required).
 	Events   *stats.Events
 	Counters *fault.Counters
+
+	// Bus is the structured event bus this router publishes to. Nil (or
+	// a bus with no sinks) disables publishing at zero cost.
+	Bus *trace.Bus
 }
 
 func (c *Config) validate() {

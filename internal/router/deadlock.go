@@ -4,6 +4,7 @@ import (
 	"ftnoc/internal/flit"
 	"ftnoc/internal/link"
 	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
 )
 
 // exitHysteresis is how many consecutive all-clear cycles a node must
@@ -44,7 +45,7 @@ func (r *Router) deadlock(cycle uint64) {
 		if ivc.probeSentAt != 0 && cycle-ivc.probeSentAt < reprobeInterval {
 			continue
 		}
-		if r.sendSignal(flit.Probe, ivc, probeMsg{
+		if r.sendSignal(cycle, flit.Probe, ivc, probeMsg{
 			Origin:     r.id,
 			OriginPort: ivc.port,
 			OriginVC:   uint8(ivc.idx),
@@ -67,7 +68,7 @@ func (r *Router) deadlock(cycle uint64) {
 // sendSignal emits a probe or activation along the blocked packet's next
 // hop, filling in the target VC at the receiving node. It reports whether
 // a usable next hop existed.
-func (r *Router) sendSignal(t flit.Type, ivc *inputVC, m probeMsg) bool {
+func (r *Router) sendSignal(cycle uint64, t flit.Type, ivc *inputVC, m probeMsg) bool {
 	var port topology.Port
 	switch ivc.state {
 	case vcActive:
@@ -87,6 +88,16 @@ func (r *Router) sendSignal(t flit.Type, ivc *inputVC, m probeMsg) bool {
 		return false
 	}
 	r.out[port].tx.SendControl(probeFlit(t, m))
+	if r.cfg.Bus.Enabled() {
+		aux := trace.AuxProbe
+		if t == flit.Activation {
+			aux = trace.AuxActivation
+		}
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.ProbeSent,
+			Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx), Aux: aux,
+		})
+	}
 	return true
 }
 
@@ -100,7 +111,7 @@ func (r *Router) handleControl(cycle uint64, p topology.Port, f flit.Flit) {
 	switch f.Type {
 	case flit.Probe:
 		if m.Origin == r.id {
-			r.ownProbeReturned(m)
+			r.ownProbeReturned(cycle, m)
 			return
 		}
 		// Rule 2: remember the probe (for Rule 3) and forward it if the
@@ -111,7 +122,7 @@ func (r *Router) handleControl(cycle uint64, p topology.Port, f flit.Flit) {
 		if m.Origin == r.id {
 			// Our activation completed the loop: switch to recovery mode
 			// (the sender switches after the activation returns).
-			r.enterRecovery()
+			r.enterRecovery(cycle)
 			return
 		}
 		// Rule 3: only honor activations whose probe we forwarded.
@@ -119,7 +130,7 @@ func (r *Router) handleControl(cycle uint64, p topology.Port, f flit.Flit) {
 			return
 		}
 		// Rule 4: switch to recovery mode and pass the activation on.
-		r.enterRecovery()
+		r.enterRecovery(cycle)
 		r.forwardSignal(cycle, p, flit.Activation, m)
 	}
 }
@@ -128,7 +139,7 @@ func (r *Router) handleControl(cycle uint64, p topology.Port, f flit.Flit) {
 // origin: the suspected flit is confirmed deadlocked, so an activation is
 // dispatched along the same path — unless recovery is already under way
 // (Rule 4: discard our own probe).
-func (r *Router) ownProbeReturned(m probeMsg) {
+func (r *Router) ownProbeReturned(cycle uint64, m probeMsg) {
 	if r.in[m.OriginPort] == nil || int(m.OriginVC) >= r.cfg.VCs {
 		return
 	}
@@ -143,7 +154,7 @@ func (r *Router) ownProbeReturned(m probeMsg) {
 	if r.inRecovery {
 		return // Rule 4: recovery already active; discard our own probe
 	}
-	r.sendSignal(flit.Activation, ivc, probeMsg{
+	r.sendSignal(cycle, flit.Activation, ivc, probeMsg{
 		Origin:     r.id,
 		OriginPort: m.OriginPort,
 		OriginVC:   m.OriginVC,
@@ -186,19 +197,24 @@ func (r *Router) forwardSignal(cycle uint64, p topology.Port, t flit.Type, m pro
 	}
 	ivc.member = true // the suspicion chain runs through this packet
 	m.Hops++
-	r.sendSignal(t, ivc, m)
+	r.sendSignal(cycle, t, ivc, m)
 }
 
 // enterRecovery switches the node into deadlock-recovery mode (§3.2.1)
 // and tells every upstream neighbor to stop opening new wormholes onto
 // this node's buffers.
-func (r *Router) enterRecovery() {
+func (r *Router) enterRecovery(cycle uint64) {
 	if r.inRecovery {
 		return
 	}
 	r.inRecovery = true
 	r.recoveries++
 	r.signalRecovery(link.NACKRecoveryOn)
+	if r.cfg.Bus.Enabled() {
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.RecoveryBegin, Node: int32(r.id), Port: -1, VC: -1,
+		})
+	}
 }
 
 // signalRecovery raises or lowers the recovery handshake on every
@@ -252,6 +268,13 @@ func (r *Router) recoveryStep(cycle uint64) {
 				r.in[ivc.port].rx.ReturnCredit(ivc.idx)
 				r.cfg.Events.BufReads++
 				r.cfg.Events.RetransWrites++
+				if r.cfg.Bus.Enabled() {
+					r.cfg.Bus.Emit(trace.Event{
+						Cycle: cycle, Kind: trace.FlitParked,
+						Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
+						PID: uint64(f.PID), Seq: f.Seq,
+					})
+				}
 			}
 		}
 		if len(ivc.pending) > 0 && ivc.state == vcActive && starved {
@@ -270,6 +293,11 @@ func (r *Router) recoveryStep(cycle uint64) {
 		r.doneStreak = 0
 		r.inRecovery = false
 		r.signalRecovery(link.NACKRecoveryOff)
+		if r.cfg.Bus.Enabled() {
+			r.cfg.Bus.Emit(trace.Event{
+				Cycle: cycle, Kind: trace.RecoveryEnd, Node: int32(r.id), Port: -1, VC: -1,
+			})
+		}
 		// Blocked clocks are NOT reset: a still-starved VC is still a
 		// deadlock member and must keep its standing (both for prompt
 		// re-probing and for the new-packet gate above). Probe timers

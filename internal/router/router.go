@@ -9,6 +9,7 @@ import (
 	"ftnoc/internal/flit"
 	"ftnoc/internal/link"
 	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
 )
 
 // probeSeenWindow is how long a node remembers having forwarded a probe
@@ -43,6 +44,7 @@ type Router struct {
 	probesSent         uint64
 	wormholeViolations uint64
 	strayFlits         uint64
+	creditStalls       uint64
 }
 
 type inPort struct {
@@ -132,8 +134,17 @@ func (r *Router) recoverMisroute(p topology.Port, ov int, cycle uint64) {
 	recalled := op.tx.Recall(ov)
 	op.vcs[ov] = outputVC{}
 	ivc.pending = append(recalled, ivc.pending...)
+	if r.cfg.Bus.Enabled() {
+		for _, f := range recalled {
+			r.cfg.Bus.Emit(trace.Event{
+				Cycle: cycle, Kind: trace.FlitRecalled,
+				Node: int32(r.id), Port: int8(owner.inPort), VC: int8(owner.inVC),
+				PID: uint64(f.PID), Seq: f.Seq,
+			})
+		}
+	}
 	ivc.state = vcVAWait
-	ivc.candidates = r.computeRoute(ivc)
+	ivc.candidates = r.computeRoute(cycle, ivc)
 	ivc.earliestVA = cycle + 1 // the re-routing process (§4.2)
 	r.cfg.Counters.AddCorrected(fault.RTLogic)
 }
@@ -191,6 +202,13 @@ func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
 	}
 	ivc.buf.Push(f)
 	r.cfg.Events.BufWrites++
+	if r.cfg.Bus.Enabled() {
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitBuffered,
+			Node: int32(r.id), Port: int8(ip.port), VC: int8(vc),
+			PID: uint64(f.PID), Seq: f.Seq,
+		})
+	}
 }
 
 // advance starts the pipeline for newly headed packets: an idle VC with a
@@ -213,15 +231,27 @@ func (r *Router) advance(cycle uint64) {
 			if f.Type != flit.Head {
 				// Stray flit with no wormhole: only possible when an
 				// unprotected fault broke packet framing. Drop it.
-				if _, fromBuf := ivc.popFront(); fromBuf {
+				dropped, fromBuf := ivc.popFront()
+				if fromBuf {
 					ip.rx.ReturnCredit(ivc.idx)
 				}
 				r.strayFlits++
 				r.wormholeViolations++
+				if r.cfg.Bus.Enabled() {
+					aux := trace.DequeuedStray
+					if fromBuf {
+						aux |= trace.DequeuedFromBuffer
+					}
+					r.cfg.Bus.Emit(trace.Event{
+						Cycle: cycle, Kind: trace.FlitDequeued,
+						Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
+						PID: uint64(dropped.PID), Seq: dropped.Seq, Aux: aux,
+					})
+				}
 				continue
 			}
 			ivc.dst = flit.DecodeHeader(f.Word).Dst
-			ivc.candidates = r.computeRoute(ivc)
+			ivc.candidates = r.computeRoute(cycle, ivc)
 			ivc.state = vcVAWait
 			ivc.earliestVA = cycle + vaOffset(r.cfg.PipelineDepth)
 		}
@@ -231,12 +261,24 @@ func (r *Router) advance(cycle uint64) {
 // computeRoute runs the routing function for the packet resident in ivc,
 // with RT-logic fault injection (§4.2: a transient fault misdirects the
 // packet by replacing the candidate set).
-func (r *Router) computeRoute(ivc *inputVC) []topology.Port {
+func (r *Router) computeRoute(cycle uint64, ivc *inputVC) []topology.Port {
 	r.cfg.Events.RTComputes++
 	cands := r.cfg.Route.Route(r.id, ivc.dst)
 	if r.cfg.RTFault.Upset() {
 		r.cfg.Counters.AddInjected(fault.RTLogic)
 		cands = []topology.Port{topology.Port(r.cfg.RTFault.Pick(int(topology.NumPorts)))}
+	}
+	if r.cfg.Bus.Enabled() {
+		var pid uint64
+		var seq uint8
+		if f, ok := ivc.front(); ok {
+			pid, seq = uint64(f.PID), f.Seq
+		}
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.RouteComputed,
+			Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
+			PID: pid, Seq: seq,
+		})
 	}
 	return cands
 }
@@ -311,7 +353,7 @@ func (r *Router) allocateVA(cycle uint64) {
 			// impossible: the VA state info has caught a misdirection
 			// (§4.2). Re-route with a one-cycle penalty.
 			r.cfg.Counters.AddCorrected(fault.RTLogic)
-			ivc.candidates = r.computeRoute(ivc)
+			ivc.candidates = r.computeRoute(cycle, ivc)
 			ivc.earliestVA = cycle + 1
 			continue
 		}
@@ -355,6 +397,13 @@ func (r *Router) allocateVA(cycle uint64) {
 				if r.cfg.PipelineDepth <= 2 {
 					r.cfg.Events.NACKs++
 				}
+				if r.cfg.Bus.Enabled() {
+					r.cfg.Bus.Emit(trace.Event{
+						Cycle: cycle, Kind: trace.ACMismatch,
+						Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
+						Aux: trace.AuxVA,
+					})
+				}
 				ivc.earliestVA = cycle + 1
 				continue
 			}
@@ -373,6 +422,16 @@ func (r *Router) allocateVA(cycle uint64) {
 		}
 		if corrupted {
 			r.cfg.Counters.AddUndetected(fault.VALogic)
+		}
+		if r.cfg.Bus.Enabled() {
+			var pid uint64
+			if f, ok := ivc.front(); ok {
+				pid = uint64(f.PID)
+			}
+			r.cfg.Bus.Emit(trace.Event{
+				Cycle: cycle, Kind: trace.VCAllocated,
+				Node: int32(r.id), Port: int8(b.OutPort), VC: int8(b.OutVC), PID: pid,
+			})
 		}
 	}
 	r.vaRR++
@@ -487,6 +546,13 @@ func (r *Router) allocateSA(cycle uint64) {
 			}
 			r.cfg.Counters.AddCorrected(fault.SALogic)
 			r.cfg.Events.NACKs++
+			if r.cfg.Bus.Enabled() {
+				r.cfg.Bus.Emit(trace.Event{
+					Cycle: cycle, Kind: trace.ACMismatch,
+					Node: int32(r.id), Port: int8(grants[i].InPort), VC: int8(grants[i].InVC),
+					Aux: trace.AuxSA,
+				})
+			}
 		}
 		grantReqs = kept
 	}
@@ -553,7 +619,11 @@ func (r *Router) eligibleForSA(ivc *inputVC, p topology.Port, cycle uint64) bool
 	if f.Type == flit.Head && cycle < ivc.earliestSA {
 		return false
 	}
-	return r.out[p].tx.Credits(ivc.outVC) > 0
+	if r.out[p].tx.Credits(ivc.outVC) <= 0 {
+		r.creditStalls++ // downstream backpressure is the only blocker
+		return false
+	}
+	return true
 }
 
 // executeGrant pops the granted flit, traverses the crossbar, and puts it
@@ -568,6 +638,17 @@ func (r *Router) executeGrant(cycle uint64, g ac.Grant, corrupted bool) {
 	}
 	r.cfg.Events.BufReads++
 	r.cfg.Events.XbTraversals++
+	if r.cfg.Bus.Enabled() {
+		var aux uint64
+		if fromBuf {
+			aux = trace.DequeuedFromBuffer
+		}
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitDequeued,
+			Node: int32(r.id), Port: int8(g.InPort), VC: int8(g.InVC),
+			PID: uint64(f.PID), Seq: f.Seq, Aux: aux,
+		})
+	}
 	if r.cfg.XbarFault.Upset() {
 		// §4.4: a transient fault in the crossbar flips one datapath bit;
 		// the next hop's SEC/DED unit corrects it, so the upset is benign
@@ -672,6 +753,11 @@ func (r *Router) WormholeViolations() uint64 { return r.wormholeViolations }
 
 // StrayFlits returns how many flits were lost to uncaught misdirections.
 func (r *Router) StrayFlits() uint64 { return r.strayFlits }
+
+// CreditStalls returns the cumulative count of switch-allocation
+// attempts denied purely by exhausted downstream credits — the
+// backpressure gauge of the metrics registry.
+func (r *Router) CreditStalls() uint64 { return r.creditStalls }
 
 // DebugVCs renders a one-line summary of every non-idle input VC: state,
 // occupancy (buffer+pending), blocked time, and allocation. Test tooling.

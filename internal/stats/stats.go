@@ -77,8 +77,13 @@ func (s *LatencyStats) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) by
-// nearest-rank, or 0 with no samples.
+// nearest-rank, or 0 with no samples. An out-of-domain p — NaN, p <= 0
+// or p > 100 — returns NaN rather than silently clamping to an
+// extremum, so callers cannot mistake a bad query for a valid statistic.
 func (s *LatencyStats) Percentile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p > 100 {
+		return math.NaN()
+	}
 	if len(s.samples) == 0 {
 		return 0
 	}

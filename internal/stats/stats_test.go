@@ -34,6 +34,32 @@ func TestLatencyStats(t *testing.T) {
 	}
 }
 
+// Out-of-domain percentile queries must come back NaN, never a silently
+// clamped extremum a caller could mistake for a statistic.
+func TestPercentileRejectsBadP(t *testing.T) {
+	var s LatencyStats
+	for _, v := range []uint64{10, 20, 30} {
+		s.Record(v)
+	}
+	for _, p := range []float64{0, -1, -100, 100.001, 1e9, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := s.Percentile(p); !math.IsNaN(got) {
+			t.Errorf("Percentile(%v) = %v, want NaN", p, got)
+		}
+	}
+	// The domain boundary itself stays valid.
+	if got := s.Percentile(100); got != 30 {
+		t.Errorf("Percentile(100) = %v, want 30", got)
+	}
+	if got := s.Percentile(0.001); got != 10 {
+		t.Errorf("Percentile(0.001) = %v, want 10", got)
+	}
+	// An empty distribution with a bad p is still a domain error.
+	var empty LatencyStats
+	if got := empty.Percentile(-5); !math.IsNaN(got) {
+		t.Errorf("empty Percentile(-5) = %v, want NaN", got)
+	}
+}
+
 func TestLatencyHistogram(t *testing.T) {
 	var s LatencyStats
 	for _, v := range []uint64{1, 5, 11, 15, 99, 1000} {

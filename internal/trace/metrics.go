@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Metrics is the time-series half of the observability layer: a
+// registry of named per-node gauges, snapshotted every Interval cycles
+// into an NDJSON stream. The network registers one gauge set per router
+// (VC-buffer occupancy, retransmission-buffer depth, cumulative credit
+// stalls); callers may register more. Output lines look like:
+//
+//	{"cycle":400,"node":12,"metric":"vc-occupancy","value":0.41666666666666669}
+//
+// Gauges are read in registration order, which is deterministic, so the
+// stream is byte-reproducible for a fixed seed. Call Close to flush.
+type Metrics struct {
+	interval uint64
+	gauges   []gauge
+	w        *bufio.Writer
+	buf      []byte
+	err      error
+}
+
+type gauge struct {
+	node int
+	name string
+	fn   func() float64
+}
+
+// NewMetrics creates a registry sampling every interval cycles (0 or 1
+// means every cycle) into w.
+func NewMetrics(w io.Writer, interval uint64) *Metrics {
+	if interval == 0 {
+		interval = 1
+	}
+	return &Metrics{
+		interval: interval,
+		w:        bufio.NewWriterSize(w, 1<<16),
+		buf:      make([]byte, 0, 128),
+	}
+}
+
+// Interval returns the sampling period in cycles.
+func (m *Metrics) Interval() uint64 { return m.interval }
+
+// Register adds a gauge. fn is invoked at every sampling point; it must
+// be cheap and must not mutate simulation state.
+func (m *Metrics) Register(node int, name string, fn func() float64) {
+	m.gauges = append(m.gauges, gauge{node: node, name: name, fn: fn})
+}
+
+// Tick samples every gauge when cycle lands on the interval. The
+// network calls it once per simulated cycle.
+func (m *Metrics) Tick(cycle uint64) {
+	if cycle%m.interval != 0 || m.err != nil {
+		return
+	}
+	for _, g := range m.gauges {
+		b := m.buf[:0]
+		b = append(b, `{"cycle":`...)
+		b = strconv.AppendUint(b, cycle, 10)
+		b = append(b, `,"node":`...)
+		b = strconv.AppendInt(b, int64(g.node), 10)
+		b = append(b, `,"metric":"`...)
+		b = append(b, g.name...)
+		b = append(b, `","value":`...)
+		b = strconv.AppendFloat(b, g.fn(), 'g', -1, 64)
+		b = append(b, '}', '\n')
+		m.buf = b
+		if _, err := m.w.Write(b); err != nil {
+			m.err = err
+			return
+		}
+	}
+}
+
+// Close flushes buffered output and returns the first write error.
+func (m *Metrics) Close() error {
+	if err := m.w.Flush(); m.err == nil {
+		m.err = err
+	}
+	return m.err
+}

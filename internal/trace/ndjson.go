@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// NDJSON streams events as newline-delimited JSON, one object per
+// event, with a fixed field order so output is byte-deterministic for a
+// given simulation seed. Lines look like:
+//
+//	{"cycle":412,"kind":"retransmit","node":5,"port":2,"vc":0,"pid":97,"seq":1,"aux":0}
+//
+// Writes are buffered; call Close to flush. Write errors are sticky and
+// reported by Close (an event bus cannot propagate them mid-run).
+type NDJSON struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewNDJSON creates an NDJSON exporter writing to w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	return &NDJSON{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 160)}
+}
+
+// Emit implements Sink.
+func (s *NDJSON) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, e.Cycle, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"port":`...)
+	b = strconv.AppendInt(b, int64(e.Port), 10)
+	b = append(b, `,"vc":`...)
+	b = strconv.AppendInt(b, int64(e.VC), 10)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendUint(b, e.PID, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, uint64(e.Seq), 10)
+	b = append(b, `,"aux":`...)
+	b = strconv.AppendUint(b, e.Aux, 10)
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes buffered output and returns the first write error.
+func (s *NDJSON) Close() error {
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

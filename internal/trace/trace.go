@@ -1,0 +1,260 @@
+// Package trace is the simulator's structured observability layer: a
+// typed event bus that every component publishes microarchitectural
+// events to, plus a time-series metrics registry of per-router gauges.
+//
+// Design constraints:
+//
+//   - Zero cost when disabled. Publishers guard every emission with
+//     Bus.Enabled(), which inlines to a nil/empty check, and Event is a
+//     flat value type, so a disabled bus adds no allocations and no
+//     measurable overhead to the simulation hot path (see the
+//     disabled-path benchmark in bench_test.go). Tracing therefore stays
+//     compiled in unconditionally.
+//   - One pathway. Everything that observes the simulation — NDJSON
+//     event streams, Chrome trace_event exports, the human-readable
+//     packet-journey renderer — is a Sink attached to the same Bus, so
+//     instrumentation never forks into bespoke side channels.
+//   - No upward dependencies. The package imports nothing from the
+//     simulator, so every layer (link, router, network) can publish.
+package trace
+
+import "fmt"
+
+// Kind classifies a structured event. The taxonomy covers the flit
+// lifecycle, the fault-tolerance protocols, and the fault injectors;
+// see the constant docs for the publisher of each kind.
+type Kind uint8
+
+// Event kinds.
+const (
+	// FlitInjected: a packet entered its source PE's injection queue.
+	// Node is the source; Aux is the destination node.
+	FlitInjected Kind = iota + 1
+	// FlitBuffered: a flit was written into an input VC buffer.
+	FlitBuffered
+	// FlitDequeued: a flit left a router's input VC storage (toward the
+	// crossbar, or dropped as a stray). Aux bit 0 set means it came from
+	// the credited buffer rather than the parked/pending queue; bit 1
+	// set means it was dropped as a stray rather than switched.
+	FlitDequeued
+	// FlitParked: deadlock recovery moved a flit from an input VC buffer
+	// into the retransmission shifter's parking space (§3.2.1).
+	FlitParked
+	// FlitRecalled: a misroute NACK recalled a flit from a
+	// retransmission buffer back into its input VC's pending queue
+	// (§4.2).
+	FlitRecalled
+	// FlitEjected: a packet's tail was consumed cleanly at its
+	// destination PE. Node is the destination.
+	FlitEjected
+	// RouteComputed: the routing unit produced a candidate set for the
+	// packet resident in (Node, Port, VC) — including re-routes after
+	// misroute detection.
+	RouteComputed
+	// VCAllocated: the VC allocator committed an output binding. Port
+	// and VC name the granted output.
+	VCAllocated
+	// ACMismatch: the Allocation Comparator invalidated an allocation.
+	// Aux 0 = VA stage, 1 = SA stage.
+	ACMismatch
+	// NACKSent: a receiver raised a NACK handshake. Aux is the
+	// link.NACKKind code.
+	NACKSent
+	// Retransmit: a transmitter re-sent a flit from its retransmission
+	// buffer after a link-error NACK (§3.1).
+	Retransmit
+	// ECCCorrected: a SEC/DED unit corrected a single-bit error.
+	ECCCorrected
+	// ProbeSent: the deadlock detector emitted a control flit from
+	// (Node, Port, VC). Aux 0 = probe, 1 = activation (§3.2.2).
+	ProbeSent
+	// RecoveryBegin / RecoveryEnd bracket a router's deadlock-recovery
+	// episode (§3.2.1).
+	RecoveryBegin
+	RecoveryEnd
+	// FaultInjected / FaultCorrected / FaultUndetected mirror the fault
+	// accounting of package fault. Aux is the fault.Class code; Node is
+	// -1 (the counters are network-global).
+	FaultInjected
+	FaultCorrected
+	FaultUndetected
+
+	numKinds
+)
+
+// String implements fmt.Stringer with stable kebab-case names (they are
+// part of the NDJSON output format).
+func (k Kind) String() string {
+	switch k {
+	case FlitInjected:
+		return "flit-injected"
+	case FlitBuffered:
+		return "flit-buffered"
+	case FlitDequeued:
+		return "flit-dequeued"
+	case FlitParked:
+		return "flit-parked"
+	case FlitRecalled:
+		return "flit-recalled"
+	case FlitEjected:
+		return "flit-ejected"
+	case RouteComputed:
+		return "route-computed"
+	case VCAllocated:
+		return "vc-allocated"
+	case ACMismatch:
+		return "ac-mismatch"
+	case NACKSent:
+		return "nack-sent"
+	case Retransmit:
+		return "retransmit"
+	case ECCCorrected:
+		return "ecc-corrected"
+	case ProbeSent:
+		return "probe-sent"
+	case RecoveryBegin:
+		return "recovery-begin"
+	case RecoveryEnd:
+		return "recovery-end"
+	case FaultInjected:
+		return "fault-injected"
+	case FaultCorrected:
+		return "fault-corrected"
+	case FaultUndetected:
+		return "fault-undetected"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Aux values for FlitDequeued.
+const (
+	DequeuedFromBuffer uint64 = 1 << 0 // credited buffer slot (vs pending queue)
+	DequeuedStray      uint64 = 1 << 1 // dropped as a stray, not switched
+)
+
+// Aux values for ACMismatch and ProbeSent.
+const (
+	AuxVA         uint64 = 0
+	AuxSA         uint64 = 1
+	AuxProbe      uint64 = 0
+	AuxActivation uint64 = 1
+)
+
+// Event is one structured record. It is a flat value type — publishing
+// one allocates nothing. Fields not meaningful for a Kind are zero;
+// Node/Port/VC use -1 for "not attributable".
+type Event struct {
+	Cycle uint64
+	Kind  Kind
+	Node  int32 // router / PE node id
+	Port  int8  // physical channel index (topology.Port), -1 if n/a
+	VC    int8  // virtual channel index, -1 if n/a
+	Seq   uint8 // flit sequence within its packet
+	PID   uint64
+	Aux   uint64 // kind-specific detail (see the Kind docs)
+}
+
+// Sink consumes events. Implementations must not assume any ordering
+// beyond: events arrive in emission order, and Cycle is non-decreasing.
+type Sink interface {
+	Emit(Event)
+}
+
+// Bus fans events out to its sinks. The zero value and the nil pointer
+// are both valid, disabled buses.
+type Bus struct {
+	sinks []Sink
+}
+
+// NewBus returns an empty (disabled) bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach adds a sink. Attaching enables the bus.
+func (b *Bus) Attach(s Sink) {
+	if s != nil {
+		b.sinks = append(b.sinks, s)
+	}
+}
+
+// Enabled reports whether any sink is attached. Publishers must guard
+// every Emit with it; the method is small enough to inline, which is
+// what keeps the disabled path free.
+func (b *Bus) Enabled() bool { return b != nil && len(b.sinks) > 0 }
+
+// Emit delivers e to every sink.
+func (b *Bus) Emit(e Event) {
+	for _, s := range b.sinks {
+		s.Emit(e)
+	}
+}
+
+// multiSink fans one stream into several (for CLI use where one run
+// feeds both an NDJSON file and a Chrome trace).
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Tee combines sinks into one. Nil entries are dropped; a single
+// non-nil sink is returned unwrapped.
+func Tee(sinks ...Sink) Sink {
+	var kept multiSink
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// FilterPIDs wraps a sink, passing only events whose PID is in pids
+// (events without packet attribution — recovery episodes, fault
+// accounting — are dropped too, since their PID field is zero).
+func FilterPIDs(s Sink, pids []uint64) Sink {
+	set := make(map[uint64]bool, len(pids))
+	for _, p := range pids {
+		set[p] = true
+	}
+	return pidFilter{set: set, next: s}
+}
+
+type pidFilter struct {
+	set  map[uint64]bool
+	next Sink
+}
+
+func (f pidFilter) Emit(e Event) {
+	if f.set[e.PID] {
+		f.next.Emit(e)
+	}
+}
+
+// FilterKinds wraps a sink, passing only events of the given kinds.
+func FilterKinds(s Sink, kinds ...Kind) Sink {
+	var mask uint32
+	for _, k := range kinds {
+		mask |= 1 << k
+	}
+	return kindFilter{mask: mask, next: s}
+}
+
+type kindFilter struct {
+	mask uint32
+	next Sink
+}
+
+func (f kindFilter) Emit(e Event) {
+	if f.mask&(1<<e.Kind) != 0 {
+		f.next.Emit(e)
+	}
+}

@@ -84,3 +84,62 @@ func TestSparkline(t *testing.T) {
 		t.Fatal("all-zero series should still render")
 	}
 }
+
+// A heatmap whose every cell is zero must render all-empty glyphs and a
+// sane legend (auto-scale falls back to 1 instead of dividing by zero).
+func TestHeatmapAllZero(t *testing.T) {
+	s := Heatmap(3, 2, 0, "z", func(x, y int) float64 { return 0 })
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[0], "=1") {
+		t.Fatalf("zero-max legend should fall back to scale 1: %q", lines[0])
+	}
+	for _, row := range lines[1:] {
+		for _, c := range strings.ReplaceAll(row, " ", "") {
+			if c != '.' {
+				t.Fatalf("all-zero heatmap has non-empty cell %q in %q", c, row)
+			}
+		}
+	}
+}
+
+// The degenerate 1x1 grid is still a valid floorplan.
+func TestHeatmapOneByOne(t *testing.T) {
+	s := Heatmap(1, 1, 1, "solo", func(x, y int) float64 { return 1 })
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if got := []rune(lines[1])[0]; got != '█' {
+		t.Fatalf("1x1 full cell = %q, want full shade", got)
+	}
+	// Both degenerate axes must be rejected, not just width.
+	if Heatmap(3, 0, 1, "x", nil) != "" {
+		t.Fatal("zero-height heatmap not empty")
+	}
+	if Heatmap(-1, -1, 1, "x", nil) != "" {
+		t.Fatal("negative dimensions not rejected")
+	}
+}
+
+// A sparkline over an empty-but-allocated slice matches nil, and a
+// single-point series renders one glyph.
+func TestSparklineEdges(t *testing.T) {
+	if Sparkline([]float64{}) != "" {
+		t.Fatal("empty slice should render nothing")
+	}
+	one := Sparkline([]float64{7})
+	if len([]rune(one)) != 1 {
+		t.Fatalf("single-point sparkline = %q", one)
+	}
+	if []rune(one)[0] != '█' {
+		t.Fatalf("single positive point should be the max glyph, got %q", one)
+	}
+	// Negative values clamp to the lowest glyph rather than panicking.
+	neg := Sparkline([]float64{-5, 10})
+	if []rune(neg)[0] != '▁' {
+		t.Fatalf("negative value should clamp to lowest glyph, got %q", neg)
+	}
+}
