@@ -1,9 +1,12 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures. Each
+// figure's grid of simulations runs in parallel on the campaign engine
+// (default GOMAXPROCS workers).
 //
 //	experiments              # every figure at quick scale
 //	experiments -fig 5       # just Fig. 5
 //	experiments -table 1     # just Table 1
 //	experiments -full        # the paper's 300k-message runs (slow)
+//	experiments -workers 2   # bound the worker pool
 package main
 
 import (
@@ -19,7 +22,10 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1")
 	full := flag.Bool("full", false, "run at the paper's 300k-message scale")
 	formatName := flag.String("format", "text", "output format: text, csv, markdown")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	experiments.Workers = *workers
 
 	scale := experiments.Quick
 	if *full {

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -84,13 +86,13 @@ func main() {
 	}
 	cfg.TracePIDs = pids
 
-	if cfg.Pattern, err = parsePattern(*pattern); err != nil {
+	if cfg.Pattern, err = ftnoc.ParsePattern(*pattern); err != nil {
 		fatal(err)
 	}
-	if cfg.Routing, err = parseRouting(*route); err != nil {
+	if cfg.Routing, err = ftnoc.ParseRouting(*route); err != nil {
 		fatal(err)
 	}
-	if cfg.Protection, err = parseProtection(*prot); err != nil {
+	if cfg.Protection, err = ftnoc.ParseProtection(*prot); err != nil {
 		fatal(err)
 	}
 	if *configPath != "" {
@@ -169,7 +171,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	res := ftnoc.Run(cfg)
+	// Validate up front so a bad flag combination prints one line, not a
+	// stack trace; ^C aborts the run and reports the partial measurements.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res := ftnoc.RunContext(ctx, cfg)
+	if res.Aborted {
+		fmt.Fprintln(os.Stderr, "nocsim: interrupted — reporting partial measurements")
+	}
 
 	for _, c := range closers {
 		if err := c(); err != nil {
@@ -194,7 +206,8 @@ func main() {
 		cfg.Width, cfg.Height, cfg.TopologyKind, cfg.VCs, cfg.BufDepth, cfg.PipelineDepth)
 	fmt.Printf("workload:       %v @ %.3f flits/node/cycle, %d-flit messages, routing %v, protection %v\n",
 		cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, cfg.Routing, cfg.Protection)
-	fmt.Printf("delivered:      %d messages in %d cycles (stalled: %v)\n", res.Delivered, res.Cycles, res.Stalled)
+	fmt.Printf("delivered:      %d messages in %d cycles (stalled: %v, aborted: %v)\n",
+		res.Delivered, res.Cycles, res.Stalled, res.Aborted)
 	fmt.Printf("latency:        avg %.2f, p95 %.0f, max %.0f cycles\n", res.AvgLatency, res.P95Latency, res.MaxLatency)
 	fmt.Printf("throughput:     %s\n", res.Throughput)
 	fmt.Printf("energy:         %.4f nJ/message\n", ftnoc.EnergyPerMessageNJ(res))
@@ -261,53 +274,6 @@ func parsePIDs(s string) ([]uint64, error) {
 		pids = append(pids, pid)
 	}
 	return pids, nil
-}
-
-func parsePattern(s string) (ftnoc.Pattern, error) {
-	switch strings.ToUpper(s) {
-	case "NR":
-		return ftnoc.UniformRandom, nil
-	case "BC":
-		return ftnoc.BitComplement, nil
-	case "TN":
-		return ftnoc.Tornado, nil
-	case "TP":
-		return ftnoc.Transpose, nil
-	case "SH":
-		return ftnoc.Shuffle, nil
-	case "HS":
-		return ftnoc.Hotspot, nil
-	default:
-		return 0, fmt.Errorf("unknown pattern %q", s)
-	}
-}
-
-func parseRouting(s string) (ftnoc.Routing, error) {
-	switch strings.ToLower(s) {
-	case "xy", "dt":
-		return ftnoc.XY, nil
-	case "adaptive", "ad":
-		return ftnoc.MinimalAdaptive, nil
-	case "west-first":
-		return ftnoc.WestFirst, nil
-	case "odd-even":
-		return ftnoc.OddEven, nil
-	default:
-		return 0, fmt.Errorf("unknown routing %q", s)
-	}
-}
-
-func parseProtection(s string) (ftnoc.Protection, error) {
-	switch strings.ToLower(s) {
-	case "hbh":
-		return ftnoc.HBH, nil
-	case "e2e":
-		return ftnoc.E2E, nil
-	case "fec":
-		return ftnoc.FEC, nil
-	default:
-		return 0, fmt.Errorf("unknown protection %q", s)
-	}
 }
 
 func fatal(err error) {

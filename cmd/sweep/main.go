@@ -3,17 +3,27 @@
 // latency and energy per message — the standard way to characterise a
 // NoC configuration beyond the paper's fixed 0.25 operating point.
 //
+// Points run in parallel on the campaign engine (default GOMAXPROCS
+// workers), optionally replicated across seeds (-seeds N prints each
+// metric's 95% confidence half-width), and ^C aborts cleanly, reporting
+// the points that completed.
+//
 //	sweep -routing adaptive -link-errors 1e-3 -from 0.05 -to 0.5 -step 0.05
+//	sweep -pattern TN -seeds 5 -workers 8 -csv sweep.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	"ftnoc"
+	"ftnoc/internal/campaign"
 )
 
 func main() {
@@ -24,10 +34,17 @@ func main() {
 	width := flag.Int("width", cfg.Width, "mesh width")
 	height := flag.Int("height", cfg.Height, "mesh height")
 	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per PC")
-	adaptive := flag.Bool("adaptive", false, "use minimal adaptive routing (default XY)")
+	routingName := flag.String("routing", "xy", "routing algorithm: xy, adaptive, westfirst, oddeven")
+	adaptive := flag.Bool("adaptive", false, "deprecated: same as -routing adaptive")
+	patternName := flag.String("pattern", "NR", "traffic pattern: NR, BC, TN, TP, SH, HS")
+	protName := flag.String("protection", "hbh", "link protection: hbh, e2e, fec")
 	linkErr := flag.Float64("link-errors", 0, "link error rate")
 	messages := flag.Uint64("messages", 4000, "messages per point (incl. warm-up)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	seed := flag.Uint64("seed", 1, "base simulation seed")
+	seeds := flag.Int("seeds", 1, "replicates per point (distinct derived seeds; metrics print mean ± 95% CI)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	csvOut := flag.String("csv", "", "also write the full result table to this CSV file")
+	ndjsonOut := flag.String("ndjson", "", "also write the per-replicate result table to this NDJSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -45,29 +62,110 @@ func main() {
 	}
 	defer writeMemProfile(*memProfile)
 
+	routing, err := ftnoc.ParseRouting(*routingName)
+	if err != nil {
+		fatal(err)
+	}
+	if *adaptive {
+		fmt.Fprintln(os.Stderr, "sweep: -adaptive is deprecated, use -routing adaptive")
+		routing = ftnoc.MinimalAdaptive
+	}
+	pattern, err := ftnoc.ParsePattern(*patternName)
+	if err != nil {
+		fatal(err)
+	}
+	protection, err := ftnoc.ParseProtection(*protName)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg.Width, cfg.Height = *width, *height
 	cfg.VCs = *vcs
+	cfg.Routing = routing
+	cfg.Pattern = pattern
+	cfg.Protection = protection
 	cfg.Faults.Link = *linkErr
 	cfg.TotalMessages = *messages
 	cfg.WarmupMessages = *messages / 4
 	cfg.Seed = *seed
-	if *adaptive {
-		cfg.Routing = ftnoc.MinimalAdaptive
+	// Past saturation a fixed message count cannot eject in bounded time;
+	// cap the horizon and report what was measured.
+	cfg.MaxCycles = 400_000
+	cfg.StallCycles = cfg.MaxCycles
+
+	var rates []float64
+	for rate := *from; rate <= *to+1e-9; rate += *step {
+		rates = append(rates, rate)
+	}
+	spec := campaign.Spec{
+		Base:           cfg,
+		InjectionRates: rates,
+		Seeds:          *seeds,
+		Workers:        *workers,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 
-	fmt.Printf("%-10s %-10s %-12s %-12s %-10s\n", "offered", "accepted", "avg_latency", "p95_latency", "nJ/msg")
-	for rate := *from; rate <= *to+1e-9; rate += *step {
-		c := cfg
-		c.InjectionRate = rate
-		// Past saturation a fixed message count cannot eject in bounded
-		// time; cap the horizon and report what was measured.
-		c.MaxCycles = 400_000
-		c.StallCycles = c.MaxCycles
-		res := ftnoc.Run(c)
-		fmt.Printf("%-10.3f %-10.4f %-12.2f %-12.0f %-10.4f\n",
-			rate, res.Throughput.FlitsPerNodePerCycle(), res.AvgLatency, res.P95Latency,
-			ftnoc.EnergyPerMessageNJ(res))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, err := campaign.Run(ctx, spec)
+	if err != nil {
+		fatal(err)
 	}
+	if report.Aborted {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted — reporting completed points only")
+	}
+
+	fmt.Printf("%-10s %-18s %-22s %-12s %-10s\n", "offered", "accepted", "avg_latency", "p95_latency", "nJ/msg")
+	for _, p := range report.Points {
+		if p.Err != nil {
+			fmt.Printf("%-10.3f %s\n", p.InjectionRate, p.Err)
+			continue
+		}
+		if p.Agg.Completed == 0 {
+			fmt.Printf("%-10.3f (aborted before completion)\n", p.InjectionRate)
+			continue
+		}
+		fmt.Printf("%-10.3f %-18s %-22s %-12.0f %-10.4f\n",
+			p.InjectionRate,
+			fmt.Sprintf("%.4f", p.Agg.Throughput.Mean)+ci(p.Agg.Throughput.CI95, 4),
+			fmt.Sprintf("%.2f", p.Agg.AvgLatency.Mean)+ci(p.Agg.AvgLatency.CI95, 2),
+			p.Agg.P95Latency.Mean, p.Agg.EnergyPerMsgNJ.Mean)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d points x %d seed(s) in %v on %d workers\n",
+		len(report.Points), max(*seeds, 1), report.Elapsed.Round(1_000_000), report.Workers)
+
+	if *csvOut != "" {
+		writeTable(*csvOut, report.WriteCSV)
+	}
+	if *ndjsonOut != "" {
+		writeTable(*ndjsonOut, report.WriteNDJSON)
+	}
+}
+
+// ci renders a confidence half-width suffix ("±x.xx"), or nothing for
+// unreplicated points.
+func ci(halfWidth float64, prec int) string {
+	if halfWidth == 0 {
+		return ""
+	}
+	return fmt.Sprintf("±%.*f", prec, halfWidth)
+}
+
+// writeTable writes one of the report's table formats to path.
+func writeTable(path string, render func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := render(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "sweep: wrote", path)
 }
 
 // writeMemProfile snapshots the heap to path (no-op when empty).

@@ -24,7 +24,10 @@
 package ftnoc
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"strings"
 
 	"ftnoc/internal/deadlock"
 	"ftnoc/internal/fault"
@@ -177,11 +180,80 @@ func ReadConfig(r io.Reader) (Config, error) { return network.ReadConfig(r) }
 // enabled, uniform traffic at 0.25 flits/node/cycle.
 func NewConfig() Config { return network.NewConfig() }
 
-// New assembles a simulation without running it.
+// ErrInvalidConfig is the sentinel wrapped by every Config.Validate
+// failure; test with errors.Is. New and Run still panic on invalid
+// configurations (construction is programmer-driven); callers handling
+// generated or user-supplied configurations should Validate first.
+var ErrInvalidConfig = network.ErrInvalidConfig
+
+// New assembles a simulation without running it. It panics on an invalid
+// configuration; call cfg.Validate first to get the error instead.
 func New(cfg Config) *Network { return network.New(cfg) }
 
-// Run assembles and runs a simulation to completion.
+// Run assembles and runs a simulation to completion. It is the
+// zero-dependency wrapper around RunContext for callers that never
+// cancel.
 func Run(cfg Config) Results { return network.New(cfg).Run() }
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx every network.AbortCheckInterval cycles and, once cancelled,
+// returns the partial measurements with Results.Aborted set.
+func RunContext(ctx context.Context, cfg Config) Results {
+	return network.New(cfg).RunContext(ctx)
+}
+
+// ParseRouting parses a CLI routing name: xy/dt, adaptive/ad,
+// west-first/westfirst, odd-even/oddeven (case-insensitive).
+func ParseRouting(s string) (Routing, error) {
+	switch strings.ToLower(s) {
+	case "xy", "dt":
+		return XY, nil
+	case "adaptive", "ad":
+		return MinimalAdaptive, nil
+	case "west-first", "westfirst":
+		return WestFirst, nil
+	case "odd-even", "oddeven":
+		return OddEven, nil
+	default:
+		return 0, fmt.Errorf("unknown routing %q (want xy, adaptive, westfirst or oddeven)", s)
+	}
+}
+
+// ParsePattern parses a CLI traffic-pattern name: NR, BC, TN, TP, SH, HS
+// (case-insensitive).
+func ParsePattern(s string) (Pattern, error) {
+	switch strings.ToUpper(s) {
+	case "NR":
+		return UniformRandom, nil
+	case "BC":
+		return BitComplement, nil
+	case "TN":
+		return Tornado, nil
+	case "TP":
+		return Transpose, nil
+	case "SH":
+		return Shuffle, nil
+	case "HS":
+		return Hotspot, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q (want NR, BC, TN, TP, SH or HS)", s)
+	}
+}
+
+// ParseProtection parses a CLI link-protection name: hbh, e2e, fec
+// (case-insensitive).
+func ParseProtection(s string) (Protection, error) {
+	switch strings.ToLower(s) {
+	case "hbh":
+		return HBH, nil
+	case "e2e":
+		return E2E, nil
+	case "fec":
+		return FEC, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q (want hbh, e2e or fec)", s)
+	}
+}
 
 // EnergyPerMessageNJ converts a run's measured event counts into the
 // paper's energy-per-message metric (nanojoules), using the 90 nm

@@ -1,6 +1,8 @@
 package ftnoc_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -110,5 +112,63 @@ func TestPublicAPIDuplicateRetrans(t *testing.T) {
 	res := ftnoc.Run(cfg)
 	if res.Stalled || res.Delivered < 600 || res.CorruptedPackets != 0 {
 		t.Fatalf("duplicate-retrans run incomplete: %v", res)
+	}
+}
+
+func TestPublicAPIValidate(t *testing.T) {
+	if err := quickCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := quickCfg()
+	bad.InjectionRate = 2
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("invalid config passed Validate")
+	}
+	if !errors.Is(err, ftnoc.ErrInvalidConfig) {
+		t.Fatalf("error %v does not wrap ftnoc.ErrInvalidConfig", err)
+	}
+}
+
+func TestPublicAPIRunContext(t *testing.T) {
+	res := ftnoc.RunContext(context.Background(), quickCfg())
+	if res.Aborted || res.Delivered < 1_000 {
+		t.Fatalf("uncancelled RunContext: %+v", res)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res := ftnoc.RunContext(ctx, quickCfg()); !res.Aborted {
+		t.Fatal("cancelled RunContext not aborted")
+	}
+}
+
+func TestPublicAPIParseHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ftnoc.Routing
+	}{
+		{"xy", ftnoc.XY}, {"DT", ftnoc.XY}, {"adaptive", ftnoc.MinimalAdaptive},
+		{"westfirst", ftnoc.WestFirst}, {"west-first", ftnoc.WestFirst},
+		{"oddeven", ftnoc.OddEven}, {"odd-even", ftnoc.OddEven},
+	} {
+		got, err := ftnoc.ParseRouting(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseRouting(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ftnoc.ParseRouting("spiral"); err == nil {
+		t.Error("ParseRouting accepted nonsense")
+	}
+	if p, err := ftnoc.ParsePattern("tn"); err != nil || p != ftnoc.Tornado {
+		t.Errorf("ParsePattern(tn) = %v, %v", p, err)
+	}
+	if _, err := ftnoc.ParsePattern("zz"); err == nil {
+		t.Error("ParsePattern accepted nonsense")
+	}
+	if p, err := ftnoc.ParseProtection("E2E"); err != nil || p != ftnoc.E2E {
+		t.Errorf("ParseProtection(E2E) = %v, %v", p, err)
+	}
+	if _, err := ftnoc.ParseProtection("rs"); err == nil {
+		t.Error("ParseProtection accepted nonsense")
 	}
 }

@@ -1,0 +1,420 @@
+// Package campaign is the declarative parallel experiment engine: it
+// expands a parameter grid over network.Config into points, executes the
+// points' replicates on a bounded worker pool, and aggregates replicated
+// measurements into mean ± 95% CI estimates.
+//
+// Design constraints:
+//
+//   - Determinism. Every (point, replicate) derives its seed from the
+//     base seed and its grid coordinates alone, and results land in a
+//     preallocated table indexed by those coordinates, so the output is
+//     byte-identical whatever the worker count or scheduling order.
+//   - Error isolation. An invalid or crashing point is captured in its
+//     PointResult — the rest of the grid still runs to completion.
+//   - Cancellable. The context is honoured both between points (no new
+//     work is dispatched) and inside a running simulation (via
+//     network.RunContext), so ^C returns promptly with the completed
+//     prefix marked per point.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ftnoc/internal/link"
+	"ftnoc/internal/network"
+	"ftnoc/internal/power"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/stats"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
+	"ftnoc/internal/traffic"
+)
+
+// Size is one topology-size axis value.
+type Size struct{ Width, Height int }
+
+func (s Size) String() string { return fmt.Sprintf("%dx%d", s.Width, s.Height) }
+
+// Spec declares a campaign: a base configuration plus the axes to sweep.
+// An empty axis means "keep the base value" (a single implicit value);
+// the grid is the cartesian product of all axes, with Seeds replicates
+// per point. The zero Workers runs on GOMAXPROCS workers.
+type Spec struct {
+	// Base supplies every parameter not swept by an axis. Base.Seed is
+	// the root of the deterministic per-replicate seed derivation.
+	Base network.Config
+
+	// Axes, outermost to innermost in the point ordering.
+	Sizes          []Size
+	Topologies     []topology.Kind
+	Routings       []routing.Algorithm
+	Protections    []link.Protection
+	Patterns       []traffic.Pattern
+	LinkErrorRates []float64
+	InjectionRates []float64
+
+	// Seeds is the number of replicates per point (default 1), each with
+	// a distinct derived seed; replicated metrics aggregate to mean ± CI.
+	Seeds int
+
+	// Workers bounds the pool (default GOMAXPROCS).
+	Workers int
+
+	// Progress, when non-nil, receives CampaignPointStart/Done events as
+	// replicates are dispatched and retired. The engine serialises
+	// emissions, so any Sink works unmodified; events arrive in
+	// completion order, not point order.
+	Progress trace.Sink
+}
+
+// Point is one fully resolved grid coordinate.
+type Point struct {
+	Index         int
+	Size          Size
+	Topology      topology.Kind
+	Routing       routing.Algorithm
+	Protection    link.Protection
+	Pattern       traffic.Pattern
+	LinkErrorRate float64
+	InjectionRate float64
+
+	// Config is the point's complete configuration, before per-replicate
+	// seed assignment.
+	Config network.Config
+}
+
+// RepResult is one replicate's outcome.
+type RepResult struct {
+	Seed    uint64
+	Results network.Results
+	// Err captures a crash inside this replicate's simulation; the
+	// Results are zero when set.
+	Err error
+}
+
+// Aggregate summarises a point's completed replicates.
+type Aggregate struct {
+	// Completed counts replicates that ran to the end (Stalled is the
+	// stalled subset); Aborted counts replicates cut short by
+	// cancellation, which are excluded from the aggregates below.
+	Completed, Stalled, Aborted int
+
+	AvgLatency     stats.Estimate
+	P95Latency     stats.Estimate
+	Throughput     stats.Estimate // accepted flits/node/cycle
+	EnergyPerMsgNJ stats.Estimate
+	Delivered      stats.Estimate
+}
+
+// PointResult is one point's outcome: its replicates plus the aggregate.
+type PointResult struct {
+	Point
+	Reps []RepResult
+	Agg  Aggregate
+	// Err is the point's validation error (no replicate ran), or the
+	// first replicate error when every replicate failed.
+	Err error
+}
+
+// Failed reports whether the point produced no usable measurements.
+func (p PointResult) Failed() bool { return p.Err != nil && p.Agg.Completed == 0 }
+
+// Report is a completed campaign: every point in grid order.
+type Report struct {
+	Points  []PointResult
+	Workers int
+	Elapsed time.Duration
+	// Aborted reports that the campaign's context was cancelled before
+	// the grid completed; unstarted replicates have zero RepResults.
+	Aborted bool
+}
+
+// Points expands the spec's grid in deterministic order (axes nest
+// outermost to innermost as declared on Spec, the injection rate
+// innermost).
+func (s Spec) Points() []Point {
+	sizes := s.Sizes
+	if len(sizes) == 0 {
+		sizes = []Size{{s.Base.Width, s.Base.Height}}
+	}
+	topos := s.Topologies
+	if len(topos) == 0 {
+		topos = []topology.Kind{s.Base.TopologyKind}
+	}
+	routings := s.Routings
+	if len(routings) == 0 {
+		routings = []routing.Algorithm{s.Base.Routing}
+	}
+	prots := s.Protections
+	if len(prots) == 0 {
+		prots = []link.Protection{s.Base.Protection}
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = []traffic.Pattern{s.Base.Pattern}
+	}
+	linkErrs := s.LinkErrorRates
+	if len(linkErrs) == 0 {
+		linkErrs = []float64{s.Base.Faults.Link}
+	}
+	injs := s.InjectionRates
+	if len(injs) == 0 {
+		injs = []float64{s.Base.InjectionRate}
+	}
+
+	points := make([]Point, 0, len(sizes)*len(topos)*len(routings)*len(prots)*len(patterns)*len(linkErrs)*len(injs))
+	for _, sz := range sizes {
+		for _, tk := range topos {
+			for _, ro := range routings {
+				for _, pr := range prots {
+					for _, pa := range patterns {
+						for _, le := range linkErrs {
+							for _, inj := range injs {
+								cfg := s.Base
+								cfg.Width, cfg.Height = sz.Width, sz.Height
+								cfg.TopologyKind = tk
+								cfg.Routing = ro
+								cfg.Protection = pr
+								cfg.Pattern = pa
+								cfg.Faults.Link = le
+								cfg.InjectionRate = inj
+								points = append(points, Point{
+									Index: len(points), Size: sz, Topology: tk,
+									Routing: ro, Protection: pr, Pattern: pa,
+									LinkErrorRate: le, InjectionRate: inj,
+									Config: cfg,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+// DeriveSeed maps (base seed, point index, replicate index) to the
+// replicate's simulation seed via a splitmix64-style finalizer: derived
+// seeds are decorrelated, scheduling-independent and never zero.
+func DeriveSeed(base uint64, point, rep int) uint64 {
+	z := base ^ (uint64(point)+1)*0x9E3779B97F4A7C15 ^ (uint64(rep)+1)*0xD1B54A32D192ED03
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Run executes the spec's grid and returns the report. The only
+// top-level error is an empty grid; per-point failures are captured in
+// their PointResult. Cancelling ctx stops dispatch and aborts in-flight
+// simulations; the report still contains everything that completed.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	points := spec.Points()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("campaign: empty grid")
+	}
+	reps := spec.Seeds
+	if reps <= 0 {
+		reps = 1
+	}
+
+	report := &Report{Points: make([]PointResult, len(points)), Workers: workers(spec.Workers)}
+	start := time.Now()
+	progress := newLockedSink(spec.Progress)
+
+	// Validation happens up front, once per point: an invalid point is
+	// recorded and dispatches no replicates.
+	type job struct{ point, rep int }
+	var jobs []job
+	for i := range points {
+		report.Points[i].Point = points[i]
+		report.Points[i].Reps = make([]RepResult, reps)
+		if err := points[i].Config.Validate(); err != nil {
+			report.Points[i].Err = err
+			continue
+		}
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, job{point: i, rep: r})
+		}
+	}
+
+	jobc := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < report.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobc {
+				cfg := points[j.point].Config
+				cfg.Seed = DeriveSeed(spec.Base.Seed, j.point, j.rep)
+				progress.emit(trace.Event{
+					Kind: trace.CampaignPointStart, Node: -1, Port: -1, VC: -1,
+					Aux: uint64(j.point), PID: uint64(j.rep),
+				})
+				rr := runReplicate(ctx, cfg)
+				report.Points[j.point].Reps[j.rep] = rr
+				progress.emit(trace.Event{
+					Kind: trace.CampaignPointDone, Cycle: rr.Results.Cycles,
+					Node: -1, Port: -1, VC: -1,
+					Aux: uint64(j.point), PID: uint64(j.rep),
+				})
+			}
+		}()
+	}
+dispatch:
+	for _, j := range jobs {
+		select {
+		case jobc <- j:
+		case <-ctx.Done():
+			report.Aborted = true
+			break dispatch
+		}
+	}
+	close(jobc)
+	wg.Wait()
+
+	for i := range report.Points {
+		finalizePoint(&report.Points[i])
+		if report.Points[i].Agg.Aborted > 0 {
+			report.Aborted = true
+		}
+	}
+	report.Elapsed = time.Since(start)
+	return report, nil
+}
+
+// runReplicate builds and runs one simulation, converting any panic into
+// the replicate's error so a crashing point cannot take down the grid.
+func runReplicate(ctx context.Context, cfg network.Config) (rr RepResult) {
+	rr.Seed = cfg.Seed
+	defer func() {
+		if r := recover(); r != nil {
+			rr.Err = fmt.Errorf("campaign: replicate seed %d panicked: %v", rr.Seed, r)
+		}
+	}()
+	rr.Results = network.New(cfg).RunContext(ctx)
+	return rr
+}
+
+// finalizePoint computes the aggregate and promotes an all-replicates
+// failure to the point error.
+func finalizePoint(p *PointResult) {
+	if p.Err != nil {
+		return // invalid config: no replicates ran
+	}
+	var lat, p95, thr, energy, delivered []float64
+	var firstErr error
+	for _, rr := range p.Reps {
+		if rr.Err != nil {
+			if firstErr == nil {
+				firstErr = rr.Err
+			}
+			continue
+		}
+		if rr.Seed == 0 {
+			continue // never dispatched (campaign aborted)
+		}
+		if rr.Results.Aborted {
+			// A cancelled replicate is a partial measurement: counted,
+			// but kept out of the aggregates.
+			p.Agg.Aborted++
+			continue
+		}
+		p.Agg.Completed++
+		if rr.Results.Stalled {
+			p.Agg.Stalled++
+		}
+		lat = append(lat, rr.Results.AvgLatency)
+		p95 = append(p95, rr.Results.P95Latency)
+		thr = append(thr, rr.Results.Throughput.FlitsPerNodePerCycle())
+		energy = append(energy, power.EnergyPerMessage(rr.Results.Events, rr.Results.MeasuredMessages))
+		delivered = append(delivered, float64(rr.Results.Delivered))
+	}
+	p.Agg.AvgLatency = stats.MeanCI95(lat)
+	p.Agg.P95Latency = stats.MeanCI95(p95)
+	p.Agg.Throughput = stats.MeanCI95(thr)
+	p.Agg.EnergyPerMsgNJ = stats.MeanCI95(energy)
+	p.Agg.Delivered = stats.MeanCI95(delivered)
+	if p.Agg.Completed == 0 {
+		p.Err = firstErr
+	}
+}
+
+// ConfigResult is one explicit configuration's outcome (RunConfigs).
+type ConfigResult struct {
+	Results network.Results
+	Err     error
+}
+
+// RunConfigs executes an explicit configuration list on a bounded pool
+// and returns results in input order — the low-level entry point for
+// harnesses (package experiments) whose grids don't fit Spec's axes.
+// Seeds are taken from the configs as given. Invalid or crashing configs
+// are captured per entry; a cancelled ctx aborts in-flight runs.
+func RunConfigs(ctx context.Context, poolSize int, cfgs []network.Config) []ConfigResult {
+	out := make([]ConfigResult, len(cfgs))
+	jobc := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers(poolSize); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobc {
+				if err := cfgs[i].Validate(); err != nil {
+					out[i].Err = err
+					continue
+				}
+				rr := runReplicate(ctx, cfgs[i])
+				out[i] = ConfigResult{Results: rr.Results, Err: rr.Err}
+			}
+		}()
+	}
+dispatch:
+	for i := range cfgs {
+		select {
+		case jobc <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobc)
+	wg.Wait()
+	return out
+}
+
+// workers resolves a pool-size request to a positive worker count.
+func workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// lockedSink serialises concurrent workers' progress emissions onto one
+// Sink, so ordinary single-goroutine sinks (NDJSON writers, counters)
+// work unchanged.
+type lockedSink struct {
+	mu   sync.Mutex
+	next trace.Sink
+}
+
+func newLockedSink(next trace.Sink) *lockedSink { return &lockedSink{next: next} }
+
+func (l *lockedSink) emit(e trace.Event) {
+	if l.next == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next.Emit(e)
+}

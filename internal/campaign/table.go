@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the fixed column order of WriteCSV (and the field order of
+// WriteNDJSON's flat fields); it is part of the output format.
+var csvHeader = []string{
+	"point", "width", "height", "topology", "routing", "protection", "pattern",
+	"link_error_rate", "injection_rate", "reps", "completed", "stalled", "aborted",
+	"delivered_mean", "avg_latency_mean", "avg_latency_ci95",
+	"p95_latency_mean", "p95_latency_ci95",
+	"throughput_mean", "throughput_ci95",
+	"energy_nj_mean", "energy_nj_ci95",
+	"error",
+}
+
+// WriteCSV renders the report as one CSV row per point, in grid order,
+// with mean and 95%-CI half-width columns for each replicated metric.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range r.Points {
+		p := &r.Points[i]
+		errText := ""
+		if p.Err != nil {
+			errText = p.Err.Error()
+		}
+		row := []string{
+			strconv.Itoa(p.Index),
+			strconv.Itoa(p.Size.Width), strconv.Itoa(p.Size.Height),
+			p.Topology.String(), p.Routing.String(), p.Protection.String(), p.Pattern.String(),
+			formatFloat(p.LinkErrorRate), formatFloat(p.InjectionRate),
+			strconv.Itoa(len(p.Reps)),
+			strconv.Itoa(p.Agg.Completed), strconv.Itoa(p.Agg.Stalled), strconv.Itoa(p.Agg.Aborted),
+			formatFloat(p.Agg.Delivered.Mean),
+			formatFloat(p.Agg.AvgLatency.Mean), formatFloat(p.Agg.AvgLatency.CI95),
+			formatFloat(p.Agg.P95Latency.Mean), formatFloat(p.Agg.P95Latency.CI95),
+			formatFloat(p.Agg.Throughput.Mean), formatFloat(p.Agg.Throughput.CI95),
+			formatFloat(p.Agg.EnergyPerMsgNJ.Mean), formatFloat(p.Agg.EnergyPerMsgNJ.CI95),
+			errText,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ndjsonPoint is the NDJSON row shape: the point's coordinates and
+// aggregate, plus one entry per replicate.
+type ndjsonPoint struct {
+	Point         int     `json:"point"`
+	Width         int     `json:"width"`
+	Height        int     `json:"height"`
+	Topology      string  `json:"topology"`
+	Routing       string  `json:"routing"`
+	Protection    string  `json:"protection"`
+	Pattern       string  `json:"pattern"`
+	LinkErrorRate float64 `json:"link_error_rate"`
+	InjectionRate float64 `json:"injection_rate"`
+
+	Reps      int    `json:"reps"`
+	Completed int    `json:"completed"`
+	Stalled   int    `json:"stalled"`
+	Aborted   int    `json:"aborted"`
+	Error     string `json:"error,omitempty"`
+
+	AvgLatency     ndjsonEstimate `json:"avg_latency"`
+	P95Latency     ndjsonEstimate `json:"p95_latency"`
+	Throughput     ndjsonEstimate `json:"throughput"`
+	EnergyPerMsgNJ ndjsonEstimate `json:"energy_nj"`
+	Delivered      ndjsonEstimate `json:"delivered"`
+
+	Replicates []ndjsonRep `json:"replicates"`
+}
+
+type ndjsonEstimate struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+type ndjsonRep struct {
+	Seed       uint64  `json:"seed"`
+	Delivered  uint64  `json:"delivered"`
+	Cycles     uint64  `json:"cycles"`
+	AvgLatency float64 `json:"avg_latency"`
+	P95Latency float64 `json:"p95_latency"`
+	Throughput float64 `json:"throughput"`
+	Stalled    bool    `json:"stalled,omitempty"`
+	Aborted    bool    `json:"aborted,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// WriteNDJSON renders the report as one JSON object per line per point,
+// in grid order, with per-replicate detail nested in each row.
+func (r *Report) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Points {
+		p := &r.Points[i]
+		row := ndjsonPoint{
+			Point: p.Index, Width: p.Size.Width, Height: p.Size.Height,
+			Topology: p.Topology.String(), Routing: p.Routing.String(),
+			Protection: p.Protection.String(), Pattern: p.Pattern.String(),
+			LinkErrorRate: p.LinkErrorRate, InjectionRate: p.InjectionRate,
+			Reps: len(p.Reps), Completed: p.Agg.Completed,
+			Stalled: p.Agg.Stalled, Aborted: p.Agg.Aborted,
+			AvgLatency:     ndjsonEstimate(p.Agg.AvgLatency),
+			P95Latency:     ndjsonEstimate(p.Agg.P95Latency),
+			Throughput:     ndjsonEstimate(p.Agg.Throughput),
+			EnergyPerMsgNJ: ndjsonEstimate(p.Agg.EnergyPerMsgNJ),
+			Delivered:      ndjsonEstimate(p.Agg.Delivered),
+		}
+		if p.Err != nil {
+			row.Error = p.Err.Error()
+		}
+		for _, rr := range p.Reps {
+			if rr.Seed == 0 && rr.Err == nil {
+				continue // never dispatched
+			}
+			rep := ndjsonRep{
+				Seed:       rr.Seed,
+				Delivered:  rr.Results.Delivered,
+				Cycles:     rr.Results.Cycles,
+				AvgLatency: rr.Results.AvgLatency,
+				P95Latency: rr.Results.P95Latency,
+				Throughput: rr.Results.Throughput.FlitsPerNodePerCycle(),
+				Stalled:    rr.Results.Stalled,
+				Aborted:    rr.Results.Aborted,
+			}
+			if rr.Err != nil {
+				rep.Error = rr.Err.Error()
+			}
+			row.Replicates = append(row.Replicates, rep)
+		}
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("campaign: encoding point %d: %w", p.Index, err)
+		}
+	}
+	return nil
+}

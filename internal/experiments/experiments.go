@@ -8,9 +8,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"ftnoc/internal/campaign"
 	"ftnoc/internal/fault"
 	"ftnoc/internal/link"
 	"ftnoc/internal/network"
@@ -18,6 +20,28 @@ import (
 	"ftnoc/internal/routing"
 	"ftnoc/internal/traffic"
 )
+
+// Workers bounds the campaign worker pool every generator's grid runs on
+// (0 = GOMAXPROCS). Figure regeneration is embarrassingly parallel —
+// each point is an independent simulation — so the generators batch
+// their sweeps through campaign.RunConfigs instead of looping serially.
+var Workers int
+
+// runAll executes a generator's configuration list in parallel,
+// returning results in input order. Generators build valid
+// configurations by construction, so a failure is a programmer error
+// and panics, matching network.New.
+func runAll(cfgs []network.Config) []network.Results {
+	out := campaign.RunConfigs(context.Background(), Workers, cfgs)
+	res := make([]network.Results, len(out))
+	for i, r := range out {
+		if r.Err != nil {
+			panic("experiments: " + r.Err.Error())
+		}
+		res[i] = r.Results
+	}
+	return res
+}
 
 // Scale selects run length: Quick for tests/benches, Full for the paper's
 // 300k-message runs.
@@ -108,15 +132,21 @@ func Fig5(scale Scale) Figure {
 		YLabel: "latency (cycles)",
 		Series: []string{"HBH", "E2E", "FEC"},
 	}
-	schemes := map[string]link.Protection{"HBH": link.HBH, "E2E": link.E2E, "FEC": link.FEC}
+	schemes := []link.Protection{link.HBH, link.E2E, link.FEC}
+	var cfgs []network.Config
 	for _, rate := range ErrorRates {
-		row := Row{X: rate, Values: map[string]float64{}}
-		for name, prot := range schemes {
+		for _, prot := range schemes {
 			cfg := baseConfig(scale)
 			cfg.Protection = prot
 			cfg.Faults.Link = rate
-			res := network.New(cfg).Run()
-			row.Values[name] = res.AvgLatency
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+	for ri, rate := range ErrorRates {
+		row := Row{X: rate, Values: map[string]float64{}}
+		for si := range schemes {
+			row.Values[fig.Series[si]] = results[ri*len(schemes)+si].AvgLatency
 		}
 		fig.Rows = append(fig.Rows, row)
 	}
@@ -155,20 +185,23 @@ func Fig7(scale Scale) Figure {
 }
 
 func hbhPatternSweep(scale Scale, metric func(network.Results) float64) []Row {
-	patterns := map[string]traffic.Pattern{
-		"NR": traffic.UniformRandom,
-		"BC": traffic.BitComplement,
-		"TN": traffic.Tornado,
-	}
-	var rows []Row
+	names := []string{"NR", "BC", "TN"}
+	patterns := []traffic.Pattern{traffic.UniformRandom, traffic.BitComplement, traffic.Tornado}
+	var cfgs []network.Config
 	for _, rate := range ErrorRates {
-		row := Row{X: rate, Values: map[string]float64{}}
-		for name, p := range patterns {
+		for _, p := range patterns {
 			cfg := baseConfig(scale)
 			cfg.Pattern = p
 			cfg.Faults.Link = rate
-			res := network.New(cfg).Run()
-			row.Values[name] = metric(res)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+	var rows []Row
+	for ri, rate := range ErrorRates {
+		row := Row{X: rate, Values: map[string]float64{}}
+		for pi, name := range names {
+			row.Values[name] = metric(results[ri*len(patterns)+pi])
 		}
 		rows = append(rows, row)
 	}
@@ -194,11 +227,11 @@ func Fig8And9(scale Scale) (fig8, fig9 Figure) {
 		YLabel: "utilization",
 		Series: []string{"AD", "DT"},
 	}
-	algos := map[string]routing.Algorithm{"AD": routing.MinimalAdaptive, "DT": routing.XY}
+	names := []string{"AD", "DT"}
+	algos := []routing.Algorithm{routing.MinimalAdaptive, routing.XY}
+	var cfgs []network.Config
 	for _, inj := range InjectionRates {
-		r8 := Row{X: inj, Values: map[string]float64{}}
-		r9 := Row{X: inj, Values: map[string]float64{}}
-		for name, alg := range algos {
+		for _, alg := range algos {
 			cfg := baseConfig(scale)
 			cfg.Routing = alg
 			cfg.InjectionRate = inj
@@ -213,7 +246,15 @@ func Fig8And9(scale Scale) (fig8, fig9 Figure) {
 			default:
 				cfg.MaxCycles = 30_000
 			}
-			res := network.New(cfg).Run()
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+	for ri, inj := range InjectionRates {
+		r8 := Row{X: inj, Values: map[string]float64{}}
+		r9 := Row{X: inj, Values: map[string]float64{}}
+		for ai, name := range names {
+			res := results[ri*len(algos)+ai]
 			r8.Values[name] = res.TxBufUtil
 			r9.Values[name] = res.RtBufUtil
 		}
@@ -257,15 +298,11 @@ func Fig13b(scale Scale) Figure {
 }
 
 func fig13Sweep(scale Scale, metric func(network.Results, fault.Class) float64) []Row {
-	classes := map[string]fault.Class{
-		"LINK-HBH": fault.LinkError,
-		"RT-Logic": fault.RTLogic,
-		"SA-Logic": fault.SALogic,
-	}
-	var rows []Row
+	names := []string{"LINK-HBH", "RT-Logic", "SA-Logic"}
+	classes := []fault.Class{fault.LinkError, fault.RTLogic, fault.SALogic}
+	var cfgs []network.Config
 	for _, rate := range LogicErrorRates {
-		row := Row{X: rate, Values: map[string]float64{}}
-		for name, cl := range classes {
+		for _, cl := range classes {
 			cfg := baseConfig(scale)
 			switch cl {
 			case fault.LinkError:
@@ -275,8 +312,15 @@ func fig13Sweep(scale Scale, metric func(network.Results, fault.Class) float64) 
 			case fault.SALogic:
 				cfg.Faults.SA = rate
 			}
-			res := network.New(cfg).Run()
-			row.Values[name] = metric(res, cl)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+	var rows []Row
+	for ri, rate := range LogicErrorRates {
+		row := Row{X: rate, Values: map[string]float64{}}
+		for ci, name := range names {
+			row.Values[name] = metric(results[ri*len(classes)+ci], classes[ci])
 		}
 		rows = append(rows, row)
 	}

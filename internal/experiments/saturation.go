@@ -22,6 +22,7 @@ func LatencyThroughput(scale Scale, algo routing.Algorithm, rates []float64) Fig
 		YLabel: "latency (cycles) / accepted (flits/node/cycle)",
 		Series: []string{"latency", "accepted"},
 	}
+	var cfgs []network.Config
 	for _, inj := range rates {
 		cfg := baseConfig(scale)
 		cfg.Routing = algo
@@ -32,8 +33,10 @@ func LatencyThroughput(scale Scale, algo routing.Algorithm, rates []float64) Fig
 		} else {
 			cfg.MaxCycles = 60_000
 		}
-		res := network.New(cfg).Run()
-		fig.Rows = append(fig.Rows, Row{X: inj, Values: map[string]float64{
+		cfgs = append(cfgs, cfg)
+	}
+	for i, res := range runAll(cfgs) {
+		fig.Rows = append(fig.Rows, Row{X: rates[i], Values: map[string]float64{
 			"latency":  res.AvgLatency,
 			"accepted": res.Throughput.FlitsPerNodePerCycle(),
 		}})
@@ -103,15 +106,22 @@ func TorusVsMesh(scale Scale) Figure {
 		{"mesh/TN", topology.Mesh, traffic.Tornado},
 		{"torus/TN", topology.Torus, traffic.Tornado},
 	}
-	for _, inj := range []float64{0.05, 0.15, 0.25} {
-		row := Row{X: inj, Values: map[string]float64{}}
+	rates := []float64{0.05, 0.15, 0.25}
+	var cfgs []network.Config
+	for _, inj := range rates {
 		for _, c := range cases {
 			cfg := baseConfig(scale)
 			cfg.TopologyKind = c.kind
 			cfg.Pattern = c.pattern
 			cfg.InjectionRate = inj
-			res := network.New(cfg).Run()
-			row.Values[c.name] = res.AvgLatency
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(cfgs)
+	for ri, inj := range rates {
+		row := Row{X: inj, Values: map[string]float64{}}
+		for ci, c := range cases {
+			row.Values[c.name] = results[ri*len(cases)+ci].AvgLatency
 		}
 		fig.Rows = append(fig.Rows, row)
 	}

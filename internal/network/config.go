@@ -6,6 +6,9 @@
 package network
 
 import (
+	"errors"
+	"fmt"
+
 	"ftnoc/internal/fault"
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
@@ -134,23 +137,41 @@ func (c Config) PaperScale() Config {
 	return c
 }
 
-func (c *Config) validate() {
+// ErrInvalidConfig is the sentinel wrapped by every Validate failure, so
+// callers can distinguish configuration mistakes from other errors with
+// errors.Is.
+var ErrInvalidConfig = errors.New("invalid config")
+
+// Validate checks the configuration, returning an error wrapping
+// ErrInvalidConfig describing the first violated constraint, or nil.
+// Zero values of optional fields (Protection, MaxCycles, StallCycles,
+// E2ETimeout) are valid: New substitutes defaults for them.
+func (c Config) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+	}
 	switch {
 	case c.Width < 2 || c.Height < 1 || c.Width*c.Height < 2:
-		panic("network: topology too small")
+		return fail("topology %dx%d too small", c.Width, c.Height)
 	case c.VCs < 1:
-		panic("network: need at least one VC")
+		return fail("need at least one VC, have %d", c.VCs)
 	case c.BufDepth < 1:
-		panic("network: BufDepth must be >= 1")
+		return fail("BufDepth must be >= 1, have %d", c.BufDepth)
 	case c.PacketSize < 2:
-		panic("network: PacketSize must be >= 2 (head + tail)")
+		return fail("PacketSize must be >= 2 (head + tail), have %d", c.PacketSize)
 	case c.PipelineDepth < 1 || c.PipelineDepth > 4:
-		panic("network: PipelineDepth must be in [1,4]")
+		return fail("PipelineDepth must be in [1,4], have %d", c.PipelineDepth)
 	case c.InjectionRate < 0 || c.InjectionRate > 1:
-		panic("network: InjectionRate must be in [0,1]")
+		return fail("InjectionRate must be in [0,1], have %g", c.InjectionRate)
 	case c.TotalMessages == 0 || c.TotalMessages < c.WarmupMessages:
-		panic("network: TotalMessages must be >= WarmupMessages and > 0")
+		return fail("TotalMessages must be >= WarmupMessages and > 0, have %d total / %d warm-up",
+			c.TotalMessages, c.WarmupMessages)
 	}
+	return nil
+}
+
+// applyDefaults substitutes defaults for the optional zero-valued fields.
+func (c *Config) applyDefaults() {
 	if c.Protection == 0 {
 		c.Protection = link.HBH
 	}

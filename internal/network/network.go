@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,9 +56,14 @@ type Network struct {
 }
 
 // New builds a network from cfg. It panics on invalid configuration —
-// construction is programmer-driven, not input-driven.
+// construction is programmer-driven, not input-driven. Callers handling
+// untrusted or generated configurations should call cfg.Validate first
+// and surface the error themselves.
 func New(cfg Config) *Network {
-	cfg.validate()
+	if err := cfg.Validate(); err != nil {
+		panic("network: " + err.Error())
+	}
+	cfg.applyDefaults()
 	n := &Network{cfg: cfg, counters: fault.NewCounters()}
 	root := sim.NewRNG(cfg.Seed)
 
@@ -253,13 +259,30 @@ func (n *Network) startMeasuring(cycle uint64) {
 	n.warmupCycle = cycle
 }
 
+// AbortCheckInterval is how often (in cycles) RunContext polls its
+// context for cancellation: once cancelled, RunContext returns within
+// this many simulated cycles.
+const AbortCheckInterval = 256
+
 // Run drives the simulation until TotalMessages have ejected, the network
-// stalls, or MaxCycles elapse, then returns the measurements.
-func (n *Network) Run() Results {
+// stalls, or MaxCycles elapse, then returns the measurements. It is the
+// zero-dependency wrapper around RunContext for callers that never cancel.
+func (n *Network) Run() Results { return n.run(nil) }
+
+// RunContext is Run with cooperative cancellation: it polls ctx every
+// AbortCheckInterval cycles and, once ctx is done, stops the simulation
+// and returns the measurements gathered so far with Aborted set. A
+// cancelled run is a partial measurement, not an error — latency and
+// event counts cover whatever completed before the abort.
+func (n *Network) RunContext(ctx context.Context) Results {
+	return n.run(ctx.Done())
+}
+
+func (n *Network) run(done <-chan struct{}) Results {
 	if n.cfg.WarmupMessages == 0 {
 		n.startMeasuring(0)
 	}
-	stalled := false
+	stalled, aborted := false, false
 	for n.delivered < n.cfg.TotalMessages {
 		c := n.kernel.Cycle()
 		if c >= n.cfg.MaxCycles {
@@ -268,6 +291,16 @@ func (n *Network) Run() Results {
 		if c > n.lastEject+n.cfg.StallCycles && (n.delivered > 0 || c > n.cfg.StallCycles) {
 			stalled = true
 			break
+		}
+		if done != nil && c%AbortCheckInterval == 0 {
+			select {
+			case <-done:
+				aborted = true
+			default:
+			}
+			if aborted {
+				break
+			}
 		}
 		n.kernel.Step()
 		if n.measuring {
@@ -280,7 +313,9 @@ func (n *Network) Run() Results {
 			n.cfg.Metrics.Tick(n.kernel.Cycle())
 		}
 	}
-	return n.results(stalled)
+	res := n.results(stalled)
+	res.Aborted = aborted
+	return res
 }
 
 // sampleUtilization records this cycle's buffer occupancies (Figs. 8-9)
@@ -462,6 +497,9 @@ type Results struct {
 	Traces map[uint64][]string
 
 	Stalled bool
+	// Aborted reports that RunContext stopped early because its context
+	// was cancelled; all measurements cover only the completed prefix.
+	Aborted bool
 }
 
 // tracesForResults exports the journey tracker's recorded lines (nil

@@ -151,6 +151,62 @@ func (u *Utilization) Mean() float64 {
 // Samples returns how many cycles were sampled.
 func (u *Utilization) Samples() uint64 { return u.n }
 
+// Estimate is a replicated measurement: the sample mean of N replicates
+// plus the half-width of its 95% confidence interval (Student's t).
+// N <= 1 yields a zero half-width — a single replicate carries no
+// dispersion information.
+type Estimate struct {
+	Mean float64
+	CI95 float64 // half-width; the interval is Mean ± CI95
+	N    int
+}
+
+// String renders "mean ± ci" (or just the mean for N <= 1).
+func (e Estimate) String() string {
+	if e.N <= 1 || e.CI95 == 0 {
+		return fmt.Sprintf("%.4g", e.Mean)
+	}
+	return fmt.Sprintf("%.4g ± %.3g", e.Mean, e.CI95)
+}
+
+// t95 holds two-sided 95% Student-t critical values for 1..30 degrees of
+// freedom; beyond that the normal approximation (1.96) is within 2%.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 estimates the population mean from replicate samples: the
+// sample mean and the 95% confidence half-width t(n-1) * s / sqrt(n).
+// Empty input returns a zero Estimate.
+func MeanCI95(samples []float64) Estimate {
+	n := len(samples)
+	if n == 0 {
+		return Estimate{}
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Estimate{Mean: mean, N: 1}
+	}
+	ss := 0.0
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	t := 1.96
+	if df <= len(t95) {
+		t = t95[df-1]
+	}
+	return Estimate{Mean: mean, CI95: t * sd / math.Sqrt(float64(n)), N: n}
+}
+
 // Throughput summarises delivery over an interval.
 type Throughput struct {
 	// FlitsDelivered counts flits ejected at destinations.

@@ -142,3 +142,44 @@ func TestEventsAdd(t *testing.T) {
 		t.Fatalf("Add wrong: %+v", a)
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	if e := MeanCI95(nil); e != (Estimate{}) {
+		t.Fatalf("empty input: got %+v, want zero", e)
+	}
+	if e := MeanCI95([]float64{7}); e.Mean != 7 || e.CI95 != 0 || e.N != 1 {
+		t.Fatalf("single sample: got %+v", e)
+	}
+	// {1..5}: mean 3, sd sqrt(2.5), t(4 df) = 2.776 -> CI 2.776*sd/sqrt(5).
+	e := MeanCI95([]float64{1, 2, 3, 4, 5})
+	if e.Mean != 3 || e.N != 5 {
+		t.Fatalf("mean/N: got %+v", e)
+	}
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(e.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 = %g, want %g", e.CI95, want)
+	}
+	// Identical samples: zero-width interval.
+	if e := MeanCI95([]float64{4, 4, 4, 4}); e.CI95 != 0 || e.Mean != 4 {
+		t.Fatalf("constant samples: got %+v", e)
+	}
+	// Large N falls back to the normal critical value.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2) // alternating 0/1: sd ~ 0.5025
+	}
+	eb := MeanCI95(big)
+	sd := math.Sqrt(0.25 * 100 / 99)
+	if want := 1.96 * sd / 10; math.Abs(eb.CI95-want) > 1e-9 {
+		t.Fatalf("large-N CI95 = %g, want %g", eb.CI95, want)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	if s := (Estimate{Mean: 3, N: 1}).String(); s != "3" {
+		t.Fatalf("single-sample string %q", s)
+	}
+	if s := (Estimate{Mean: 3, CI95: 0.5, N: 4}).String(); s != "3 ± 0.5" {
+		t.Fatalf("replicated string %q", s)
+	}
+}

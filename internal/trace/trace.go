@@ -78,6 +78,12 @@ const (
 	FaultInjected
 	FaultCorrected
 	FaultUndetected
+	// CampaignPointStart / CampaignPointDone bracket one replicate of one
+	// grid point in a campaign run (package campaign). Aux is the point
+	// index, PID the replicate index; Cycle on Done is the replicate's
+	// simulated length. Node/Port/VC are -1 (not router-attributable).
+	CampaignPointStart
+	CampaignPointDone
 
 	numKinds
 )
@@ -122,6 +128,10 @@ func (k Kind) String() string {
 		return "fault-corrected"
 	case FaultUndetected:
 		return "fault-undetected"
+	case CampaignPointStart:
+		return "campaign-point-start"
+	case CampaignPointDone:
+		return "campaign-point-done"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -33,6 +33,9 @@ func TestKindStringsStable(t *testing.T) {
 		FaultInjected:   "fault-injected",
 		FaultCorrected:  "fault-corrected",
 		FaultUndetected: "fault-undetected",
+
+		CampaignPointStart: "campaign-point-start",
+		CampaignPointDone:  "campaign-point-done",
 	}
 	for k := Kind(1); k < numKinds; k++ {
 		if w, ok := want[k]; !ok || k.String() != w {
