@@ -1,0 +1,109 @@
+// Command nocd is the simulation-as-a-service daemon: it exposes the
+// campaign engine over HTTP with a bounded job queue, a
+// content-addressed result cache, and live progress streaming.
+//
+//	nocd -addr :8080 -workers 2 -queue 32 -cache-mb 128
+//
+// API:
+//
+//	POST   /v1/campaigns             submit a campaign spec (JSON); 202
+//	                                 queued, 200 cache hit / coalesced,
+//	                                 429 + Retry-After when the queue is full
+//	GET    /v1/campaigns/{id}        status, progress and (when finished) results
+//	GET    /v1/campaigns/{id}/events SSE per-point progress + terminal event
+//	DELETE /v1/campaigns/{id}        cancel a queued or running campaign
+//	GET    /v1/stats                 queue, job and cache counters
+//	GET    /healthz                  liveness (503 while draining)
+//
+// SIGTERM/SIGINT drain gracefully: running campaigns get -drain to
+// finish, then are canceled and publish their partial results; a second
+// signal force-kills.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftnoc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	workers := flag.Int("workers", 1, "campaigns executed concurrently")
+	queue := flag.Int("queue", 16, "queued-campaign bound; beyond it submissions get 429")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB")
+	retryAfter := flag.Duration("retry-after", 5*time.Second, "Retry-After hint on 429 responses")
+	maxJobs := flag.Int("max-jobs", 1024, "finished-job records retained for GET")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown lets running campaigns finish before canceling them")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+		RetryAfter: *retryAfter,
+		MaxJobs:    *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "nocd: listening on %s (%d workers, queue %d, cache %d MiB)\n",
+		ln.Addr(), *workers, *queue, *cacheMB)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// First signal: graceful drain. stop() re-arms default signal
+	// handling once the context fires, so a second Ctrl-C force-kills
+	// instead of being swallowed for the rest of the drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "nocd: shutting down — draining running campaigns (second signal force-kills)")
+
+	// Refuse new jobs and drain campaigns first, so status/SSE requests
+	// keep being served until every job has published its terminal state.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "nocd:", err)
+	}
+	cancel()
+
+	// Then close the HTTP side: in-flight responses (including SSE
+	// streams, which ended with the jobs' terminal events) get a moment
+	// to flush.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "nocd:", err)
+	}
+	fmt.Fprintln(os.Stderr, "nocd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocd:", err)
+	os.Exit(1)
+}

@@ -178,6 +178,10 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Once the first interrupt fires, stop intercepting: a second ^C gets
+	// the default handling and kills the process instead of being ignored
+	// while the simulator finishes the abort path.
+	context.AfterFunc(ctx, stop)
 	res := ftnoc.RunContext(ctx, cfg)
 	if res.Aborted {
 		fmt.Fprintln(os.Stderr, "nocsim: interrupted — reporting partial measurements")

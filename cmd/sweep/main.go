@@ -109,6 +109,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Once the first interrupt fires, stop intercepting: a second ^C gets
+	// the default handling and kills the process instead of being ignored
+	// while the engine drains in-flight points.
+	context.AfterFunc(ctx, stop)
 	report, err := campaign.Run(ctx, spec)
 	if err != nil {
 		fatal(err)

@@ -25,9 +25,7 @@ package ftnoc
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"strings"
 
 	"ftnoc/internal/deadlock"
 	"ftnoc/internal/fault"
@@ -204,56 +202,28 @@ func RunContext(ctx context.Context, cfg Config) Results {
 
 // ParseRouting parses a CLI routing name: xy/dt, adaptive/ad,
 // west-first/westfirst, odd-even/oddeven (case-insensitive).
-func ParseRouting(s string) (Routing, error) {
-	switch strings.ToLower(s) {
-	case "xy", "dt":
-		return XY, nil
-	case "adaptive", "ad":
-		return MinimalAdaptive, nil
-	case "west-first", "westfirst":
-		return WestFirst, nil
-	case "odd-even", "oddeven":
-		return OddEven, nil
-	default:
-		return 0, fmt.Errorf("unknown routing %q (want xy, adaptive, westfirst or oddeven)", s)
-	}
-}
+func ParseRouting(s string) (Routing, error) { return routing.Parse(s) }
 
 // ParsePattern parses a CLI traffic-pattern name: NR, BC, TN, TP, SH, HS
 // (case-insensitive).
-func ParsePattern(s string) (Pattern, error) {
-	switch strings.ToUpper(s) {
-	case "NR":
-		return UniformRandom, nil
-	case "BC":
-		return BitComplement, nil
-	case "TN":
-		return Tornado, nil
-	case "TP":
-		return Transpose, nil
-	case "SH":
-		return Shuffle, nil
-	case "HS":
-		return Hotspot, nil
-	default:
-		return 0, fmt.Errorf("unknown pattern %q (want NR, BC, TN, TP, SH or HS)", s)
-	}
-}
+func ParsePattern(s string) (Pattern, error) { return traffic.ParsePattern(s) }
 
 // ParseProtection parses a CLI link-protection name: hbh, e2e, fec
 // (case-insensitive).
-func ParseProtection(s string) (Protection, error) {
-	switch strings.ToLower(s) {
-	case "hbh":
-		return HBH, nil
-	case "e2e":
-		return E2E, nil
-	case "fec":
-		return FEC, nil
-	default:
-		return 0, fmt.Errorf("unknown protection %q (want hbh, e2e or fec)", s)
-	}
-}
+func ParseProtection(s string) (Protection, error) { return link.ParseProtection(s) }
+
+// ParseTopology parses a CLI topology name: mesh, torus
+// (case-insensitive).
+func ParseTopology(s string) (TopologyKind, error) { return topology.ParseKind(s) }
+
+// ConfigHash returns the configuration's canonical content hash: a hex
+// SHA-256 over its canonical JSON form. Two configurations with the same
+// hash produce byte-identical simulation results (runs are deterministic
+// in the configuration, including the seed), which is what makes
+// content-addressed result caching — nocd's /v1/campaigns cache — sound.
+// Observability attachments (TraceSink, Metrics) do not affect results
+// and are excluded from the hash.
+func ConfigHash(cfg Config) (string, error) { return cfg.CanonicalHash() }
 
 // EnergyPerMessageNJ converts a run's measured event counts into the
 // paper's energy-per-message metric (nanojoules), using the 90 nm

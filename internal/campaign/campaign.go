@@ -61,7 +61,9 @@ type Spec struct {
 	// a distinct derived seed; replicated metrics aggregate to mean ± CI.
 	Seeds int
 
-	// Workers bounds the pool (default GOMAXPROCS).
+	// Workers bounds the pool: positive is an explicit size, zero means
+	// GOMAXPROCS, and negative is rejected by Run with an error wrapping
+	// network.ErrInvalidConfig.
 	Workers int
 
 	// Progress, when non-nil, receives CampaignPointStart/Done events as
@@ -219,6 +221,10 @@ func DeriveSeed(base uint64, point, rep int) uint64 {
 // their PointResult. Cancelling ctx stops dispatch and aborts in-flight
 // simulations; the report still contains everything that completed.
 func Run(ctx context.Context, spec Spec) (*Report, error) {
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("campaign: %w: Workers must be >= 0 (0 means GOMAXPROCS), have %d",
+			network.ErrInvalidConfig, spec.Workers)
+	}
 	points := spec.Points()
 	if len(points) == 0 {
 		return nil, fmt.Errorf("campaign: empty grid")

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// runExportReport produces a report with replicated good points and one
+// invalid point, exercising every row shape the tables can contain.
+func runExportReport(t *testing.T) *Report {
+	t.Helper()
+	spec := Spec{
+		Base:           tinyBase(),
+		InjectionRates: []float64{0.1, 1.5, 0.2}, // middle point invalid
+		Seeds:          2,
+		Workers:        2,
+	}
+	report, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// TestNDJSONRoundTrip guards the serialization nocd returns to clients:
+// a written NDJSON table, read back, must reconstruct every point row
+// exactly — coordinates, aggregates and per-replicate detail.
+func TestNDJSONRoundTrip(t *testing.T) {
+	report := runExportReport(t)
+
+	var out strings.Builder
+	if err := report.WriteNDJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadNDJSON(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(report.Points) {
+		t.Fatalf("read %d rows, want %d", len(rows), len(report.Points))
+	}
+	for i := range rows {
+		want := PointRowOf(&report.Points[i])
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Fatalf("row %d does not reconstruct the point:\n got %+v\nwant %+v", i, rows[i], want)
+		}
+	}
+	// The good points must carry real replicate detail, or the equality
+	// above proves nothing.
+	if len(rows[0].Replicates) != 2 || rows[0].Replicates[0].Delivered == 0 {
+		t.Fatalf("point 0 replicates missing: %+v", rows[0].Replicates)
+	}
+	if rows[1].Error == "" {
+		t.Fatal("invalid point lost its error")
+	}
+}
+
+// TestCSVRoundTrip is the CSV counterpart: every column must parse back
+// to the exact written value (floats use shortest-exact formatting).
+func TestCSVRoundTrip(t *testing.T) {
+	report := runExportReport(t)
+
+	var out strings.Builder
+	if err := report.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadCSV(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(report.Points) {
+		t.Fatalf("read %d rows, want %d", len(rows), len(report.Points))
+	}
+	for i := range rows {
+		want := PointRowOf(&report.Points[i])
+		// CSV carries no replicate detail and no sample counts.
+		want.Replicates = nil
+		want.AvgLatency.N, want.P95Latency.N, want.Throughput.N = 0, 0, 0
+		want.EnergyPerMsgNJ.N, want.Delivered.N = 0, 0
+		// Nor the delivered CI column.
+		want.Delivered.CI95 = 0
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Fatalf("row %d does not reconstruct the point:\n got %+v\nwant %+v", i, rows[i], want)
+		}
+	}
+	if rows[0].AvgLatency.Mean == 0 || rows[0].Completed != 2 {
+		t.Fatalf("point 0 aggregates missing: %+v", rows[0])
+	}
+
+	// Corrupt tables must be rejected, not misread.
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("ReadCSV accepted a foreign header")
+	}
+	lines := strings.SplitN(out.String(), "\n", 2)
+	if _, err := ReadCSV(strings.NewReader(lines[0] + "\nnot-a-number" + strings.Repeat(",0", 21) + ",\n")); err == nil {
+		t.Fatal("ReadCSV accepted a malformed row")
+	}
+}

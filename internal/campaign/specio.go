@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ftnoc/internal/link"
+	"ftnoc/internal/network"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/traffic"
+)
+
+// specWire is the JSON wire form of a Spec — the request body nocd's
+// POST /v1/campaigns accepts. Axis enums are spelled as their CLI names
+// (routing "xy", pattern "NR", protection "hbh", topology "mesh") rather
+// than numeric codes; `base` is a network.Config override document with
+// the same semantics as a -config file (absent fields keep NewConfig
+// defaults). Sizes may be given as "8x8" strings.
+type specWire struct {
+	Base           json.RawMessage `json:"base"`
+	Sizes          []wireSize      `json:"sizes"`
+	Topologies     []string        `json:"topologies"`
+	Routings       []string        `json:"routings"`
+	Protections    []string        `json:"protections"`
+	Patterns       []string        `json:"patterns"`
+	LinkErrorRates []float64       `json:"link_error_rates"`
+	InjectionRates []float64       `json:"injection_rates"`
+	Seeds          int             `json:"seeds"`
+	Workers        int             `json:"workers"`
+}
+
+// wireSize accepts either {"width":8,"height":8} or the string "8x8".
+type wireSize struct{ Size }
+
+func (w *wireSize) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		if _, err := fmt.Sscanf(s, "%dx%d", &w.Width, &w.Height); err != nil {
+			return fmt.Errorf("bad size %q (want WxH)", s)
+		}
+		return nil
+	}
+	var obj struct {
+		Width  int `json:"width"`
+		Height int `json:"height"`
+	}
+	d := json.NewDecoder(bytes.NewReader(data))
+	d.DisallowUnknownFields()
+	if err := d.Decode(&obj); err != nil {
+		return err
+	}
+	w.Width, w.Height = obj.Width, obj.Height
+	return nil
+}
+
+// ParseSpec decodes a campaign spec from its JSON wire form. Unknown
+// fields and unknown enum names are errors (the document is untrusted
+// client input); the returned Spec still needs the usual per-point
+// validation, which Run performs. Progress is a process-local
+// attachment, not data, and has no wire representation.
+func ParseSpec(data []byte) (Spec, error) {
+	var w specWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return Spec{}, fmt.Errorf("campaign: decoding spec: %w", err)
+	}
+
+	base := network.NewConfig()
+	if len(w.Base) > 0 {
+		var err error
+		if base, err = network.ReadConfig(bytes.NewReader(w.Base)); err != nil {
+			return Spec{}, fmt.Errorf("campaign: spec base: %w", err)
+		}
+	}
+	spec := Spec{
+		Base:           base,
+		LinkErrorRates: w.LinkErrorRates,
+		InjectionRates: w.InjectionRates,
+		Seeds:          w.Seeds,
+		Workers:        w.Workers,
+	}
+	for _, s := range w.Sizes {
+		spec.Sizes = append(spec.Sizes, s.Size)
+	}
+	for _, name := range w.Topologies {
+		k, err := topology.ParseKind(name)
+		if err != nil {
+			return Spec{}, fmt.Errorf("campaign: spec topologies: %w", err)
+		}
+		spec.Topologies = append(spec.Topologies, k)
+	}
+	for _, name := range w.Routings {
+		a, err := routing.Parse(name)
+		if err != nil {
+			return Spec{}, fmt.Errorf("campaign: spec routings: %w", err)
+		}
+		spec.Routings = append(spec.Routings, a)
+	}
+	for _, name := range w.Protections {
+		p, err := link.ParseProtection(name)
+		if err != nil {
+			return Spec{}, fmt.Errorf("campaign: spec protections: %w", err)
+		}
+		spec.Protections = append(spec.Protections, p)
+	}
+	for _, name := range w.Patterns {
+		p, err := traffic.ParsePattern(name)
+		if err != nil {
+			return Spec{}, fmt.Errorf("campaign: spec patterns: %w", err)
+		}
+		spec.Patterns = append(spec.Patterns, p)
+	}
+	return spec, nil
+}
+
+// CanonicalHash content-addresses the campaign's results: a hex SHA-256
+// over the replicate count and every expanded point's validated
+// canonical Config. Runs are deterministic and scheduling-independent,
+// so two specs with equal hashes produce byte-identical reports —
+// Workers and Progress deliberately do not contribute. Each point's
+// Config embeds Base.Seed (the root of per-replicate seed derivation),
+// so the base seed is hashed implicitly. An invalid point makes the
+// spec unhashable, mirroring Run's refusal to execute it silently.
+func (s Spec) CanonicalHash() (string, error) {
+	points := s.Points()
+	reps := s.Seeds
+	if reps <= 0 {
+		reps = 1
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ftnoc-campaign-v1 reps=%d points=%d\n", reps, len(points))
+	for i := range points {
+		if err := points[i].Config.Validate(); err != nil {
+			return "", fmt.Errorf("campaign: point %d: %w", i, err)
+		}
+		cj, err := points[i].Config.CanonicalJSON()
+		if err != nil {
+			return "", fmt.Errorf("campaign: point %d: %w", i, err)
+		}
+		h.Write(cj)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -28,24 +29,20 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for i := range r.Points {
-		p := &r.Points[i]
-		errText := ""
-		if p.Err != nil {
-			errText = p.Err.Error()
-		}
+		p := PointRowOf(&r.Points[i])
 		row := []string{
-			strconv.Itoa(p.Index),
-			strconv.Itoa(p.Size.Width), strconv.Itoa(p.Size.Height),
-			p.Topology.String(), p.Routing.String(), p.Protection.String(), p.Pattern.String(),
+			strconv.Itoa(p.Point),
+			strconv.Itoa(p.Width), strconv.Itoa(p.Height),
+			p.Topology, p.Routing, p.Protection, p.Pattern,
 			formatFloat(p.LinkErrorRate), formatFloat(p.InjectionRate),
-			strconv.Itoa(len(p.Reps)),
-			strconv.Itoa(p.Agg.Completed), strconv.Itoa(p.Agg.Stalled), strconv.Itoa(p.Agg.Aborted),
-			formatFloat(p.Agg.Delivered.Mean),
-			formatFloat(p.Agg.AvgLatency.Mean), formatFloat(p.Agg.AvgLatency.CI95),
-			formatFloat(p.Agg.P95Latency.Mean), formatFloat(p.Agg.P95Latency.CI95),
-			formatFloat(p.Agg.Throughput.Mean), formatFloat(p.Agg.Throughput.CI95),
-			formatFloat(p.Agg.EnergyPerMsgNJ.Mean), formatFloat(p.Agg.EnergyPerMsgNJ.CI95),
-			errText,
+			strconv.Itoa(p.Reps),
+			strconv.Itoa(p.Completed), strconv.Itoa(p.Stalled), strconv.Itoa(p.Aborted),
+			formatFloat(p.Delivered.Mean),
+			formatFloat(p.AvgLatency.Mean), formatFloat(p.AvgLatency.CI95),
+			formatFloat(p.P95Latency.Mean), formatFloat(p.P95Latency.CI95),
+			formatFloat(p.Throughput.Mean), formatFloat(p.Throughput.CI95),
+			formatFloat(p.EnergyPerMsgNJ.Mean), formatFloat(p.EnergyPerMsgNJ.CI95),
+			p.Error,
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -55,11 +52,14 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// formatFloat renders a float in the shortest form that parses back to
+// the identical value, so the tables round-trip losslessly.
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// ndjsonPoint is the NDJSON row shape: the point's coordinates and
-// aggregate, plus one entry per replicate.
-type ndjsonPoint struct {
+// PointRow is the flattened external form of a PointResult: one NDJSON
+// line (with nested replicates) or one CSV row (without). It is the
+// row shape nocd returns to API clients.
+type PointRow struct {
 	Point         int     `json:"point"`
 	Width         int     `json:"width"`
 	Height        int     `json:"height"`
@@ -76,22 +76,24 @@ type ndjsonPoint struct {
 	Aborted   int    `json:"aborted"`
 	Error     string `json:"error,omitempty"`
 
-	AvgLatency     ndjsonEstimate `json:"avg_latency"`
-	P95Latency     ndjsonEstimate `json:"p95_latency"`
-	Throughput     ndjsonEstimate `json:"throughput"`
-	EnergyPerMsgNJ ndjsonEstimate `json:"energy_nj"`
-	Delivered      ndjsonEstimate `json:"delivered"`
+	AvgLatency     EstimateRow `json:"avg_latency"`
+	P95Latency     EstimateRow `json:"p95_latency"`
+	Throughput     EstimateRow `json:"throughput"`
+	EnergyPerMsgNJ EstimateRow `json:"energy_nj"`
+	Delivered      EstimateRow `json:"delivered"`
 
-	Replicates []ndjsonRep `json:"replicates"`
+	Replicates []RepRow `json:"replicates,omitempty"`
 }
 
-type ndjsonEstimate struct {
+// EstimateRow is the external form of a stats.Estimate.
+type EstimateRow struct {
 	Mean float64 `json:"mean"`
 	CI95 float64 `json:"ci95"`
 	N    int     `json:"n"`
 }
 
-type ndjsonRep struct {
+// RepRow is the external form of one replicate's measurements.
+type RepRow struct {
 	Seed       uint64  `json:"seed"`
 	Delivered  uint64  `json:"delivered"`
 	Cycles     uint64  `json:"cycles"`
@@ -103,50 +105,162 @@ type ndjsonRep struct {
 	Error      string  `json:"error,omitempty"`
 }
 
+// PointRowOf flattens a PointResult into its external row form,
+// including per-replicate detail (never-dispatched replicates are
+// omitted, matching the aggregates).
+func PointRowOf(p *PointResult) PointRow {
+	row := PointRow{
+		Point: p.Index, Width: p.Size.Width, Height: p.Size.Height,
+		Topology: p.Topology.String(), Routing: p.Routing.String(),
+		Protection: p.Protection.String(), Pattern: p.Pattern.String(),
+		LinkErrorRate: p.LinkErrorRate, InjectionRate: p.InjectionRate,
+		Reps: len(p.Reps), Completed: p.Agg.Completed,
+		Stalled: p.Agg.Stalled, Aborted: p.Agg.Aborted,
+		AvgLatency:     EstimateRow(p.Agg.AvgLatency),
+		P95Latency:     EstimateRow(p.Agg.P95Latency),
+		Throughput:     EstimateRow(p.Agg.Throughput),
+		EnergyPerMsgNJ: EstimateRow(p.Agg.EnergyPerMsgNJ),
+		Delivered:      EstimateRow(p.Agg.Delivered),
+	}
+	if p.Err != nil {
+		row.Error = p.Err.Error()
+	}
+	for _, rr := range p.Reps {
+		if rr.Seed == 0 && rr.Err == nil {
+			continue // never dispatched
+		}
+		rep := RepRow{
+			Seed:       rr.Seed,
+			Delivered:  rr.Results.Delivered,
+			Cycles:     rr.Results.Cycles,
+			AvgLatency: rr.Results.AvgLatency,
+			P95Latency: rr.Results.P95Latency,
+			Throughput: rr.Results.Throughput.FlitsPerNodePerCycle(),
+			Stalled:    rr.Results.Stalled,
+			Aborted:    rr.Results.Aborted,
+		}
+		if rr.Err != nil {
+			rep.Error = rr.Err.Error()
+		}
+		row.Replicates = append(row.Replicates, rep)
+	}
+	return row
+}
+
 // WriteNDJSON renders the report as one JSON object per line per point,
 // in grid order, with per-replicate detail nested in each row.
 func (r *Report) WriteNDJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for i := range r.Points {
-		p := &r.Points[i]
-		row := ndjsonPoint{
-			Point: p.Index, Width: p.Size.Width, Height: p.Size.Height,
-			Topology: p.Topology.String(), Routing: p.Routing.String(),
-			Protection: p.Protection.String(), Pattern: p.Pattern.String(),
-			LinkErrorRate: p.LinkErrorRate, InjectionRate: p.InjectionRate,
-			Reps: len(p.Reps), Completed: p.Agg.Completed,
-			Stalled: p.Agg.Stalled, Aborted: p.Agg.Aborted,
-			AvgLatency:     ndjsonEstimate(p.Agg.AvgLatency),
-			P95Latency:     ndjsonEstimate(p.Agg.P95Latency),
-			Throughput:     ndjsonEstimate(p.Agg.Throughput),
-			EnergyPerMsgNJ: ndjsonEstimate(p.Agg.EnergyPerMsgNJ),
-			Delivered:      ndjsonEstimate(p.Agg.Delivered),
-		}
-		if p.Err != nil {
-			row.Error = p.Err.Error()
-		}
-		for _, rr := range p.Reps {
-			if rr.Seed == 0 && rr.Err == nil {
-				continue // never dispatched
-			}
-			rep := ndjsonRep{
-				Seed:       rr.Seed,
-				Delivered:  rr.Results.Delivered,
-				Cycles:     rr.Results.Cycles,
-				AvgLatency: rr.Results.AvgLatency,
-				P95Latency: rr.Results.P95Latency,
-				Throughput: rr.Results.Throughput.FlitsPerNodePerCycle(),
-				Stalled:    rr.Results.Stalled,
-				Aborted:    rr.Results.Aborted,
-			}
-			if rr.Err != nil {
-				rep.Error = rr.Err.Error()
-			}
-			row.Replicates = append(row.Replicates, rep)
-		}
-		if err := enc.Encode(row); err != nil {
-			return fmt.Errorf("campaign: encoding point %d: %w", p.Index, err)
+		if err := enc.Encode(PointRowOf(&r.Points[i])); err != nil {
+			return fmt.Errorf("campaign: encoding point %d: %w", r.Points[i].Index, err)
 		}
 	}
 	return nil
+}
+
+// ReadNDJSON parses a WriteNDJSON table back into its rows, in file
+// order. Together with ReadCSV it guards the export formats: a report
+// written and read back must reconstruct every row.
+func ReadNDJSON(r io.Reader) ([]PointRow, error) {
+	var rows []PointRow
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var row PointRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return nil, fmt.Errorf("campaign: parsing NDJSON row %d: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: reading NDJSON: %w", err)
+	}
+	return rows, nil
+}
+
+// ReadCSV parses a WriteCSV table back into its rows. CSV carries no
+// per-replicate detail and no sample counts, so Replicates is nil and
+// the estimates' N is zero; every other field round-trips exactly
+// (floats are written in shortest-exact form).
+func ReadCSV(r io.Reader) ([]PointRow, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("campaign: CSV table has no header")
+	}
+	if got, want := records[0], csvHeader; !equalStrings(got, want) {
+		return nil, fmt.Errorf("campaign: CSV header %q does not match the table format", got)
+	}
+	rows := make([]PointRow, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		row, err := parseCSVRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: parsing CSV row %d: %w", i, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func parseCSVRow(rec []string) (PointRow, error) {
+	if len(rec) != len(csvHeader) {
+		return PointRow{}, fmt.Errorf("have %d columns, want %d", len(rec), len(csvHeader))
+	}
+	f := fieldParser{rec: rec}
+	row := PointRow{
+		Point: f.int(0), Width: f.int(1), Height: f.int(2),
+		Topology: rec[3], Routing: rec[4], Protection: rec[5], Pattern: rec[6],
+		LinkErrorRate: f.float(7), InjectionRate: f.float(8),
+		Reps: f.int(9), Completed: f.int(10), Stalled: f.int(11), Aborted: f.int(12),
+		Delivered:      EstimateRow{Mean: f.float(13)},
+		AvgLatency:     EstimateRow{Mean: f.float(14), CI95: f.float(15)},
+		P95Latency:     EstimateRow{Mean: f.float(16), CI95: f.float(17)},
+		Throughput:     EstimateRow{Mean: f.float(18), CI95: f.float(19)},
+		EnergyPerMsgNJ: EstimateRow{Mean: f.float(20), CI95: f.float(21)},
+		Error:          rec[22],
+	}
+	return row, f.err
+}
+
+// fieldParser accumulates the first strconv error across a row's typed
+// columns, so parseCSVRow reads as a table instead of an error ladder.
+type fieldParser struct {
+	rec []string
+	err error
+}
+
+func (f *fieldParser) int(i int) int {
+	v, err := strconv.Atoi(f.rec[i])
+	if err != nil && f.err == nil {
+		f.err = fmt.Errorf("column %q: %w", csvHeader[i], err)
+	}
+	return v
+}
+
+func (f *fieldParser) float(i int) float64 {
+	v, err := strconv.ParseFloat(f.rec[i], 64)
+	if err != nil && f.err == nil {
+		f.err = fmt.Errorf("column %q: %w", csvHeader[i], err)
+	}
+	return v
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

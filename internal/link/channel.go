@@ -1,6 +1,9 @@
 package link
 
 import (
+	"fmt"
+	"strings"
+
 	"ftnoc/internal/fault"
 	"ftnoc/internal/flit"
 	"ftnoc/internal/sim"
@@ -40,6 +43,21 @@ func (p Protection) String() string {
 		return "FEC"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseProtection maps a protection name (hbh, e2e, fec —
+// case-insensitive) to its Protection.
+func ParseProtection(s string) (Protection, error) {
+	switch strings.ToLower(s) {
+	case "hbh":
+		return HBH, nil
+	case "e2e":
+		return E2E, nil
+	case "fec":
+		return FEC, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q (want hbh, e2e or fec)", s)
 	}
 }
 

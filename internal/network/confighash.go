@@ -1,0 +1,36 @@
+package network
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON returns the configuration's canonical serialized form:
+// compact JSON with the struct's fixed field order. It is the input to
+// CanonicalHash and is stable across runs and processes — encoding/json
+// emits struct fields in declaration order, and every Config field is a
+// value type, so equal configurations always serialize to equal bytes.
+// TraceSink and Metrics carry `json:"-"`: observability attachments do
+// not alter simulation results and must not alter the hash.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("network: canonicalizing config: %w", err)
+	}
+	return b, nil
+}
+
+// CanonicalHash returns the hex SHA-256 of CanonicalJSON. Because a
+// simulation is a pure function of its Config (seed included), the hash
+// content-addresses the run's results: equal hashes mean byte-identical
+// measurements.
+func (c Config) CanonicalHash() (string, error) {
+	b, err := c.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

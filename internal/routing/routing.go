@@ -8,6 +8,7 @@ package routing
 
 import (
 	"fmt"
+	"strings"
 
 	"ftnoc/internal/flit"
 	"ftnoc/internal/topology"
@@ -50,6 +51,24 @@ func (a Algorithm) String() string {
 		return "odd-even"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Parse maps a routing name to its Algorithm, case-insensitively. It
+// accepts both the CLI short forms (xy/dt, adaptive/ad) and the String
+// forms (west-first, odd-even), with and without the hyphen.
+func Parse(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "xy", "dt":
+		return XY, nil
+	case "adaptive", "ad":
+		return MinimalAdaptive, nil
+	case "west-first", "westfirst":
+		return WestFirst, nil
+	case "odd-even", "oddeven":
+		return OddEven, nil
+	default:
+		return 0, fmt.Errorf("unknown routing %q (want xy, adaptive, westfirst or oddeven)", s)
 	}
 }
 

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the content-addressed result store: canonical spec hash →
+// rendered result bytes, bounded by a byte budget with LRU eviction.
+// Because campaign runs are deterministic and scheduling-independent, a
+// hit is byte-identical to re-running the spec, so eviction only costs
+// recomputation — never correctness.
+type cache struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	ll        *list.List // MRU at front; values are *centry
+	m         map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type centry struct {
+	key string
+	val []byte
+}
+
+// CacheStats is the cache's exported counter snapshot (/v1/stats).
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func newCache(budget int64) *cache {
+	return &cache{budget: budget, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes for key, marking the entry most recently
+// used. Callers must treat the returned slice as immutable — it is
+// shared with every other hit for the same key.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).val, true
+}
+
+// put stores val under key, evicting least-recently-used entries until
+// the byte budget holds. A value that alone exceeds the budget is not
+// stored (it would only evict everything and then itself).
+func (c *cache) put(key string, val []byte) {
+	size := entrySize(key, val)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.m[key]; ok {
+		ent := el.Value.(*centry)
+		c.bytes += size - entrySize(ent.key, ent.val)
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.m[key] = c.ll.PushFront(&centry{key: key, val: val})
+		c.bytes += size
+	}
+	for c.bytes > c.budget {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*centry)
+		c.ll.Remove(oldest)
+		delete(c.m, ent.key)
+		c.bytes -= entrySize(ent.key, ent.val)
+		c.evictions++
+	}
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: len(c.m), Bytes: c.bytes, Budget: c.budget,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
+func entrySize(key string, val []byte) int64 { return int64(len(key) + len(val)) }

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget fits exactly two entries of key 2 bytes + value 8 bytes.
+	c := newCache(20)
+	val := func(i int) []byte { return []byte(fmt.Sprintf("value-%02d", i)) }
+
+	c.put("k1", val(1))
+	c.put("k2", val(2))
+	if _, ok := c.get("k1"); !ok {
+		t.Fatal("k1 missing before budget pressure")
+	}
+	// k1 is now MRU; inserting k3 must evict k2.
+	c.put("k3", val(3))
+	if _, ok := c.get("k2"); ok {
+		t.Fatal("k2 survived eviction despite being LRU")
+	}
+	if v, ok := c.get("k1"); !ok || !bytes.Equal(v, val(1)) {
+		t.Fatalf("k1 lost or corrupted: %q", v)
+	}
+	if v, ok := c.get("k3"); !ok || !bytes.Equal(v, val(3)) {
+		t.Fatalf("k3 lost or corrupted: %q", v)
+	}
+
+	st := c.stats()
+	if st.Entries != 2 || st.Bytes != 20 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// get hits: k1 (pre), k2 miss, k1, k3. misses: k2.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheUpdateAndOversize(t *testing.T) {
+	c := newCache(20)
+	c.put("k1", []byte("12345678"))
+	c.put("k1", []byte("1234")) // update shrinks
+	if st := c.stats(); st.Entries != 1 || st.Bytes != 6 {
+		t.Fatalf("stats after update: %+v", st)
+	}
+	// A value that alone busts the budget is not stored and evicts nothing.
+	c.put("k2", bytes.Repeat([]byte("x"), 32))
+	if _, ok := c.get("k2"); ok {
+		t.Fatal("oversize value was stored")
+	}
+	if v, ok := c.get("k1"); !ok || !bytes.Equal(v, []byte("1234")) {
+		t.Fatal("oversize insert disturbed existing entries")
+	}
+}

@@ -1,0 +1,572 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ftnoc/internal/campaign"
+)
+
+// tinySpecBody is a 2-point, 2-replicate campaign small enough for CI.
+func tinySpecBody(seed uint64) string {
+	return fmt.Sprintf(`{
+		"base": {"Width": 4, "Height": 4, "WarmupMessages": 50, "TotalMessages": 300,
+		         "MaxCycles": 100000, "StallCycles": 30000, "Seed": %d},
+		"injection_rates": [0.1, 0.2],
+		"seeds": 2
+	}`, seed)
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, body string) (submitResponse, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr submitResponse
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	}
+	return sr, resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls until the job reaches a terminal state or the
+// deadline passes, returning the final status.
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return statusResponse{}
+}
+
+// resultBytes reassembles the status response's result rows into the
+// raw NDJSON bytes the server stores and caches.
+func resultBytes(st statusResponse) []byte {
+	var buf bytes.Buffer
+	for _, row := range st.Result {
+		buf.Write(row)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// consumeSSE reads the event stream until the server closes it,
+// returning the event names in order and the last event's data.
+func consumeSSE(t *testing.T, ts *httptest.Server, id string) (names []string, lastData string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			names = append(names, name)
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			lastData = data
+		}
+	}
+	return names, lastData
+}
+
+// TestCacheHitByteIdentical is the subsystem's core guarantee: a cache
+// hit returns bytes identical to a fresh run of the same canonical
+// spec — proven against an out-of-band campaign.Run, not just against
+// the first response.
+func TestCacheHitByteIdentical(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer shutdownNow(t, s)
+
+	body := tinySpecBody(11)
+	sr, resp := postSpec(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted || sr.Cached {
+		t.Fatalf("first submit: status %d cached %v", resp.StatusCode, sr.Cached)
+	}
+	if sr.Points != 2 || sr.Reps != 4 {
+		t.Fatalf("grid accounting: %+v", sr)
+	}
+	first := waitState(t, ts, sr.ID, StateDone)
+	if first.Cached {
+		t.Fatal("first run claims to be cached")
+	}
+	got := resultBytes(first)
+
+	// Ground truth: the same spec run directly through the engine.
+	spec, err := campaign.ParseSpec([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("server result differs from direct run:\nserver: %s\ndirect: %s", got, want)
+	}
+
+	// Resubmission: a new job, born done, cached, byte-identical.
+	sr2, resp2 := postSpec(t, ts, body)
+	if resp2.StatusCode != http.StatusOK || !sr2.Cached {
+		t.Fatalf("resubmit: status %d cached %v", resp2.StatusCode, sr2.Cached)
+	}
+	if sr2.ID == sr.ID {
+		t.Fatal("cache hit reused the original job id")
+	}
+	if sr2.Hash != sr.Hash {
+		t.Fatalf("hashes differ: %s vs %s", sr2.Hash, sr.Hash)
+	}
+	second := getStatus(t, ts, sr2.ID)
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("cached job: %+v", second)
+	}
+	if !bytes.Equal(resultBytes(second), want) {
+		t.Fatal("cache hit is not byte-identical to the fresh run")
+	}
+	// And the cached rows still parse as a campaign table.
+	rows, err := campaign.ReadNDJSON(bytes.NewReader(resultBytes(second)))
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("cached result unparseable: %v (%d rows)", err, len(rows))
+	}
+
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Entries != 1 {
+		t.Fatalf("cache stats: %+v", st.Cache)
+	}
+
+	// A different seed is a different canonical spec: miss, not hit.
+	sr3, resp3 := postSpec(t, ts, tinySpecBody(12))
+	if resp3.StatusCode != http.StatusAccepted || sr3.Cached || sr3.Hash == sr.Hash {
+		t.Fatalf("different seed treated as identical: status %d %+v", resp3.StatusCode, sr3)
+	}
+	waitState(t, ts, sr3.ID, StateDone)
+}
+
+// stubRunner is a controllable campaign executor: it signals when a job
+// starts and blocks until released or canceled.
+type stubRunner struct {
+	started chan string
+	release chan struct{}
+}
+
+func newStubRunner() *stubRunner {
+	return &stubRunner{started: make(chan string, 16), release: make(chan struct{})}
+}
+
+func (g *stubRunner) run(ctx context.Context, spec campaign.Spec) (*campaign.Report, error) {
+	g.started <- fmt.Sprint(spec.Base.Seed)
+	select {
+	case <-g.release:
+		return &campaign.Report{Points: make([]campaign.PointResult, 1), Workers: 1}, nil
+	case <-ctx.Done():
+		return &campaign.Report{Points: make([]campaign.PointResult, 1), Workers: 1, Aborted: true}, nil
+	}
+}
+
+func shutdownNow(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestQueueFullBackpressure fills the queue and asserts the contract:
+// the overflow submission gets 429 + Retry-After while the accepted
+// jobs still run to completion.
+func TestQueueFullBackpressure(t *testing.T) {
+	g := newStubRunner()
+	s := newServer(Options{Workers: 1, QueueDepth: 1, RetryAfter: 7 * time.Second}, g.run)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	srA, respA := postSpec(t, ts, tinySpecBody(1))
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit A = %d", respA.StatusCode)
+	}
+	<-g.started // the lone worker now holds A; the buffer is empty
+
+	srB, respB := postSpec(t, ts, tinySpecBody(2))
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit B = %d", respB.StatusCode)
+	}
+
+	// Queue (depth 1) holds B; C must be refused with backpressure.
+	_, respC := postSpec(t, ts, tinySpecBody(3))
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit C = %d, want 429", respC.StatusCode)
+	}
+	if ra := respC.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want 7", ra)
+	}
+
+	// The refused submission must not have dented the accepted ones.
+	close(g.release)
+	waitState(t, ts, srA.ID, StateDone)
+	waitState(t, ts, srB.ID, StateDone)
+
+	st := s.Stats()
+	if st.Jobs[string(StateDone)] != 2 {
+		t.Fatalf("done jobs = %d, want 2 (stats %+v)", st.Jobs[string(StateDone)], st)
+	}
+	shutdownNow(t, s)
+}
+
+// TestCoalescing: an identical spec submitted while its twin is active
+// attaches to the same job instead of running twice.
+func TestCoalescing(t *testing.T) {
+	g := newStubRunner()
+	s := newServer(Options{Workers: 1, QueueDepth: 4}, g.run)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	srA, _ := postSpec(t, ts, tinySpecBody(1))
+	<-g.started
+	srB, respB := postSpec(t, ts, tinySpecBody(1))
+	if respB.StatusCode != http.StatusOK || !srB.Coalesced || srB.ID != srA.ID {
+		t.Fatalf("identical submit not coalesced: %d %+v", respB.StatusCode, srB)
+	}
+	close(g.release)
+	waitState(t, ts, srA.ID, StateDone)
+	shutdownNow(t, s)
+}
+
+// TestSSEStreamAndCancel: a subscriber sees progress and the guaranteed
+// terminal event; DELETE cancels a running job.
+func TestSSEStreamAndCancel(t *testing.T) {
+	g := newStubRunner()
+	s := newServer(Options{Workers: 1}, g.run)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	sr, _ := postSpec(t, ts, tinySpecBody(1))
+	<-g.started
+
+	sseDone := make(chan []string, 1)
+	go func() {
+		names, _ := consumeSSE(t, ts, sr.ID)
+		sseDone <- names
+	}()
+	time.Sleep(50 * time.Millisecond) // let the subscriber attach
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+sr.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+
+	st := waitState(t, ts, sr.ID, StateCanceled)
+	if !st.Aborted {
+		t.Fatalf("canceled run not marked aborted: %+v", st)
+	}
+	select {
+	case names := <-sseDone:
+		if len(names) == 0 || names[len(names)-1] != string(StateCanceled) {
+			t.Fatalf("SSE events = %v, want terminal canceled", names)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never terminated after cancel")
+	}
+
+	// Canceling a terminal job is a conflict, not a crash.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+sr.ID, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE = %d, want 409", resp2.StatusCode)
+	}
+	shutdownNow(t, s)
+}
+
+// TestSSERealCampaignProgress runs a real 2-point campaign and checks
+// the bus-to-SSE bridge delivers per-point progress and a terminal done
+// event with full replicate accounting.
+func TestSSERealCampaignProgress(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer shutdownNow(t, s)
+
+	sr, _ := postSpec(t, ts, tinySpecBody(21))
+	names, lastData := consumeSSE(t, ts, sr.ID)
+	if names[len(names)-1] != string(StateDone) {
+		t.Fatalf("terminal event = %v", names)
+	}
+	var counted struct {
+		RepsDone  int `json:"reps_done"`
+		RepsTotal int `json:"reps_total"`
+	}
+	if err := json.Unmarshal([]byte(lastData), &counted); err != nil {
+		t.Fatalf("terminal data %q: %v", lastData, err)
+	}
+	if counted.RepsDone != 4 || counted.RepsTotal != 4 {
+		t.Fatalf("terminal accounting %q", lastData)
+	}
+	var starts, dones int
+	for _, n := range names {
+		switch n {
+		case "point-start":
+			starts++
+		case "point-done":
+			dones++
+		}
+	}
+	// The subscriber attached after submission, so it may have missed
+	// early events, but a 4-replicate campaign must show some progress
+	// and every observed start pairs with no more dones than starts.
+	if dones == 0 && starts == 0 {
+		t.Fatalf("no progress events at all: %v", names)
+	}
+
+	// A late subscriber to a finished job gets the terminal event only.
+	lateNames, _ := consumeSSE(t, ts, sr.ID)
+	if len(lateNames) != 1 || lateNames[0] != string(StateDone) {
+		t.Fatalf("late subscription events = %v", lateNames)
+	}
+}
+
+// TestShutdownDrainsAndCancels is the graceful-lifecycle contract:
+// SIGTERM-style shutdown cancels the running campaign after the drain
+// deadline, the job lands in a partial-but-valid canceled state, SSE
+// clients get a terminal event, submissions are refused, and no worker
+// goroutines are left behind.
+func TestShutdownDrainsAndCancels(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A campaign big enough to still be running when shutdown hits.
+	body := `{
+		"base": {"Width": 4, "Height": 4, "WarmupMessages": 1000, "TotalMessages": 2000000,
+		         "MaxCycles": 2000000000, "StallCycles": 2000000000, "Seed": 5},
+		"injection_rates": [0.2]
+	}`
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	srRun, _ := postSpec(t, ts, body)
+	// A queued job behind it must be canceled without starting.
+	srQueued, _ := postSpec(t, ts, tinySpecBody(6))
+
+	// Wait until the big campaign is actually running.
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts, srRun.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sseDone := make(chan []string, 1)
+	go func() {
+		names, _ := consumeSSE(t, ts, srRun.ID)
+		sseDone <- names
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("shutdown took %v", elapsed)
+	}
+
+	// The running job: canceled, partial-but-valid results.
+	st := getStatus(t, ts, srRun.ID)
+	if st.State != StateCanceled || !st.Aborted {
+		t.Fatalf("running job after shutdown: %+v", st)
+	}
+	rows, err := campaign.ReadNDJSON(bytes.NewReader(resultBytes(st)))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("partial result invalid: %v (%d rows)", err, len(rows))
+	}
+	if len(rows[0].Replicates) != 1 || !rows[0].Replicates[0].Aborted {
+		t.Fatalf("partial replicate not marked aborted: %+v", rows[0].Replicates)
+	}
+
+	// The queued job: canceled without running.
+	stQ := getStatus(t, ts, srQueued.ID)
+	if stQ.State != StateCanceled || stQ.Started != "" {
+		t.Fatalf("queued job after shutdown: %+v", stQ)
+	}
+
+	// SSE client received a terminal event and the stream closed.
+	select {
+	case names := <-sseDone:
+		if len(names) == 0 || names[len(names)-1] != string(StateCanceled) {
+			t.Fatalf("SSE terminal after shutdown = %v", names)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream never terminated after shutdown")
+	}
+
+	// Draining refuses new work and reports unhealthy.
+	_, resp := postSpec(t, ts, tinySpecBody(7))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", hz.StatusCode)
+	}
+
+	// No leaked workers or campaign goroutines.
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d:\n%s",
+				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSubmitValidation: malformed and invalid specs are 400s with a
+// JSON error, never enqueued.
+func TestSubmitValidation(t *testing.T) {
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer shutdownNow(t, s)
+
+	for name, body := range map[string]string{
+		"not json":         `{`,
+		"unknown field":    `{"bogus": 1}`,
+		"invalid point":    `{"base": {"Width": 4, "Height": 4}, "injection_rates": [1.5]}`,
+		"negative workers": `{"workers": -1}`,
+		"bad routing":      `{"routings": ["zigzag"]}`,
+	} {
+		_, resp := postSpec(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if st := s.Stats(); len(st.Jobs) != 0 {
+		t.Fatalf("invalid submissions created jobs: %+v", st.Jobs)
+	}
+
+	// Unknown job id → 404.
+	resp, err := http.Get(ts.URL + "/v1/campaigns/c99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+
+	// Healthz is healthy while serving.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+}
+
+// TestFinishedJobRetention: finished records are bounded; evicted jobs
+// 404 but their results stay servable from the cache.
+func TestFinishedJobRetention(t *testing.T) {
+	g := newStubRunner()
+	close(g.release) // every job completes immediately
+	s := newServer(Options{Workers: 1, QueueDepth: 8, MaxJobs: 2}, g.run)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var ids []string
+	for seed := uint64(1); seed <= 4; seed++ {
+		sr, _ := postSpec(t, ts, tinySpecBody(seed))
+		waitState(t, ts, sr.ID, StateDone)
+		ids = append(ids, sr.ID)
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job GET = %d, want 404", resp.StatusCode)
+	}
+	// The newest job must survive.
+	if st := getStatus(t, ts, ids[3]); st.State != StateDone {
+		t.Fatalf("newest job lost: %+v", st)
+	}
+	// And the evicted job's result is still a cache hit.
+	sr, respHit := postSpec(t, ts, tinySpecBody(1))
+	if respHit.StatusCode != http.StatusOK || !sr.Cached {
+		t.Fatalf("evicted job result not cached: %d %+v", respHit.StatusCode, sr)
+	}
+	shutdownNow(t, s)
+}

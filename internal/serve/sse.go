@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// sseEvent is one server-sent event: a name and a single-line JSON
+// payload.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// hub fans one job's progress stream out to its SSE subscribers.
+//
+// Delivery contract: progress events (point-start/point-done) are
+// best-effort — a subscriber that cannot keep up loses intermediate
+// events, never the stream — but the terminal event is guaranteed: it is
+// stored on the hub, so subscribers read it after their channel closes,
+// and late subscribers (after the job finished) receive it immediately.
+type hub struct {
+	mu       sync.Mutex
+	subs     map[chan sseEvent]struct{}
+	terminal *sseEvent
+}
+
+func newHub() *hub { return &hub{subs: make(map[chan sseEvent]struct{})} }
+
+// subscribe registers a listener. If the job already reached a terminal
+// state, it returns a nil channel and the terminal event instead.
+func (h *hub) subscribe() (chan sseEvent, *sseEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.terminal != nil {
+		return nil, h.terminal
+	}
+	ch := make(chan sseEvent, 256)
+	h.subs[ch] = struct{}{}
+	return ch, nil
+}
+
+func (h *hub) unsubscribe(ch chan sseEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, ch)
+}
+
+// publish delivers a progress event to every subscriber that has buffer
+// space; slow subscribers drop it (see the delivery contract above).
+func (h *hub) publish(ev sseEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.terminal != nil {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// close records the terminal event and ends every subscription. It is
+// idempotent; only the first terminal wins.
+func (h *hub) close(term sseEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.terminal != nil {
+		return
+	}
+	h.terminal = &term
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = make(map[chan sseEvent]struct{})
+}
+
+// terminalEvent returns the stored terminal event, or nil if the job is
+// still active.
+func (h *hub) terminalEvent() *sseEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.terminal
+}
+
+// writeSSE emits one event in text/event-stream framing and flushes it.
+func writeSSE(w http.ResponseWriter, f http.Flusher, ev sseEvent) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+	f.Flush()
+}

@@ -7,6 +7,7 @@ package topology
 
 import (
 	"fmt"
+	"strings"
 
 	"ftnoc/internal/flit"
 )
@@ -83,6 +84,19 @@ func (k Kind) String() string {
 		return "torus"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a topology name ("mesh" or "torus", case-insensitive)
+// to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "mesh":
+		return Mesh, nil
+	case "torus":
+		return Torus, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q (want mesh or torus)", s)
 	}
 }
 

@@ -8,6 +8,7 @@ package traffic
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"ftnoc/internal/flit"
 	"ftnoc/internal/sim"
@@ -51,6 +52,27 @@ func (p Pattern) String() string {
 		return "HS"
 	default:
 		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// ParsePattern maps a pattern mnemonic (NR, BC, TN, TP, SH, HS —
+// case-insensitive) to its Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	switch strings.ToUpper(s) {
+	case "NR":
+		return UniformRandom, nil
+	case "BC":
+		return BitComplement, nil
+	case "TN":
+		return Tornado, nil
+	case "TP":
+		return Transpose, nil
+	case "SH":
+		return Shuffle, nil
+	case "HS":
+		return Hotspot, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q (want NR, BC, TN, TP, SH or HS)", s)
 	}
 }
 

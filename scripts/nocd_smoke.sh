@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the nocd daemon: build it, start it on a
+# random port, run a tiny 2-point campaign over HTTP, stream its SSE
+# progress to completion, then resubmit the identical spec and assert a
+# cache hit with byte-identical results. Finishes with a graceful
+# SIGTERM shutdown.
+#
+# Used by CI; runnable locally from the repo root: scripts/nocd_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+nocd_pid=""
+cleanup() {
+    if [[ -n "$nocd_pid" ]] && kill -0 "$nocd_pid" 2>/dev/null; then
+        kill -TERM "$nocd_pid" 2>/dev/null || true
+        wait "$nocd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build nocd"
+go build -o "$workdir/nocd" ./cmd/nocd
+
+echo "== start nocd on a random port"
+"$workdir/nocd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -workers 1 -queue 4 -drain 20s 2>"$workdir/nocd.log" &
+nocd_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$workdir/addr" ]] && break
+    sleep 0.1
+done
+[[ -s "$workdir/addr" ]] || { echo "nocd never wrote its address"; cat "$workdir/nocd.log"; exit 1; }
+addr=$(cat "$workdir/addr")
+echo "   listening on $addr"
+
+body='{"base":{"Width":4,"Height":4,"TotalMessages":300,"WarmupMessages":50,"Seed":11},"injection_rates":[0.1,0.2],"seeds":2}'
+
+echo "== submit a 2-point campaign"
+curl -sf -X POST -d "$body" "http://$addr/v1/campaigns" >"$workdir/sub1.json"
+id=$(jq -r .id "$workdir/sub1.json")
+state=$(jq -r .state "$workdir/sub1.json")
+[[ "$state" == "queued" ]] || { echo "fresh submission state = $state, want queued"; exit 1; }
+echo "   id=$id"
+
+echo "== stream SSE until the server closes the connection"
+curl -sN --max-time 120 "http://$addr/v1/campaigns/$id/events" >"$workdir/sse.txt"
+grep -q "^event: done$" "$workdir/sse.txt" || { echo "no terminal done event in SSE stream"; cat "$workdir/sse.txt"; exit 1; }
+echo "   $(grep -c '^event: point-done$' "$workdir/sse.txt" || true) point-done events, terminal: done"
+
+echo "== fetch results"
+curl -sf "http://$addr/v1/campaigns/$id" >"$workdir/status1.json"
+jq -e '.state == "done" and .cached == false and (.result | length) == 2' "$workdir/status1.json" >/dev/null \
+    || { echo "unexpected status:"; jq . "$workdir/status1.json"; exit 1; }
+jq -c '.result' "$workdir/status1.json" >"$workdir/result1.json"
+
+echo "== resubmit the identical spec — must be a cache hit"
+curl -sf -X POST -d "$body" "http://$addr/v1/campaigns" >"$workdir/sub2.json"
+jq -e '.cached == true and .state == "done"' "$workdir/sub2.json" >/dev/null \
+    || { echo "resubmission was not a cache hit:"; jq . "$workdir/sub2.json"; exit 1; }
+hash1=$(jq -r .hash "$workdir/sub1.json")
+hash2=$(jq -r .hash "$workdir/sub2.json")
+[[ "$hash1" == "$hash2" ]] || { echo "hash mismatch: $hash1 vs $hash2"; exit 1; }
+id2=$(jq -r .id "$workdir/sub2.json")
+curl -sf "http://$addr/v1/campaigns/$id2" | jq -c '.result' >"$workdir/result2.json"
+cmp -s "$workdir/result1.json" "$workdir/result2.json" \
+    || { echo "cached result differs from fresh result"; diff "$workdir/result1.json" "$workdir/result2.json" || true; exit 1; }
+jq -e '.cache.hits >= 1 and .cache.misses >= 1' <(curl -sf "http://$addr/v1/stats") >/dev/null \
+    || { echo "cache counters missing the hit/miss"; exit 1; }
+echo "   cache hit, result bytes identical"
+
+echo "== graceful shutdown"
+kill -TERM "$nocd_pid"
+wait "$nocd_pid"
+nocd_pid=""
+grep -q "nocd: bye" "$workdir/nocd.log" || { echo "daemon did not shut down cleanly"; cat "$workdir/nocd.log"; exit 1; }
+
+echo "nocd smoke: OK"
