@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ftnoc"
 	"ftnoc/internal/visual"
@@ -52,6 +53,7 @@ func main() {
 	eventsOut := flag.String("events-out", "", "stream structured events to an NDJSON file")
 	metricsOut := flag.String("metrics-out", "", "stream sampled per-router metrics to an NDJSON file")
 	metricsEvery := flag.Uint64("metrics-every", 100, "metrics sampling interval in cycles")
+	simNaive := flag.Bool("sim-naive", false, "disable kernel quiescence (tick every actor every cycle); results are identical, only slower")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	configPath := flag.String("config", "", "load the configuration from a JSON file (other config flags are ignored)")
@@ -182,7 +184,13 @@ func main() {
 	// the default handling and kills the process instead of being ignored
 	// while the simulator finishes the abort path.
 	context.AfterFunc(ctx, stop)
-	res := ftnoc.RunContext(ctx, cfg)
+	// NaiveKernel is scheduling-only (excluded from canonical JSON), so it
+	// is applied after any -config load rather than read from it.
+	cfg.NaiveKernel = *simNaive
+	net := ftnoc.New(cfg)
+	wallStart := time.Now()
+	res := net.RunContext(ctx)
+	wall := time.Since(wallStart)
 	if res.Aborted {
 		fmt.Fprintln(os.Stderr, "nocsim: interrupted — reporting partial measurements")
 	}
@@ -212,6 +220,7 @@ func main() {
 		cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, cfg.Routing, cfg.Protection)
 	fmt.Printf("delivered:      %d messages in %d cycles (stalled: %v, aborted: %v)\n",
 		res.Delivered, res.Cycles, res.Stalled, res.Aborted)
+	fmt.Printf("kernel:         %s\n", kernelSummary(net, res.Cycles, wall))
 	fmt.Printf("latency:        avg %.2f, p95 %.0f, max %.0f cycles\n", res.AvgLatency, res.P95Latency, res.MaxLatency)
 	fmt.Printf("throughput:     %s\n", res.Throughput)
 	fmt.Printf("energy:         %.4f nJ/message\n", ftnoc.EnergyPerMessageNJ(res))
@@ -256,6 +265,27 @@ func main() {
 			"per-router transmission-buffer utilization",
 			func(x, y int) float64 { return res.RouterTxUtil[y*cfg.Width+x] }))
 	}
+}
+
+// kernelSummary renders the end-of-run scheduling line: simulated
+// cycles per wall-clock second and the fraction of actor ticks the
+// quiescence machinery skipped.
+func kernelSummary(net *ftnoc.Network, cycles uint64, wall time.Duration) string {
+	ticked, skipped := net.KernelStats()
+	rate := "n/a"
+	if wall > 0 {
+		rate = fmt.Sprintf("%.0f cycles/sec", float64(cycles)/wall.Seconds())
+	}
+	mode := ""
+	if net.Kernel().Naive() {
+		mode = ", naive scheduling"
+	}
+	total := ticked + skipped
+	if total == 0 {
+		return fmt.Sprintf("%s (wall %v)%s", rate, wall.Round(time.Millisecond), mode)
+	}
+	return fmt.Sprintf("%s (wall %v), %.1f%% actor ticks skipped%s",
+		rate, wall.Round(time.Millisecond), 100*float64(skipped)/float64(total), mode)
 }
 
 // parsePIDs parses the -trace flag: a comma-separated packet ID list.

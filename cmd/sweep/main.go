@@ -139,6 +139,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d points x %d seed(s) in %v on %d workers\n",
 		len(report.Points), max(*seeds, 1), report.Elapsed.Round(1_000_000), report.Workers)
+	fmt.Fprintln(os.Stderr, "sweep: kernel:", kernelSummary(report))
 
 	if *csvOut != "" {
 		writeTable(*csvOut, report.WriteCSV)
@@ -146,6 +147,33 @@ func main() {
 	if *ndjsonOut != "" {
 		writeTable(*ndjsonOut, report.WriteNDJSON)
 	}
+}
+
+// kernelSummary aggregates scheduler throughput across every completed
+// replicate: simulated cycles per wall-clock second (summed over the
+// parallel workers) and the fraction of actor ticks the quiescence
+// machinery skipped.
+func kernelSummary(report *campaign.Report) string {
+	var cycles, ticked, skipped uint64
+	for _, p := range report.Points {
+		for _, rr := range p.Reps {
+			if rr.Err != nil || rr.Seed == 0 {
+				continue
+			}
+			cycles += rr.Results.Cycles
+			ticked += rr.KernelTicked
+			skipped += rr.KernelSkipped
+		}
+	}
+	rate := "n/a"
+	if report.Elapsed > 0 {
+		rate = fmt.Sprintf("%.0f cycles/sec", float64(cycles)/report.Elapsed.Seconds())
+	}
+	if ticked+skipped == 0 {
+		return rate
+	}
+	return fmt.Sprintf("%s aggregate, %.1f%% actor ticks skipped",
+		rate, 100*float64(skipped)/float64(ticked+skipped))
 }
 
 // ci renders a confidence half-width suffix ("±x.xx"), or nothing for

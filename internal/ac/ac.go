@@ -129,9 +129,27 @@ func CheckVA(b Binding, candidates []topology.Port, vcsPerPC, numPorts int, exis
 // input VC holds no binding — itself a violation). It returns, aligned
 // with grants, the violation found for each grant (None for clean ones).
 func CheckSA(grants []Grant, numPorts int, lookup func(inPort topology.Port, inVC int) (Binding, bool)) []Violation {
-	out := make([]Violation, len(grants))
-	seenOut := make(map[topology.Port]int, len(grants))
-	seenIn := make(map[[2]int]int, len(grants))
+	return CheckSAInto(nil, grants, numPorts, lookup)
+}
+
+// CheckSAInto is CheckSA writing its result into dst (grown as needed),
+// so steady-state callers can reuse one buffer. A grant vector holds at
+// most one entry per output port, so duplicate detection uses linear
+// scans over small on-stack index lists instead of maps.
+func CheckSAInto(dst []Violation, grants []Grant, numPorts int, lookup func(inPort topology.Port, inVC int) (Binding, bool)) []Violation {
+	if cap(dst) < len(grants) {
+		dst = make([]Violation, len(grants))
+	}
+	out := dst[:len(grants)]
+	for i := range out {
+		out[i] = None
+	}
+	// Indices of grants admitted to the "seen output port" / "seen input
+	// VC" tables; a colliding grant is reported but never admitted, so
+	// later duplicates always blame the first admitted entry.
+	var seenOutBuf, seenInBuf [8]int
+	seenOut := seenOutBuf[:0]
+	seenIn := seenInBuf[:0]
 	for i, g := range grants {
 		if int(g.OutPort) >= numPorts {
 			out[i] = InvalidPort
@@ -142,23 +160,35 @@ func CheckSA(grants []Grant, numPorts int, lookup func(inPort topology.Port, inV
 			out[i] = StateMismatch
 			continue
 		}
-		if j, dup := seenOut[g.OutPort]; dup {
-			out[i] = CrossbarCollision
-			if out[j] == None {
-				out[j] = CrossbarCollision
+		dup := false
+		for _, j := range seenOut {
+			if grants[j].OutPort == g.OutPort {
+				out[i] = CrossbarCollision
+				if out[j] == None {
+					out[j] = CrossbarCollision
+				}
+				dup = true
+				break
 			}
+		}
+		if dup {
 			continue
 		}
-		seenOut[g.OutPort] = i
-		key := [2]int{int(g.InPort), g.InVC}
-		if j, dup := seenIn[key]; dup {
-			out[i] = Multicast
-			if out[j] == None {
-				out[j] = Multicast
+		seenOut = append(seenOut, i)
+		for _, j := range seenIn {
+			if grants[j].InPort == g.InPort && grants[j].InVC == g.InVC {
+				out[i] = Multicast
+				if out[j] == None {
+					out[j] = Multicast
+				}
+				dup = true
+				break
 			}
+		}
+		if dup {
 			continue
 		}
-		seenIn[key] = i
+		seenIn = append(seenIn, i)
 	}
 	return out
 }

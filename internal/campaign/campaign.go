@@ -93,6 +93,12 @@ type Point struct {
 type RepResult struct {
 	Seed    uint64
 	Results network.Results
+	// KernelTicked/KernelSkipped are the replicate's scheduler-level
+	// actor-tick counters (skipped = ticks elided by quiescence). They
+	// live here rather than in Results because they describe the
+	// simulator, not the simulated network, and must not perturb result
+	// hashing or serialisation.
+	KernelTicked, KernelSkipped uint64
 	// Err captures a crash inside this replicate's simulation; the
 	// Results are zero when set.
 	Err error
@@ -308,7 +314,9 @@ func runReplicate(ctx context.Context, cfg network.Config) (rr RepResult) {
 			rr.Err = fmt.Errorf("campaign: replicate seed %d panicked: %v", rr.Seed, r)
 		}
 	}()
-	rr.Results = network.New(cfg).RunContext(ctx)
+	net := network.New(cfg)
+	rr.Results = net.RunContext(ctx)
+	rr.KernelTicked, rr.KernelSkipped = net.KernelStats()
 	return rr
 }
 

@@ -54,6 +54,11 @@ var dataPositions = buildDataPositions()
 // index + 1, or 0 if pos is a check position.
 var positionOfData = buildPositionIndex()
 
+// checkMasks[k] has bit i set iff data bit i contributes to Hamming check
+// bit k, i.e. iff dataPositions[i] has bit k set. Precomputing the masks
+// turns the per-flit check computation into 7 popcounts.
+var checkMasks = buildCheckMasks()
+
 func buildDataPositions() [64]uint8 {
 	var dp [64]uint8
 	i := 0
@@ -75,19 +80,27 @@ func buildPositionIndex() [73]uint8 {
 	return idx
 }
 
+func buildCheckMasks() [7]uint64 {
+	var m [7]uint64
+	for i, pos := range dataPositions {
+		for k := 0; k < 7; k++ {
+			if pos>>uint(k)&1 == 1 {
+				m[k] |= 1 << uint(i)
+			}
+		}
+	}
+	return m
+}
+
 // hammingChecks computes the 7 Hamming check bits for the 64-bit data
 // word. Check bit k (k = 0..6, at position 2^k) is the parity of all data
-// positions whose position number has bit k set.
+// positions whose position number has bit k set — the parity of the set
+// data bits selected by checkMasks[k].
 func hammingChecks(data uint64) uint8 {
 	var checks uint8
-	for i := 0; i < 64; i++ {
-		if data>>uint(i)&1 == 0 {
-			continue
-		}
-		checks ^= uint8(dataPositions[i]) & 0x7f
+	for k := 0; k < 7; k++ {
+		checks |= uint8(bits.OnesCount64(data&checkMasks[k])&1) << uint(k)
 	}
-	// checks now holds, in bit k, the XOR of position-number bit k over
-	// all set data bits — which is exactly check bit k's value.
 	return checks
 }
 

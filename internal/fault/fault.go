@@ -123,10 +123,24 @@ type Corruptor interface {
 }
 
 // LinkInjector corrupts flits crossing one directed link.
+//
+// The per-traversal Bernoulli draws are batched: instead of calling the
+// RNG once per flit, the injector precomputes the run length of misses
+// until the next hit by drawing Bool(rate) repeatedly from the SAME
+// stream, stopping at the first success. Each traversal then consumes one
+// precomputed draw, so the sequence of (hit/miss, bit-position) decisions
+// is bit-identical to the unbatched injector — the RNG stream-stability
+// contract (see DESIGN.md, "Kernel performance") — while the amortised
+// per-flit cost at low error rates is a counter decrement.
 type LinkInjector struct {
 	rate   float64
 	double float64
 	rng    *sim.RNG
+
+	// misses is the number of already-drawn Bool(rate)=false outcomes not
+	// yet consumed; hitNext records whether a drawn success follows them.
+	misses  int
+	hitNext bool
 }
 
 // NewLinkInjector creates an injector with the given per-traversal error
@@ -141,12 +155,37 @@ func NewLinkInjector(rate, double float64, rng *sim.RNG) *LinkInjector {
 	return &LinkInjector{rate: rate, double: double, rng: rng}
 }
 
+// maxMissBatch bounds how many Bernoulli misses a refill precomputes, so
+// one refill's cost stays bounded regardless of the error rate.
+const maxMissBatch = 4096
+
+// refill draws Bool(rate) from the stream until the first success (or the
+// batch bound), recording the run of misses. Exactly the draws the
+// unbatched injector would have made, in the same order.
+func (li *LinkInjector) refill() {
+	for li.misses < maxMissBatch {
+		if li.rng.Bool(li.rate) {
+			li.hitNext = true
+			return
+		}
+		li.misses++
+	}
+}
+
 // Corrupt possibly flips bits in f's codeword and reports what happened.
 // The 72 codeword bit positions (64 data + 8 check) are equally likely.
 func (li *LinkInjector) Corrupt(f *flit.Flit) LinkOutcome {
-	if li == nil || li.rate == 0 || !li.rng.Bool(li.rate) {
+	if li == nil || li.rate == 0 {
 		return NoError
 	}
+	if li.misses == 0 && !li.hitNext {
+		li.refill()
+	}
+	if li.misses > 0 {
+		li.misses--
+		return NoError
+	}
+	li.hitNext = false
 	a := li.rng.Intn(72)
 	flipBit(f, a)
 	if !li.rng.Bool(li.double) {

@@ -158,11 +158,18 @@ type Packet struct {
 // payload derived from the packet ID and sequence number so that payload
 // corruption is observable in tests.
 func (p Packet) Flits() []Flit {
+	return p.AppendFlits(make([]Flit, 0, p.Size))
+}
+
+// AppendFlits appends the packet's flits to dst and returns the extended
+// slice, producing exactly the flits Flits would. It lets steady-state
+// injectors reuse a per-VC backing array instead of allocating one slice
+// per packet.
+func (p Packet) AppendFlits(dst []Flit) []Flit {
 	if p.Size < 1 {
 		panic("flit: packet size must be >= 1")
 	}
-	fs := make([]Flit, p.Size)
-	for i := range fs {
+	for i := 0; i < p.Size; i++ {
 		f := Flit{
 			Src:        p.Src,
 			Dst:        p.Dst,
@@ -182,9 +189,9 @@ func (p Packet) Flits() []Flit {
 			f.Word = payloadWord(p.ID, uint8(i))
 		}
 		f.Check = checkBits(f.Word)
-		fs[i] = f
+		dst = append(dst, f)
 	}
-	return fs
+	return dst
 }
 
 // payloadWord derives a deterministic, well-mixed payload for flit seq of

@@ -20,7 +20,11 @@ import (
 type FIFO struct {
 	cap   int
 	extra int // recovery-mode capacity extension
-	buf   []flit.Flit
+	// buf[head:] holds the queued flits; the consumed prefix is reclaimed
+	// by compaction instead of reslicing, so a steady-state queue reuses
+	// one backing array forever.
+	buf  []flit.Flit
+	head int
 }
 
 // NewFIFO creates a queue holding at most capacity flits.
@@ -38,16 +42,16 @@ func (q *FIFO) Cap() int { return q.cap }
 func (q *FIFO) EffectiveCap() int { return q.cap + q.extra }
 
 // Len returns the current occupancy.
-func (q *FIFO) Len() int { return len(q.buf) }
+func (q *FIFO) Len() int { return len(q.buf) - q.head }
 
 // Free returns the number of empty slots at the current effective capacity.
-func (q *FIFO) Free() int { return q.EffectiveCap() - len(q.buf) }
+func (q *FIFO) Free() int { return q.EffectiveCap() - q.Len() }
 
 // Full reports whether no slot is free.
 func (q *FIFO) Full() bool { return q.Free() <= 0 }
 
 // Empty reports whether the queue holds no flits.
-func (q *FIFO) Empty() bool { return len(q.buf) == 0 }
+func (q *FIFO) Empty() bool { return q.head >= len(q.buf) }
 
 // Push appends a flit. It panics on overflow — the credit protocol must
 // prevent it, so an overflow is a flow-control bug, not a runtime
@@ -56,24 +60,33 @@ func (q *FIFO) Push(f flit.Flit) {
 	if q.Full() {
 		panic(fmt.Sprintf("link: FIFO overflow (cap %d): %v", q.EffectiveCap(), f))
 	}
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
 	q.buf = append(q.buf, f)
 }
 
 // Front returns the oldest flit without removing it.
 func (q *FIFO) Front() (flit.Flit, bool) {
-	if len(q.buf) == 0 {
+	if q.Empty() {
 		return flit.Flit{}, false
 	}
-	return q.buf[0], true
+	return q.buf[q.head], true
 }
 
 // Pop removes and returns the oldest flit.
 func (q *FIFO) Pop() (flit.Flit, bool) {
-	if len(q.buf) == 0 {
+	if q.Empty() {
 		return flit.Flit{}, false
 	}
-	f := q.buf[0]
-	q.buf = q.buf[1:]
+	f := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
 	return f, true
 }
 
@@ -97,7 +110,7 @@ func (q *FIFO) InRecovery() bool { return q.extra > 0 }
 // Snapshot returns a copy of the queued flits, oldest first (for tests and
 // trace tooling).
 func (q *FIFO) Snapshot() []flit.Flit {
-	out := make([]flit.Flit, len(q.buf))
-	copy(out, q.buf)
+	out := make([]flit.Flit, q.Len())
+	copy(out, q.buf[q.head:])
 	return out
 }

@@ -120,6 +120,11 @@ type Channel struct {
 	counters *fault.Counters
 	local    bool // PE<->router channel: no fault injection, separate energy class
 
+	// injScratch backs Send's fault-injection call: passing a stack
+	// flit's address through the Corruptor interface would heap-allocate
+	// the flit on every traversal.
+	injScratch flit.Flit
+
 	// Handshake-line fault modelling (§4.6).
 	hsRate float64
 	hsTMR  bool
@@ -160,7 +165,9 @@ func NewChannel(k *sim.Kernel, injector fault.Corruptor, local bool, events *sta
 func (c *Channel) Send(f flit.Flit) fault.LinkOutcome {
 	out := fault.NoError
 	if c.injector != nil {
-		out = c.injector.Corrupt(&f)
+		c.injScratch = f
+		out = c.injector.Corrupt(&c.injScratch)
+		f = c.injScratch
 	}
 	if out != fault.NoError {
 		c.counters.AddInjected(fault.LinkError)
@@ -223,3 +230,11 @@ func (c *Channel) RecvNACKs() []NACK {
 // Pending reports the number of flits anywhere in the forward wire,
 // including not-yet-visible ones (used by drain detection).
 func (c *Channel) Pending() int { return c.flits.InFlight() }
+
+// SetFlitWake installs the forward flit pipe's delivery callback: it runs
+// whenever a latch leaves flits visible to the receiver, waking the
+// consuming actor (see sim.Kernel.Waker). Credit and NACK pipes need no
+// wake: their contents accumulate unobserved in the visible slot and are
+// drained by the consumer's BeginCycle whenever it next ticks, before any
+// decision depends on them.
+func (c *Channel) SetFlitWake(f func()) { c.flits.SetWake(f) }

@@ -96,6 +96,43 @@ func TestRetransBufferCaptureExpireDrain(t *testing.T) {
 	}
 }
 
+// Empty buffers must hand back nil, not freshly allocated empty slices:
+// Snapshot and Drain sit on the per-cycle hot path (every NACK and every
+// recovery step), and the empty case is by far the common one.
+func TestRetransBufferEmptyReturnsNil(t *testing.T) {
+	rb := NewRetransBuffer(NACKWindow)
+	if got := rb.Snapshot(); got != nil {
+		t.Fatalf("empty Snapshot = %v, want nil", got)
+	}
+	if got := rb.Drain(); got != nil {
+		t.Fatalf("empty Drain = %v, want nil", got)
+	}
+	rb.Capture(flit.Flit{Seq: 7}, 5)
+	if got := rb.Snapshot(); len(got) != 1 || got[0].Seq != 7 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+	if got := rb.Drain(); len(got) != 1 || got[0].Seq != 7 {
+		t.Fatalf("Drain = %v", got)
+	}
+	// Drained-to-empty again: back to nil results, and the scratch
+	// capacity is reused rather than reallocated.
+	if got := rb.Drain(); got != nil {
+		t.Fatalf("post-drain Drain = %v, want nil", got)
+	}
+	if got := rb.Snapshot(); got != nil {
+		t.Fatalf("post-drain Snapshot = %v, want nil", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rb.Capture(flit.Flit{Seq: 1}, 5)
+		if rb.Drain() == nil {
+			t.Fatal("drain lost the captured flit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("capture+drain cycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func TestRetransBufferOverflowPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

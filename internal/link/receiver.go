@@ -25,6 +25,11 @@ type Receiver struct {
 	events     *stats.Events
 	counters   *fault.Counters
 
+	// Scratch buffers backing ReceiveAll's return values, reused across
+	// cycles; callers consume the slices within the cycle.
+	dataScratch []flit.Flit
+	ctrlScratch []flit.Flit
+
 	// Event-bus identity (set by SetTrace; bus may be nil).
 	bus       *trace.Bus
 	traceNode int32
@@ -65,23 +70,30 @@ func (r *Receiver) Protection() Protection { return r.protection }
 // ReceiveAll processes every arrival visible this cycle. At most one data
 // flit per cycle can be accepted (the transmitter owns the physical
 // channel), but control flits (probes/activations) may share a cycle with
-// it; they bypass buffers and credits.
+// it; they bypass buffers and credits. The returned slices alias internal
+// scratch buffers valid only until the next ReceiveAll on this receiver.
 func (r *Receiver) ReceiveAll(cycle uint64) (data []flit.Flit, ctrl []flit.Flit) {
+	data = r.dataScratch[:0]
+	ctrl = r.ctrlScratch[:0]
 	for {
 		f, got := r.ch.Recv()
 		if !got {
-			return data, ctrl
+			break
 		}
-		if d, ok, c := r.receiveOne(f, cycle); c != nil {
-			ctrl = append(ctrl, *c)
+		if d, ok, isCtrl := r.receiveOne(f, cycle); isCtrl {
+			ctrl = append(ctrl, d)
 		} else if ok {
 			data = append(data, d)
 		}
 	}
+	r.dataScratch, r.ctrlScratch = data, ctrl
+	return data, ctrl
 }
 
-// receiveOne classifies and error-checks a single arrival.
-func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (data flit.Flit, ok bool, ctrl *flit.Flit) {
+// receiveOne classifies and error-checks a single arrival. A control
+// flit comes back with isCtrl set (ok is then meaningless); returning it
+// by value rather than by pointer keeps the flit on the caller's stack.
+func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (res flit.Flit, ok, isCtrl bool) {
 	if !f.IsData() {
 		// Control flit: always decode (it travels under the error
 		// correcting blanket, §3.2.2); an uncorrectable one is dropped
@@ -90,14 +102,14 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (data flit.Flit, ok boo
 		r.events.ECCDecodes++
 		switch out {
 		case ecc.Detected:
-			return flit.Flit{}, false, nil
+			return flit.Flit{}, false, false
 		case ecc.Corrected:
 			r.events.ECCCorrections++
 			r.counters.AddCorrected(fault.LinkError)
 			r.emitECCCorrected(cycle, -1, 0, 0)
 		}
 		f.Word, f.Check = word, check
-		return flit.Flit{}, false, &f
+		return f, false, true
 	}
 
 	vc := int(f.VC)
@@ -113,41 +125,41 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (data flit.Flit, ok boo
 		// reserved slot.
 		r.counters.DroppedFlits++
 		r.ch.SendCredit(uint8(vc))
-		return flit.Flit{}, false, nil
+		return flit.Flit{}, false, false
 	}
 
 	checkIt := r.protection != E2E || f.Type == flit.Head
 	if !checkIt {
 		// E2E data flit: no hop-by-hop check; corruption (if any) rides
 		// along to the destination.
-		return f, true, nil
+		return f, true, false
 	}
 
 	r.events.ECCDecodes++
 	word, check, out := ecc.Decode(f.Word, f.Check)
 	switch out {
 	case ecc.OK:
-		return f, true, nil
+		return f, true, false
 	case ecc.Corrected:
 		if r.protection == E2E {
 			// E2E provides detection only: even a single-bit header error
 			// goes down the retransmission path.
 			r.nack(vc, cycle)
-			return flit.Flit{}, false, nil
+			return flit.Flit{}, false, false
 		}
 		r.events.ECCCorrections++
 		r.counters.AddCorrected(fault.LinkError)
 		r.emitECCCorrected(cycle, int8(vc), uint64(f.PID), f.Seq)
 		f.Word, f.Check = word, check
-		return f, true, nil
+		return f, true, false
 	default: // ecc.Detected
 		if r.protection == FEC && f.Type != flit.Head {
 			// FEC cannot repair a double error in a data flit; it is
 			// delivered corrupt and caught end-to-end.
-			return f, true, nil
+			return f, true, false
 		}
 		r.nack(vc, cycle)
-		return flit.Flit{}, false, nil
+		return flit.Flit{}, false, false
 	}
 }
 

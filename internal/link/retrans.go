@@ -19,8 +19,14 @@ const NACKWindow = 3
 // still-buffered flits (the corrupted one plus any sent after it) are
 // drained, in order, for retransmission.
 type RetransBuffer struct {
-	depth   int
-	entries []retransEntry
+	depth int
+	// ring is a fixed-size circular buffer: entries live at
+	// ring[(head+i)%depth] for i in [0,count).
+	ring  []retransEntry
+	head  int
+	count int
+	// scratch backs Drain's return value, reused across drains.
+	scratch []flit.Flit
 }
 
 type retransEntry struct {
@@ -35,27 +41,32 @@ func NewRetransBuffer(depth int) *RetransBuffer {
 	if depth < 1 {
 		panic("link: retransmission buffer depth must be >= 1")
 	}
-	return &RetransBuffer{depth: depth}
+	return &RetransBuffer{
+		depth:   depth,
+		ring:    make([]retransEntry, depth),
+		scratch: make([]flit.Flit, 0, depth),
+	}
 }
 
 // Depth returns the configured slot count.
 func (rb *RetransBuffer) Depth() int { return rb.depth }
 
 // Len returns the number of occupied slots.
-func (rb *RetransBuffer) Len() int { return len(rb.entries) }
+func (rb *RetransBuffer) Len() int { return rb.count }
 
 // Empty reports whether no flit is retained.
-func (rb *RetransBuffer) Empty() bool { return len(rb.entries) == 0 }
+func (rb *RetransBuffer) Empty() bool { return rb.count == 0 }
 
 // Capture stores a copy of a flit transmitted at the given cycle. It
 // panics if the shifter is full: the flow-control invariant is that at
 // most NACKWindow flits can be inside their NACK window at once, so
 // overflow indicates the transmitter failed to call Expire each cycle.
 func (rb *RetransBuffer) Capture(f flit.Flit, cycle uint64) {
-	if len(rb.entries) >= rb.depth {
+	if rb.count >= rb.depth {
 		panic(fmt.Sprintf("link: retransmission buffer overflow (depth %d)", rb.depth))
 	}
-	rb.entries = append(rb.entries, retransEntry{f: f, sent: cycle})
+	rb.ring[(rb.head+rb.count)%rb.depth] = retransEntry{f: f, sent: cycle}
+	rb.count++
 }
 
 // Expire discards entries whose NACK window has elapsed: a flit sent at
@@ -67,8 +78,9 @@ func (rb *RetransBuffer) Capture(f flit.Flit, cycle uint64) {
 // number of slots freed.
 func (rb *RetransBuffer) Expire(cycle uint64) int {
 	n := 0
-	for len(rb.entries) > 0 && cycle >= rb.entries[0].sent+NACKWindow {
-		rb.entries = rb.entries[1:]
+	for rb.count > 0 && cycle >= rb.ring[rb.head].sent+NACKWindow {
+		rb.head = (rb.head + 1) % rb.depth
+		rb.count--
 		n++
 	}
 	return n
@@ -76,21 +88,30 @@ func (rb *RetransBuffer) Expire(cycle uint64) int {
 
 // Drain removes and returns all retained flits, oldest first. The caller
 // retransmits them in order (re-capturing each as it goes back out on the
-// wire).
+// wire). An empty buffer drains to nil. The returned slice aliases an
+// internal scratch buffer valid only until the next Drain; callers that
+// retain flits past that must copy.
 func (rb *RetransBuffer) Drain() []flit.Flit {
-	out := make([]flit.Flit, len(rb.entries))
-	for i, e := range rb.entries {
-		out[i] = e.f
+	if rb.count == 0 {
+		return nil
 	}
-	rb.entries = rb.entries[:0]
+	out := rb.scratch[:0]
+	for i := 0; i < rb.count; i++ {
+		out = append(out, rb.ring[(rb.head+i)%rb.depth].f)
+	}
+	rb.head, rb.count = 0, 0
 	return out
 }
 
-// Snapshot returns copies of the retained flits, oldest first.
+// Snapshot returns copies of the retained flits, oldest first; nil when
+// the buffer is empty.
 func (rb *RetransBuffer) Snapshot() []flit.Flit {
-	out := make([]flit.Flit, len(rb.entries))
-	for i, e := range rb.entries {
-		out[i] = e.f
+	if rb.count == 0 {
+		return nil
+	}
+	out := make([]flit.Flit, 0, rb.count)
+	for i := 0; i < rb.count; i++ {
+		out = append(out, rb.ring[(rb.head+i)%rb.depth].f)
 	}
 	return out
 }

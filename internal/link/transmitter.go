@@ -18,9 +18,12 @@ type Transmitter struct {
 	ch       *Channel
 	shifters []*RetransBuffer
 	credits  []int
-	replay   []flit.Flit
-	events   *stats.Events
-	counters *fault.Counters
+	// replay[replayHead:] is the pending replay queue; the backing array
+	// is recycled once it drains.
+	replay     []flit.Flit
+	replayHead int
+	events     *stats.Events
+	counters   *fault.Counters
 
 	// Retransmission-buffer soft errors (§4.5).
 	rbRate      float64
@@ -117,22 +120,26 @@ func (t *Transmitter) Credits(vc int) int { return t.credits[vc] }
 // HasReplay reports whether NACKed flits are waiting to be re-sent; while
 // true the router must not grant new flits to this port (replay has
 // priority for the physical channel).
-func (t *Transmitter) HasReplay() bool { return len(t.replay) > 0 }
+func (t *Transmitter) HasReplay() bool { return len(t.replay) > t.replayHead }
 
 // TickReplay re-sends the oldest replay flit if one is ready and credited.
 // It returns true if the port was used this cycle.
 func (t *Transmitter) TickReplay(cycle uint64) bool {
-	if len(t.replay) == 0 {
+	if !t.HasReplay() {
 		return false
 	}
-	f := t.replay[0]
+	f := t.replay[t.replayHead]
 	vc := int(f.VC)
 	if t.credits[vc] <= 0 {
 		// The credits returned by the receiver's drops are still in
 		// flight; the port idles this cycle but stays reserved.
 		return true
 	}
-	t.replay = t.replay[1:]
+	t.replayHead++
+	if t.replayHead == len(t.replay) {
+		t.replay = t.replay[:0]
+		t.replayHead = 0
+	}
 	t.sendOnWire(f, cycle)
 	t.events.Retransmitted++
 	t.counters.Retransmissions++
@@ -153,7 +160,7 @@ func (t *Transmitter) Send(f flit.Flit, vc int, cycle uint64) {
 	if t.credits[vc] <= 0 {
 		panic("link: send without credit")
 	}
-	if len(t.replay) > 0 {
+	if t.HasReplay() {
 		panic("link: send while replay pending")
 	}
 	f.VC = uint8(vc)
@@ -202,15 +209,21 @@ func (t *Transmitter) ShifterOccupancy() (occupied, capacity int) {
 }
 
 // PendingReplay returns the number of queued replay flits (tests).
-func (t *Transmitter) PendingReplay() int { return len(t.replay) }
+func (t *Transmitter) PendingReplay() int { return len(t.replay) - t.replayHead }
 
 // Recall drains a VC's retransmission buffer without scheduling replay:
 // the misroute-recovery path of §4.2, where the sender must re-route the
 // recalled header (and any body flits behind it) rather than re-send them
-// on the same path.
+// on the same path. The result is freshly allocated — callers retain it.
 func (t *Transmitter) Recall(vc int) []flit.Flit {
 	if vc < 0 || vc >= len(t.shifters) {
 		return nil
 	}
-	return t.shifters[vc].Drain()
+	drained := t.shifters[vc].Drain()
+	if len(drained) == 0 {
+		return nil
+	}
+	out := make([]flit.Flit, len(drained))
+	copy(out, drained)
+	return out
 }

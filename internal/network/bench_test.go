@@ -1,0 +1,107 @@
+package network
+
+import (
+	"testing"
+)
+
+// benchConfig is the steady-state benchmark workload: a fault-free 4x4
+// mesh at the paper's 0.25 operating point, trace bus off. Warm-up is
+// set unreachably high so the measurement window never opens during the
+// benchmark — latency sampling appends to a slice and would otherwise
+// show up as (amortised) allocations that are the statistics pipeline's,
+// not the kernel's.
+func benchConfig() Config {
+	cfg := NewConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.InjectionRate = 0.25
+	cfg.WarmupMessages = 1 << 62
+	cfg.TotalMessages = 1 << 62
+	cfg.MaxCycles = 1 << 62
+	return cfg
+}
+
+// BenchmarkKernelSteady is the CI-guarded hot path: one simulated cycle
+// of the whole network in steady state. After the 2000-cycle warm-up all
+// scratch buffers, queues and wake-heap capacity have reached their
+// steady-state sizes, so the per-cycle tick must allocate nothing — the
+// CI bench-smoke job fails the build if allocs/op is ever > 0.
+func BenchmarkKernelSteady(b *testing.B) {
+	n := New(benchConfig())
+	for i := 0; i < 2000; i++ {
+		n.kernel.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.kernel.Step()
+	}
+	b.StopTimer()
+	reportKernel(b, n)
+}
+
+// BenchmarkKernelSteadyNaive is the same workload with quiescence
+// disabled — the baseline the quiescent kernel is measured against.
+func BenchmarkKernelSteadyNaive(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NaiveKernel = true
+	n := New(cfg)
+	for i := 0; i < 2000; i++ {
+		n.kernel.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.kernel.Step()
+	}
+	b.StopTimer()
+	reportKernel(b, n)
+}
+
+// BenchmarkKernelSteadyLowLoad is the quiescence showcase: at 0.05
+// injection most actors are idle most cycles, and the kernel skips them
+// outright instead of ticking them to prove they had nothing to do.
+func BenchmarkKernelSteadyLowLoad(b *testing.B) {
+	cfg := benchConfig()
+	cfg.InjectionRate = 0.05
+	n := New(cfg)
+	for i := 0; i < 2000; i++ {
+		n.kernel.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.kernel.Step()
+	}
+	b.StopTimer()
+	reportKernel(b, n)
+}
+
+// reportKernel attaches the skipped-actor-tick ratio to the benchmark
+// output, and cycles/sec as the human-facing inverse of ns/op.
+func reportKernel(b *testing.B, n *Network) {
+	ticked, skipped := n.KernelStats()
+	if total := ticked + skipped; total > 0 {
+		b.ReportMetric(float64(skipped)/float64(total), "skipped-ratio")
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "cycles/sec")
+	}
+}
+
+// BenchmarkRunQuick benchmarks a complete short simulation including
+// construction and teardown — the unit of work the figure harnesses and
+// campaign engine repeat thousands of times.
+func BenchmarkRunQuick(b *testing.B) {
+	cfg := NewConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.InjectionRate = 0.05
+	cfg.WarmupMessages = 100
+	cfg.TotalMessages = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := New(cfg).Run()
+		if res.Stalled {
+			b.Fatal("benchmark run stalled")
+		}
+	}
+}

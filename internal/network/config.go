@@ -94,6 +94,14 @@ type Config struct {
 	// possible retransmission before assuming delivery.
 	E2ETimeout uint64
 
+	// NaiveKernel disables the kernel's quiescence skipping, ticking every
+	// actor every cycle as the original kernel did. Results are identical
+	// either way (that is the quiescence contract, enforced by the
+	// differential tests); the flag exists as the escape hatch and the
+	// baseline for benchmarks. Excluded from JSON so scheduling never
+	// perturbs ConfigHash or canonical configs.
+	NaiveKernel bool `json:"-"`
+
 	Seed uint64
 }
 

@@ -26,6 +26,14 @@ type Network struct {
 	routers []*router.Router
 	pes     []*pe
 
+	// Kernel handles for wake wiring and quiescence-aware sampling.
+	routerH []sim.Handle
+	peH     []sim.Handle
+	// Cached per-router buffer/shifter capacities (constant after build),
+	// letting sampleUtilization skip walking a quiescent router's VCs.
+	bufCap []int
+	shCap  []int
+
 	events     stats.Events
 	counters   *fault.Counters
 	latency    stats.LatencyStats
@@ -145,6 +153,16 @@ func New(cfg Config) *Network {
 		n.routers[i] = router.New(rc)
 	}
 
+	// flitWires records, for every channel, which actor consumes its
+	// forward flit pipe; the wake callbacks are installed once actor
+	// handles exist (after registration below).
+	type flitWire struct {
+		ch   *link.Channel
+		node int
+		toPE bool
+	}
+	var wires []flitWire
+
 	// Inter-router links: one channel per direction.
 	linkRNG := root.Split()
 	for _, l := range n.topo.Links() {
@@ -154,6 +172,7 @@ func New(cfg Config) *Network {
 			inj = fault.NewLinkInjector(cfg.Faults.Link, cfg.Faults.LinkDouble, linkRNG.Split())
 		}
 		ch := link.NewChannel(&n.kernel, inj, false, &n.events, n.counters)
+		wires = append(wires, flitWire{ch: ch, node: int(dst)})
 		if cfg.Faults.Handshake > 0 {
 			ch.SetHandshakeFaults(cfg.Faults.Handshake, cfg.TMREnabled, linkRNG.Split())
 		}
@@ -174,6 +193,7 @@ func New(cfg Config) *Network {
 		id := flit.NodeID(i)
 		// PE -> router.
 		up := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
+		wires = append(wires, flitWire{ch: up, node: i})
 		upTx := link.NewTransmitter(up, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
 		upRx := link.NewReceiver(up, cfg.VCs, cfg.Protection, &n.events, n.counters)
 		upTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
@@ -181,6 +201,7 @@ func New(cfg Config) *Network {
 		n.routers[i].AttachInput(topology.Local, upRx)
 		// Router -> PE.
 		down := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
+		wires = append(wires, flitWire{ch: down, node: i, toPE: true})
 		downTx := link.NewTransmitter(down, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
 		downRx := link.NewReceiver(down, cfg.VCs, cfg.Protection, &n.events, n.counters)
 		downTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
@@ -191,10 +212,31 @@ func New(cfg Config) *Network {
 		n.pes[i] = newPE(n, id, src, upTx, downRx)
 	}
 
+	// Registration order (router i, PE i, router i+1, ...) fixes the
+	// intra-cycle trace-event order and must not change.
+	n.routerH = make([]sim.Handle, nodes)
+	n.peH = make([]sim.Handle, nodes)
 	for i := 0; i < nodes; i++ {
-		n.kernel.Register(n.routers[i])
-		n.kernel.Register(sim.ActorFunc(n.pes[i].Tick))
+		n.routerH[i] = n.kernel.RegisterActor(n.routers[i])
+		n.peH[i] = n.kernel.RegisterActor(n.pes[i])
 	}
+
+	// Quiescence wiring: every flit pipe wakes its consuming actor when a
+	// latch leaves flits visible. Credit and NACK pipes need no wakes (see
+	// link.Channel.SetFlitWake). Only with all deliveries covered is it
+	// sound to opt the actors into idle skipping.
+	for _, w := range wires {
+		h := n.routerH[w.node]
+		if w.toPE {
+			h = n.peH[w.node]
+		}
+		w.ch.SetFlitWake(n.kernel.Waker(h))
+	}
+	for i := 0; i < nodes; i++ {
+		n.kernel.EnableQuiescence(n.routerH[i])
+		n.kernel.EnableQuiescence(n.peH[i])
+	}
+	n.kernel.SetNaive(cfg.NaiveKernel)
 
 	// Metrics registry: per-router gauges, sampled by Run.
 	if cfg.Metrics != nil {
@@ -241,22 +283,47 @@ func (n *Network) nextPID() flit.PacketID {
 	return flit.PacketID(n.pidCounter)
 }
 
-// recordDelivery accounts one cleanly ejected message.
-func (n *Network) recordDelivery(cycle, injectedAt uint64) {
+// recordDelivery accounts one cleanly ejected message; node is the
+// delivering PE's index, which fixes how far the current cycle's tick
+// order has progressed if this delivery opens the measurement window.
+func (n *Network) recordDelivery(cycle, injectedAt uint64, node int) {
 	n.delivered++
 	n.lastEject = cycle
 	if n.delivered == n.cfg.WarmupMessages {
-		n.startMeasuring(cycle)
+		n.startMeasuring(cycle, node)
 	}
 	if n.measuring && n.delivered > n.cfg.WarmupMessages {
 		n.latency.Record(cycle - injectedAt)
 	}
 }
 
-func (n *Network) startMeasuring(cycle uint64) {
+// startMeasuring snapshots the event counters at the warm-up boundary.
+// When triggered by a delivery it fires mid-cycle, from PE node's tick;
+// sleeping routers' lazily deferred idle-tick counters must be replayed
+// to exactly that point first, or the snapshot would differ from the
+// naive kernel's.
+func (n *Network) startMeasuring(cycle uint64, node int) {
+	n.syncIdleCounters(cycle, node)
 	n.measuring = true
 	n.warmupEvents = n.events
 	n.warmupCycle = cycle
+}
+
+// syncIdleCounters brings every sleeping router's externally visible
+// counters up to date with what the naive kernel would show at an
+// observation point during cycle's actor loop. Actors tick in node order
+// (router 0, PE 0, router 1, ...), so routers with index <= upTo have
+// already ticked this cycle and owe its idle effects too; later routers
+// owe only the cycles before it. Awake routers are already current and
+// the call is a no-op for them. Pass upTo = -1 at a clean cycle boundary.
+func (n *Network) syncIdleCounters(cycle uint64, upTo int) {
+	for i, r := range n.routers {
+		if i <= upTo {
+			r.CatchUpTo(cycle + 1)
+		} else {
+			r.CatchUpTo(cycle)
+		}
+	}
 }
 
 // AbortCheckInterval is how often (in cycles) RunContext polls its
@@ -280,7 +347,7 @@ func (n *Network) RunContext(ctx context.Context) Results {
 
 func (n *Network) run(done <-chan struct{}) Results {
 	if n.cfg.WarmupMessages == 0 {
-		n.startMeasuring(0)
+		n.startMeasuring(0, -1)
 	}
 	stalled, aborted := false, false
 	for n.delivered < n.cfg.TotalMessages {
@@ -323,9 +390,23 @@ func (n *Network) run(done <-chan struct{}) Results {
 func (n *Network) sampleUtilization() {
 	if n.routerUtil == nil {
 		n.routerUtil = make([]stats.Utilization, len(n.routers))
+		n.bufCap = make([]int, len(n.routers))
+		n.shCap = make([]int, len(n.routers))
+		for i, r := range n.routers {
+			_, n.bufCap[i] = r.BufferOccupancy()
+			_, n.shCap[i] = r.ShifterOccupancy()
+		}
 	}
 	to, tc, ro, rc := 0, 0, 0, 0
 	for i, r := range n.routers {
+		if n.kernel.Asleep(n.routerH[i]) {
+			// A quiescent router proved every VC buffer and shifter empty,
+			// so its sample is (0, capacity) without walking them.
+			n.routerUtil[i].Sample(0, n.bufCap[i])
+			tc += n.bufCap[i]
+			rc += n.shCap[i]
+			continue
+		}
 		o, c := r.BufferOccupancy()
 		n.routerUtil[i].Sample(o, c)
 		to += o
@@ -337,6 +418,12 @@ func (n *Network) sampleUtilization() {
 	n.txUtil.Sample(to, tc)
 	n.rtUtil.Sample(ro, rc)
 }
+
+// KernelStats reports the kernel's cumulative scheduling counters: actor
+// ticks executed and actor ticks skipped through quiescence. Deliberately
+// not part of Results — scheduling is an implementation detail and the
+// naive/quiescent kernels must produce identical Results.
+func (n *Network) KernelStats() (ticked, skipped uint64) { return n.kernel.Stats() }
 
 // Snapshot renders every router's live VC state — a debugging view of
 // the whole chip at the current cycle.
@@ -355,6 +442,9 @@ func (n *Network) Snapshot() string {
 
 // results assembles the final measurement record.
 func (n *Network) results(stalled bool) Results {
+	// Runs end at a clean cycle boundary; settle any counter catch-up
+	// still pending in sleeping routers before reading the totals.
+	n.syncIdleCounters(n.kernel.Cycle(), -1)
 	measured := stats.Events{}
 	if n.measuring {
 		measured = n.events

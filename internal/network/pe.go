@@ -40,11 +40,20 @@ type pe struct {
 	tx  *link.Transmitter
 	rx  *link.Receiver
 
-	// Injection side.
-	queue   []flit.Packet // waiting packets; front is next to start
+	// Injection side. queue[qHead:] are the waiting packets, front first;
+	// the head index avoids re-slicing the backing array away on every pop.
+	queue   []flit.Packet
+	qHead   int
 	ctrl    [][]flit.Flit // pre-built priority packets (e2e NACKs) awaiting a VC
 	vcFlits [][]flit.Flit // per VC, remaining flits of the packet being injected
-	vcRR    int
+	// vcBuf[v] is the reusable backing array vcFlits[v] windows into when
+	// injecting a data packet (control packets keep their own slices).
+	vcBuf [][]flit.Flit
+	vcRR  int
+
+	// nextExpected is the cycle the next Tick should see; a jump means the
+	// kernel skipped this PE as quiescent and Tick must catch up first.
+	nextExpected uint64
 
 	// Sink side, per VC of the router->PE channel.
 	sinkPID     []flit.PacketID
@@ -67,6 +76,7 @@ func newPE(n *Network, id flit.NodeID, src *traffic.Source, tx *link.Transmitter
 		tx:          tx,
 		rx:          rx,
 		vcFlits:     make([][]flit.Flit, vcs),
+		vcBuf:       make([][]flit.Flit, vcs),
 		sinkPID:     make([]flit.PacketID, vcs),
 		sinkSrc:     make([]flit.NodeID, vcs),
 		sinkBorn:    make([]uint64, vcs),
@@ -77,17 +87,84 @@ func newPE(n *Network, id flit.NodeID, src *traffic.Source, tx *link.Transmitter
 	}
 }
 
+// retentionSweepInterval is how often (cycles) the E2E/FEC retention
+// buffer is swept for expired copies.
+const retentionSweepInterval = 256
+
+// srcLookahead caps how far ahead Quiescent searches for the traffic
+// source's next injection slot. Past the cap the PE simply wakes for one
+// idle tick and searches again, so very low rates stay bounded-cost.
+const srcLookahead = 1 << 16
+
 // Tick runs one cycle of PE behaviour.
 func (p *pe) Tick(cycle uint64) {
+	if cycle > p.nextExpected {
+		p.catchUp(cycle - p.nextExpected)
+	}
+	p.nextExpected = cycle + 1
 	p.tx.BeginCycle(cycle)
 	p.tx.ExpireShifters(cycle)
 	p.eject(cycle)
 	p.generate(cycle)
 	p.assign()
 	p.inject(cycle)
-	if p.usesRetention() && cycle%256 == 0 {
+	if p.usesRetention() && cycle%retentionSweepInterval == 0 {
 		p.sweepRetention(cycle)
 	}
+}
+
+// catchUp replays the effect of the idle cycles the kernel skipped while
+// the PE was quiescent. The only per-cycle mutation an idle PE performs is
+// the traffic source's sub-threshold accumulator step (sub-threshold by
+// construction: Quiescent schedules the wake on the first crossing), so
+// catching up is an exact replay of those additions. Once the global
+// injection limit is reached the source is never ticked again — injected
+// only grows — so if the limit was hit mid-sleep the accumulator is dead
+// state and needs no replay.
+func (p *pe) catchUp(gap uint64) {
+	if lim := p.net.cfg.InjectLimit; lim != 0 && p.net.injected >= lim {
+		return
+	}
+	p.src.Skip(gap)
+}
+
+// Quiescent implements sim.Quiescer: the PE is idle when its injection
+// side has nothing queued, staged or in flight, and its retransmission
+// shifters are empty (entries expire on their own clock, so the PE stays
+// awake for the NACK window after its last send). Sink-side reassembly
+// state needs no attention between arrivals — every arrival wakes the PE
+// through the router->PE flit pipe. Two duties are purely clock-driven
+// and covered by timed wakes: the traffic source's next injection slot
+// and, while packet copies are retained, the next retention-sweep
+// boundary.
+func (p *pe) Quiescent(cycle uint64) (bool, uint64) {
+	if p.qHead < len(p.queue) || len(p.ctrl) != 0 {
+		return false, 0
+	}
+	for _, fs := range p.vcFlits {
+		if len(fs) != 0 {
+			return false, 0
+		}
+	}
+	if p.tx.HasReplay() {
+		return false, 0
+	}
+	if occ, _ := p.tx.ShifterOccupancy(); occ != 0 {
+		return false, 0
+	}
+	var wake uint64
+	if lim := p.net.cfg.InjectLimit; lim == 0 || p.net.injected < lim {
+		if k, crosses := p.src.NextCrossing(srcLookahead); crosses || k > 0 {
+			wake = cycle + k
+		}
+	}
+	if p.usesRetention() && len(p.retention) > 0 {
+		rw := (cycle/retentionSweepInterval + 1) * retentionSweepInterval
+		if wake == 0 || rw < wake {
+			wake = rw
+		}
+	}
+	return true, wake
 }
 
 func (p *pe) usesRetention() bool {
@@ -105,7 +182,7 @@ func (p *pe) generate(cycle uint64) {
 	}
 	p.net.injected++
 	pid := p.net.nextPID()
-	p.queue = append(p.queue, flit.Packet{
+	p.queuePush(flit.Packet{
 		ID:         pid,
 		Src:        p.id,
 		Dst:        dst,
@@ -121,6 +198,41 @@ func (p *pe) generate(cycle uint64) {
 	}
 }
 
+// queuePush appends a packet to the injection queue, compacting consumed
+// head space first when the backing array is full.
+func (p *pe) queuePush(pkt flit.Packet) {
+	if p.qHead > 0 && len(p.queue) == cap(p.queue) {
+		n := copy(p.queue, p.queue[p.qHead:])
+		p.queue = p.queue[:n]
+		p.qHead = 0
+	}
+	p.queue = append(p.queue, pkt)
+}
+
+// queuePop removes and returns the front packet; the backing array is
+// recycled once the queue drains.
+func (p *pe) queuePop() flit.Packet {
+	pkt := p.queue[p.qHead]
+	p.qHead++
+	if p.qHead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qHead = 0
+	}
+	return pkt
+}
+
+// queueFront stages a packet ahead of all waiting data traffic.
+func (p *pe) queueFront(pkt flit.Packet) {
+	if p.qHead > 0 {
+		p.qHead--
+		p.queue[p.qHead] = pkt
+	} else {
+		p.queue = append(p.queue, flit.Packet{})
+		copy(p.queue[1:], p.queue)
+		p.queue[0] = pkt
+	}
+}
+
 // assign moves the next packet (priority control first, then the data
 // queue) onto an idle injection VC.
 func (p *pe) assign() {
@@ -132,9 +244,9 @@ func (p *pe) assign() {
 		case len(p.ctrl) > 0:
 			p.vcFlits[v] = p.ctrl[0]
 			p.ctrl = p.ctrl[1:]
-		case len(p.queue) > 0:
-			p.vcFlits[v] = p.queue[0].Flits()
-			p.queue = p.queue[1:]
+		case p.qHead < len(p.queue):
+			p.vcBuf[v] = p.queuePop().AppendFlits(p.vcBuf[v][:0])
+			p.vcFlits[v] = p.vcBuf[v]
 		default:
 			return
 		}
@@ -252,7 +364,7 @@ func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
 			PID: uint64(pid), Aux: uint64(src),
 		})
 	}
-	p.net.recordDelivery(cycle, born)
+	p.net.recordDelivery(cycle, born, int(p.id))
 }
 
 // flitCorrupt applies the destination's end check per protection scheme.
@@ -308,7 +420,7 @@ func (p *pe) handleRetransRequest(cycle uint64, pid flit.PacketID) {
 	p.net.e2eRetransmits++
 	// Retransmission keeps the original injection timestamp so measured
 	// latency includes the recovery round trip.
-	p.queue = append([]flit.Packet{ret.pkt}, p.queue...)
+	p.queueFront(ret.pkt)
 }
 
 // sweepRetention drops copies whose implicit-ACK timeout expired.

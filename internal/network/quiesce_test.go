@@ -1,0 +1,120 @@
+package network
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ftnoc/internal/link"
+	"ftnoc/internal/routing"
+)
+
+// diffConfig builds one point of the differential grid: a small network
+// with packet journeys traced so the comparison covers event timing, not
+// just aggregate counts.
+func diffConfig(alg routing.Algorithm, prot link.Protection, linkRate float64, seed uint64) Config {
+	cfg := NewConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.Routing = alg
+	cfg.Protection = prot
+	cfg.Faults.Link = linkRate
+	cfg.Seed = seed
+	cfg.WarmupMessages = 50
+	cfg.TotalMessages = 600
+	cfg.MaxCycles = 300_000
+	cfg.TracePIDs = []uint64{1, 2, 3, 5, 8, 13, 21, 34}
+	return cfg
+}
+
+// comparable strips the one non-comparable field from a Results: the
+// counters' Observer callback (a func, installed whenever tracing is on,
+// never DeepEqual). Everything measured stays.
+func comparable(r Results) Results {
+	if r.Counters != nil {
+		c := *r.Counters
+		c.Observer = nil
+		r.Counters = &c
+	}
+	return r
+}
+
+// TestQuiescenceDifferential is the quiescence contract made executable:
+// for every grid point, a run with idle-actor skipping enabled must
+// produce Results — counters, latencies, utilizations, and the traced
+// packet journeys — deeply equal to the naive tick-everyone kernel's.
+// Subtests are keyed by the config's canonical hash, so a failure names
+// the exact reproducible configuration.
+func TestQuiescenceDifferential(t *testing.T) {
+	algs := []routing.Algorithm{routing.XY, routing.OddEven}
+	prots := []link.Protection{link.HBH, link.E2E, link.FEC}
+	rates := []float64{0, 1e-3, 1e-2}
+	for _, alg := range algs {
+		for _, prot := range prots {
+			for _, rate := range rates {
+				cfg := diffConfig(alg, prot, rate, 7)
+				hash, err := cfg.CanonicalHash()
+				if err != nil {
+					t.Fatalf("hashing config: %v", err)
+				}
+				name := fmt.Sprintf("%s-%s-%g-%s", alg, prot, rate, hash[:12])
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					naiveCfg := cfg
+					naiveCfg.NaiveKernel = true
+					nn := New(naiveCfg)
+					want := comparable(nn.Run())
+					if _, skipped := nn.KernelStats(); skipped != 0 {
+						t.Fatalf("naive kernel skipped %d ticks", skipped)
+					}
+
+					qn := New(cfg)
+					got := comparable(qn.Run())
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("quiescent kernel diverged from naive:\nnaive:     %+v\nquiescent: %+v", want, got)
+					}
+					if _, skipped := qn.KernelStats(); skipped == 0 && rate == 0 {
+						t.Error("quiescent kernel never skipped a tick on a fault-free run")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestQuiescenceDifferentialBurst covers the injection-limit path: once
+// the network-wide limit is reached, sleeping sources stop replaying
+// their accumulators — that divergence must stay unobservable.
+func TestQuiescenceDifferentialBurst(t *testing.T) {
+	cfg := diffConfig(routing.XY, link.HBH, 1e-3, 11)
+	cfg.WarmupMessages = 0
+	cfg.InjectLimit = 400
+	cfg.TotalMessages = 400
+	naiveCfg := cfg
+	naiveCfg.NaiveKernel = true
+	want := comparable(New(naiveCfg).Run())
+	got := comparable(New(cfg).Run())
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("burst run diverged:\nnaive:     %+v\nquiescent: %+v", want, got)
+	}
+	if want.Delivered != 400 {
+		t.Fatalf("burst delivered %d/400", want.Delivered)
+	}
+}
+
+// TestQuiescenceDifferentialRecovery drives the deadlock-recovery and
+// hard-fault machinery (probes, activations, reroutes) under both
+// kernels: the protocol state machines must be cycle-identical too.
+func TestQuiescenceDifferentialRecovery(t *testing.T) {
+	cfg := diffConfig(routing.MinimalAdaptive, link.HBH, 1e-3, 3)
+	cfg.InjectionRate = 0.30
+	cfg.Faults.RT = 5e-4
+	cfg.Faults.SA = 5e-4
+	cfg.Faults.VA = 5e-4
+	naiveCfg := cfg
+	naiveCfg.NaiveKernel = true
+	want := comparable(New(naiveCfg).Run())
+	got := comparable(New(cfg).Run())
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("recovery run diverged:\nnaive:     %+v\nquiescent: %+v", want, got)
+	}
+}

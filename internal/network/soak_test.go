@@ -6,6 +6,7 @@ import (
 
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
+	"ftnoc/internal/topology"
 	"ftnoc/internal/traffic"
 )
 
@@ -88,9 +89,19 @@ func TestSoakRandomConfigs(t *testing.T) {
 			cfg.WarmupMessages = 100
 			cfg.TotalMessages = 800
 			cfg.MaxCycles = 400_000
-			res := New(cfg).Run()
+			n := New(cfg)
+			res := n.Run()
 			if res.Stalled || res.Delivered < cfg.TotalMessages {
 				t.Fatalf("delivered %d/%d (stalled=%v): %+v", res.Delivered, cfg.TotalMessages, res.Stalled, cfg)
+			}
+			// Probe memory stays bounded: dedup by (origin, port, VC) caps
+			// it at the keyspace, and the age-out prune — which must run in
+			// recovery mode too — keeps the live population far below that.
+			probeCap := n.Topology().Nodes() * int(topology.NumPorts) * cfg.VCs
+			for id, r := range n.Routers() {
+				if l := r.ProbeSeenLen(); l > probeCap {
+					t.Fatalf("router %d probe memory grew to %d entries (keyspace %d)", id, l, probeCap)
+				}
 			}
 			if res.SinkAnomalies != 0 {
 				t.Fatalf("sink anomalies escaped protection: %d (cfg %+v)", res.SinkAnomalies, cfg)

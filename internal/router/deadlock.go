@@ -27,6 +27,12 @@ func (r *Router) deadlock(cycle uint64) {
 	if !r.cfg.RecoveryEnabled {
 		return
 	}
+	// Prune before the recovery branch: a node can spend many windows in
+	// recovery mode, and skipping pruning there let probeSeen grow without
+	// bound in long soak/daemon runs. Pruning neither reads nor writes any
+	// state the probing rules below consult this cycle (entries are added
+	// during ingest, which already ran).
+	r.pruneProbeSeen(cycle)
 	if r.inRecovery {
 		r.recoveryStep(cycle)
 		return
@@ -62,7 +68,6 @@ func (r *Router) deadlock(cycle uint64) {
 			r.probesSent++
 		}
 	}
-	r.pruneProbeSeen(cycle)
 }
 
 // sendSignal emits a probe or activation along the blocked packet's next

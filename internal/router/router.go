@@ -45,6 +45,32 @@ type Router struct {
 	wormholeViolations uint64
 	strayFlits         uint64
 	creditStalls       uint64
+
+	// nextExpected is the cycle the next Tick should see; a gap means the
+	// kernel skipped this router as quiescent, and Tick replays the
+	// per-cycle mutations an idle tick would have made (see catchUp).
+	nextExpected uint64
+
+	// flatVCs flattens (port, vc) pairs for round-robin iteration without
+	// a divmod per probe; nil entries are unattached ports.
+	flatVCs []*inputVC
+
+	// routeCache memoises the routing function per destination: routes
+	// are pure in (cur, dst) — link health is filtered later, in
+	// legalCandidates — so one computation serves the whole run.
+	// neighborRoute does the same for the §4.2 arrival-direction check,
+	// per upstream port.
+	routeCache    [][]topology.Port
+	neighborRoute [topology.NumPorts][][]topology.Port
+
+	// Per-cycle scratch buffers, reused across ticks; capacities are
+	// bounded by the port/VC counts so the steady state never allocates.
+	scratchLegal  []topology.Port
+	scratchBind   []ac.Binding
+	scratchGrants []ac.Grant
+	scratchReqs   []saRequest
+	scratchKept   []saRequest
+	scratchViol   []ac.Violation
 }
 
 type inPort struct {
@@ -57,10 +83,19 @@ type inPort struct {
 // AttachInput / AttachOutput before the first Tick.
 func New(cfg Config) *Router {
 	cfg.validate()
+	np := int(topology.NumPorts)
 	return &Router{
-		cfg:       cfg,
-		id:        cfg.ID,
-		probeSeen: make(map[probeKey]uint64),
+		cfg:           cfg,
+		id:            cfg.ID,
+		probeSeen:     make(map[probeKey]uint64),
+		flatVCs:       make([]*inputVC, np*cfg.VCs),
+		routeCache:    make([][]topology.Port, cfg.Topo.Nodes()),
+		scratchLegal:  make([]topology.Port, 0, np),
+		scratchBind:   make([]ac.Binding, 0, np*cfg.VCs),
+		scratchGrants: make([]ac.Grant, 0, np),
+		scratchReqs:   make([]saRequest, 0, np),
+		scratchKept:   make([]saRequest, 0, np),
+		scratchViol:   make([]ac.Violation, 0, np),
 	}
 }
 
@@ -73,6 +108,7 @@ func (r *Router) AttachInput(p topology.Port, rx *link.Receiver) {
 	vcs := make([]*inputVC, r.cfg.VCs)
 	for i := range vcs {
 		vcs[i] = &inputVC{port: p, idx: i, buf: link.NewFIFO(r.cfg.BufDepth)}
+		r.flatVCs[int(p)*r.cfg.VCs+i] = vcs[i]
 	}
 	r.in[p] = &inPort{port: p, rx: rx, vcs: vcs}
 }
@@ -86,12 +122,80 @@ func (r *Router) AttachOutput(p topology.Port, tx *link.Transmitter) {
 // atomic modules of Fig. 2; all cross-router effects go through latched
 // channel wires, so intra-cycle phase order is purely local.
 func (r *Router) Tick(cycle uint64) {
+	if cycle > r.nextExpected {
+		r.catchUp(cycle - r.nextExpected)
+	}
+	r.nextExpected = cycle + 1
 	r.beginOutputs(cycle)
 	r.ingest(cycle)
 	r.advance(cycle)
 	r.allocateVA(cycle)
 	r.allocateSA(cycle)
 	r.deadlock(cycle)
+}
+
+// catchUp replays the per-cycle mutations a quiescent-eligible router
+// makes on every idle tick, for the gap cycles the kernel skipped: the
+// unconditional VA/SA round-robin rotations, and the per-cycle AC grant
+// screen the comparator performs even on an empty grant vector. Nothing
+// else in an idle tick mutates state (that is what Quiescent certifies),
+// so after catch-up the router is byte-identical to one ticked
+// throughout.
+func (r *Router) catchUp(gap uint64) {
+	r.vaRR += int(gap)
+	r.outRR += int(gap)
+	if r.cfg.ACEnabled {
+		r.cfg.Events.ACChecks += gap
+	}
+}
+
+// CatchUpTo applies the idle-tick effects of every skipped cycle before
+// target, as if the router had ticked them all. The kernel normally leaves
+// catch-up to the next Tick; counter observers (the network's measurement
+// snapshots) call this so that a sleeping router's externally visible
+// counters match the naive kernel's at the observation point. No-op for a
+// router that is up to date.
+func (r *Router) CatchUpTo(target uint64) {
+	if target > r.nextExpected {
+		r.catchUp(target - r.nextExpected)
+		r.nextExpected = target
+	}
+}
+
+// Quiescent implements sim.Quiescer: the router may be skipped when every
+// input VC is idle and empty, no output port is replaying or holding
+// flits inside their NACK window, no deadlock machinery is live, and the
+// probe-memory table is empty (pruning it is clock-driven, so a non-empty
+// table keeps the router ticking until it drains). Credits and NACKs may
+// still arrive while asleep: they accumulate on their wires and are
+// drained by beginOutputs at the wake cycle, before any decision reads
+// them. Flit arrivals wake the router via the channel's delivery
+// callback.
+func (r *Router) Quiescent(cycle uint64) (bool, uint64) {
+	if r.inRecovery || len(r.probeSeen) > 0 {
+		return false, 0
+	}
+	for _, ivc := range r.flatVCs {
+		if ivc == nil {
+			continue
+		}
+		if ivc.state != vcIdle || ivc.occupied() != 0 {
+			return false, 0
+		}
+	}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		op := r.out[p]
+		if op == nil {
+			continue
+		}
+		if op.tx.HasReplay() {
+			return false, 0
+		}
+		if occ, _ := op.tx.ShifterOccupancy(); occ != 0 {
+			return false, 0
+		}
+	}
+	return true, 0
 }
 
 // beginOutputs ingests handshakes on every output channel and services
@@ -181,7 +285,7 @@ func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
 		// must match the route the previous node should have taken.
 		if up, ok := r.cfg.Topo.Neighbor(r.id, ip.port); ok {
 			dst := flit.DecodeHeader(f.Word).Dst
-			exp := r.cfg.Route.Route(up, dst)
+			exp := r.cachedNeighborRoute(ip.port, up, dst)
 			if len(exp) == 1 && exp[0] != ip.port.Opposite() {
 				ip.rx.ForceDrop(vc, cycle, link.NACKMisroute)
 				return
@@ -263,7 +367,7 @@ func (r *Router) advance(cycle uint64) {
 // packet by replacing the candidate set).
 func (r *Router) computeRoute(cycle uint64, ivc *inputVC) []topology.Port {
 	r.cfg.Events.RTComputes++
-	cands := r.cfg.Route.Route(r.id, ivc.dst)
+	cands := r.cachedRoute(ivc.dst)
 	if r.cfg.RTFault.Upset() {
 		r.cfg.Counters.AddInjected(fault.RTLogic)
 		cands = []topology.Port{topology.Port(r.cfg.RTFault.Pick(int(topology.NumPorts)))}
@@ -283,13 +387,54 @@ func (r *Router) computeRoute(cycle uint64, ivc *inputVC) []topology.Port {
 	return cands
 }
 
+// cachedRoute memoises Route(r.id, dst). Routing functions are pure in
+// (cur, dst): link health is consulted in legalCandidates, not here, so a
+// cached candidate set stays valid across hard-fault changes. Cached
+// slices are shared read-only — input VCs rebind candidates but never
+// mutate them.
+func (r *Router) cachedRoute(dst flit.NodeID) []topology.Port {
+	if i := int(dst); i >= 0 && i < len(r.routeCache) {
+		if c := r.routeCache[i]; c != nil {
+			return c
+		}
+		c := r.cfg.Route.Route(r.id, dst)
+		r.routeCache[i] = c
+		return c
+	}
+	// A corrupted destination outside the node space (possible only in
+	// unprotected ablations): fall through uncached.
+	return r.cfg.Route.Route(r.id, dst)
+}
+
+// cachedNeighborRoute memoises Route(up, dst) for the arrival-direction
+// consistency check, keyed by the arrival port (which fixes up).
+func (r *Router) cachedNeighborRoute(p topology.Port, up, dst flit.NodeID) []topology.Port {
+	i := int(dst)
+	if i < 0 || i >= len(r.routeCache) {
+		return r.cfg.Route.Route(up, dst)
+	}
+	cache := r.neighborRoute[p]
+	if cache == nil {
+		cache = make([][]topology.Port, len(r.routeCache))
+		r.neighborRoute[p] = cache
+	}
+	if c := cache[i]; c != nil {
+		return c
+	}
+	c := r.cfg.Route.Route(up, dst)
+	cache[i] = c
+	return c
+}
+
 // legalCandidates filters the RT candidate set down to ports that the VC
 // allocator's state information permits: existing, un-faulted links, and
 // Local only for packets that have arrived (§4.2 — the VA "is aware of
 // blocked links or links which are not permitted due to physical
 // constraints").
 func (r *Router) legalCandidates(ivc *inputVC) []topology.Port {
-	var legal []topology.Port
+	// Returns the reusable scratch buffer; callers consume it before the
+	// next legalCandidates call on this router.
+	legal := r.scratchLegal[:0]
 	for _, p := range ivc.candidates {
 		if !p.Valid() {
 			continue
@@ -307,9 +452,10 @@ func (r *Router) legalCandidates(ivc *inputVC) []topology.Port {
 	return legal
 }
 
-// existingBindings snapshots the VA state table for the comparator.
+// existingBindings snapshots the VA state table for the comparator. The
+// returned slice is a reusable scratch buffer, consumed synchronously.
 func (r *Router) existingBindings() []ac.Binding {
-	var bs []ac.Binding
+	bs := r.scratchBind[:0]
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		op := r.out[p]
 		if op == nil {
@@ -468,8 +614,8 @@ type saRequest struct {
 // link traversal for the winners.
 func (r *Router) allocateSA(cycle uint64) {
 	grantedInput := [topology.NumPorts]bool{}
-	var grants []ac.Grant
-	var grantReqs []saRequest
+	grants := r.scratchGrants[:0]
+	grantReqs := r.scratchReqs[:0]
 
 	for i := 0; i < int(topology.NumPorts); i++ {
 		p := topology.Port((r.outRR + i) % int(topology.NumPorts))
@@ -482,7 +628,10 @@ func (r *Router) allocateSA(cycle uint64) {
 			op.tx.TickReplay(cycle)
 			continue
 		}
-		var winner *saRequest
+		// The winner is held by value: taking a loop-local request's
+		// address would heap-allocate it every allocation round.
+		var winner saRequest
+		won := false
 		n := r.inputVCCount()
 		for j := 0; j < n; j++ {
 			ivc := r.inputVCAt((op.saRR + j) % n)
@@ -495,9 +644,9 @@ func (r *Router) allocateSA(cycle uint64) {
 				r.cfg.Counters.AddInjected(fault.SALogic)
 				req.upset = true
 			}
-			if winner == nil {
-				w := req
-				winner = &w
+			if !won {
+				winner = req
+				won = true
 			} else if req.upset {
 				// A losing requester hit by an upset: the fault denied it
 				// nothing (it had already lost) — the benign case (a).
@@ -505,7 +654,7 @@ func (r *Router) allocateSA(cycle uint64) {
 			}
 			// Non-winning clean requesters simply retry next cycle.
 		}
-		if winner == nil {
+		if !won {
 			continue
 		}
 		op.saRR++
@@ -517,7 +666,7 @@ func (r *Router) allocateSA(cycle uint64) {
 		}
 		grantedInput[winner.ivc.port] = true
 		grants = append(grants, ac.Grant{InPort: winner.ivc.port, InVC: winner.ivc.idx, OutPort: p})
-		grantReqs = append(grantReqs, *winner)
+		grantReqs = append(grantReqs, winner)
 	}
 	r.outRR++
 
@@ -535,9 +684,9 @@ func (r *Router) allocateSA(cycle uint64) {
 	keep := grants
 	if r.cfg.ACEnabled {
 		r.cfg.Events.ACChecks++
-		viol := ac.CheckSA(grants, int(topology.NumPorts), r.lookupBinding)
+		viol := ac.CheckSAInto(r.scratchViol[:0], grants, int(topology.NumPorts), r.lookupBinding)
 		keep = keep[:0]
-		kept := make([]saRequest, 0, len(grantReqs))
+		kept := r.scratchKept[:0]
 		for i, v := range viol {
 			if v == ac.None {
 				keep = append(keep, grants[i])
@@ -695,13 +844,7 @@ func (r *Router) executeGrant(cycle uint64, g ac.Grant, corrupted bool) {
 // iteration.
 func (r *Router) inputVCCount() int { return int(topology.NumPorts) * r.cfg.VCs }
 
-func (r *Router) inputVCAt(i int) *inputVC {
-	p := topology.Port(i / r.cfg.VCs)
-	if r.in[p] == nil {
-		return nil
-	}
-	return r.in[p].vcs[i%r.cfg.VCs]
-}
+func (r *Router) inputVCAt(i int) *inputVC { return r.flatVCs[i] }
 
 // BufferOccupancy sums input VC buffer occupancy and capacity (the
 // transmission-buffer utilization metric of Fig. 8).
@@ -758,6 +901,11 @@ func (r *Router) StrayFlits() uint64 { return r.strayFlits }
 // attempts denied purely by exhausted downstream credits — the
 // backpressure gauge of the metrics registry.
 func (r *Router) CreditStalls() uint64 { return r.creditStalls }
+
+// ProbeSeenLen returns the number of live probe-memory entries (Rule 3
+// validity records). Soak tests assert it stays bounded by the pruning
+// window.
+func (r *Router) ProbeSeenLen() int { return len(r.probeSeen) }
 
 // DebugVCs renders a one-line summary of every non-idle input VC: state,
 // occupancy (buffer+pending), blocked time, and allocation. Test tooling.

@@ -14,6 +14,23 @@
 // Because actors never observe same-cycle writes, the order in which they
 // tick is immaterial, which is what makes the model cycle-accurate rather
 // than merely event-ordered.
+//
+// # Quiescence
+//
+// An actor that also implements Quiescer may report, after a tick, that it
+// is idle until woken. The kernel then stops ticking it — a skipped actor
+// must be observationally indistinguishable from one that ticked while
+// idle, which is the actor's contract to uphold (see DESIGN.md, "Kernel
+// performance"). A quiescent actor returns to the active set when
+//
+//   - a delay line delivers a value to it (the pipe's wake callback, wired
+//     via Waker, fires when a latch leaves values visible), or
+//   - its self-declared timed wake cycle arrives (for purely clock-driven
+//     work such as a traffic source's next injection slot).
+//
+// SetNaive(true) disables actor skipping entirely, restoring the historical
+// tick-everyone kernel for differential testing. Latch skipping stays on in
+// both modes: an empty pipe's latch is the identity, so eliding it is exact.
 package sim
 
 // Actor is a component evaluated once per simulated clock cycle.
@@ -31,29 +48,163 @@ type ActorFunc func(cycle uint64)
 // Tick implements Actor.
 func (f ActorFunc) Tick(cycle uint64) { f(cycle) }
 
-// latcher is implemented by delay lines registered with the kernel; the
-// kernel advances them after all actors have ticked.
-type latcher interface {
-	latch()
+// Quiescer is optionally implemented by actors that can prove themselves
+// idle. Quiescent is consulted immediately after each of the actor's own
+// ticks; returning quiet=true suspends the actor until a pipe delivery
+// wakes it or, if wakeAt > cycle, until that cycle arrives.
+//
+// The contract: while suspended, the actor's tick must have been a
+// semantic no-op apart from state it can reconstruct on wake (catch-up),
+// and every external input it reacts to must arrive through a delay line
+// whose wake callback targets it (or be covered by the timed wake).
+type Quiescer interface {
+	Actor
+	// Quiescent reports whether the actor is idle after ticking cycle.
+	// wakeAt, when > cycle, schedules an unconditional wake at that cycle;
+	// wakeAt == 0 means "sleep until a delivery wakes me".
+	Quiescent(cycle uint64) (quiet bool, wakeAt uint64)
+}
+
+// Handle identifies a registered actor, for wake wiring.
+type Handle int
+
+// activeLatch is implemented by delay lines; the kernel advances armed
+// ones after all actors have ticked. latch reports whether the line still
+// holds values and must remain armed.
+type activeLatch interface {
+	latch() bool
+}
+
+// wakeEntry is one scheduled timed wake in the kernel's min-heap.
+type wakeEntry struct {
+	at uint64
+	h  Handle
 }
 
 // Kernel drives a set of actors and delay lines through simulated time.
 // The zero value is ready to use.
 type Kernel struct {
-	cycle   uint64
-	actors  []Actor
-	latches []latcher
+	cycle  uint64
+	actors []Actor
+	// quiescers[i] is actors[i] if it implements Quiescer, else nil.
+	quiescers []Quiescer
+	asleep    []bool
+	// wakeAt[i] is the pending timed-wake cycle for a sleeping actor
+	// (0 = none); heap entries not matching it are stale and ignored.
+	wakeAt []uint64
+	heap   []wakeEntry
+	// active holds the armed delay lines; pipes arm themselves on Push
+	// and disarm by returning false from latch.
+	active []activeLatch
+
+	naive   bool
+	ticked  uint64
+	skipped uint64
 }
 
 // Register adds actors to the kernel. Actors tick in registration order,
 // though correctness must not depend on that order.
 func (k *Kernel) Register(actors ...Actor) {
-	k.actors = append(k.actors, actors...)
+	for _, a := range actors {
+		k.RegisterActor(a)
+	}
 }
 
-// addLatch registers a delay line for end-of-cycle advancement.
-func (k *Kernel) addLatch(l latcher) {
-	k.latches = append(k.latches, l)
+// RegisterActor adds one actor and returns its handle, for wake wiring
+// via Waker.
+//
+// Implementing Quiescer is not by itself enough to be skipped: skipping
+// an actor is only sound once every delay line feeding it has a wake
+// callback installed, which the kernel cannot verify. Whoever does that
+// wiring opts the actor in with EnableQuiescence.
+func (k *Kernel) RegisterActor(a Actor) Handle {
+	h := Handle(len(k.actors))
+	k.actors = append(k.actors, a)
+	k.quiescers = append(k.quiescers, nil)
+	k.asleep = append(k.asleep, false)
+	k.wakeAt = append(k.wakeAt, 0)
+	return h
+}
+
+// EnableQuiescence opts a registered Quiescer into idle skipping. Call
+// only after wiring wake callbacks on every pipe that delivers to it. A
+// non-Quiescer actor is left untouched.
+func (k *Kernel) EnableQuiescence(h Handle) {
+	if q, ok := k.actors[h].(Quiescer); ok {
+		k.quiescers[h] = q
+	}
+}
+
+// Waker returns the wake callback for an actor: invoking it returns the
+// actor to the active set so it ticks next cycle. Safe to call on awake
+// actors (no-op) and repeatedly.
+func (k *Kernel) Waker(h Handle) func() {
+	return func() {
+		if k.asleep[h] {
+			k.asleep[h] = false
+			k.wakeAt[h] = 0
+		}
+	}
+}
+
+// Asleep reports whether the actor is currently suspended as quiescent.
+func (k *Kernel) Asleep(h Handle) bool { return k.asleep[h] }
+
+// SetNaive toggles the tick-every-actor fallback kernel (quiescence
+// skipping disabled). Must be set before stepping; it exists so the
+// quiescence machinery can be differentially tested against the
+// historical exhaustive schedule.
+func (k *Kernel) SetNaive(naive bool) { k.naive = naive }
+
+// Naive reports whether actor skipping is disabled.
+func (k *Kernel) Naive() bool { return k.naive }
+
+// Stats returns the cumulative number of actor ticks executed and actor
+// ticks skipped through quiescence.
+func (k *Kernel) Stats() (ticked, skipped uint64) { return k.ticked, k.skipped }
+
+// arm adds a delay line to the active-latch list (called by Pipe.Push).
+func (k *Kernel) arm(l activeLatch) {
+	k.active = append(k.active, l)
+}
+
+// pushWake schedules a timed wake on the min-heap.
+func (k *Kernel) pushWake(at uint64, h Handle) {
+	k.heap = append(k.heap, wakeEntry{at: at, h: h})
+	i := len(k.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if k.heap[parent].at <= k.heap[i].at {
+			break
+		}
+		k.heap[parent], k.heap[i] = k.heap[i], k.heap[parent]
+		i = parent
+	}
+}
+
+// popWake removes and returns the earliest timed wake.
+func (k *Kernel) popWake() wakeEntry {
+	top := k.heap[0]
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(k.heap) && k.heap[l].at < k.heap[small].at {
+			small = l
+		}
+		if r < len(k.heap) && k.heap[r].at < k.heap[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		k.heap[i], k.heap[small] = k.heap[small], k.heap[i]
+		i = small
+	}
+	return top
 }
 
 // Cycle returns the number of completed cycles.
@@ -62,12 +213,52 @@ func (k *Kernel) Cycle() uint64 { return k.cycle }
 // Step advances simulated time by one cycle.
 func (k *Kernel) Step() {
 	c := k.cycle
-	for _, a := range k.actors {
+
+	// Fire timed wakes due this cycle. Stale heap entries (the actor was
+	// woken earlier by a delivery, or re-slept with a different deadline)
+	// are recognised by wakeAt disagreeing with the entry.
+	for len(k.heap) > 0 && k.heap[0].at <= c {
+		e := k.popWake()
+		if k.asleep[e.h] && k.wakeAt[e.h] == e.at {
+			k.asleep[e.h] = false
+			k.wakeAt[e.h] = 0
+		}
+	}
+
+	for i, a := range k.actors {
+		if k.asleep[i] {
+			k.skipped++
+			continue
+		}
 		a.Tick(c)
+		k.ticked++
+		if q := k.quiescers[i]; q != nil && !k.naive {
+			if quiet, at := q.Quiescent(c); quiet {
+				k.asleep[i] = true
+				if at > c {
+					k.wakeAt[i] = at
+					k.pushWake(at, Handle(i))
+				} else {
+					k.wakeAt[i] = 0
+				}
+			}
+		}
 	}
-	for _, l := range k.latches {
-		l.latch()
+
+	// Advance armed delay lines, compacting out the ones that emptied.
+	// Latch-order equals arm-order, which may differ from historical
+	// registration order — sound because latches are independent: each
+	// pipe only rotates its own ring. Wake callbacks fired here return
+	// consumers to the active set for cycle c+1.
+	n := 0
+	for _, l := range k.active {
+		if l.latch() {
+			k.active[n] = l
+			n++
+		}
 	}
+	k.active = k.active[:n]
+
 	k.cycle++
 }
 

@@ -8,15 +8,32 @@ package sim
 // A Pipe with latency 1 models a register stage; the paper's single-cycle
 // inter-router links, single-cycle NACK propagation, and single-cycle
 // error-check delay are all latency-1 pipes.
+//
+// Internally the pipe is a ring of latency+1 reusable buffers: one visible
+// buffer and latency in-flight stages. Advancing the ring recycles the
+// drained visible buffer as the new staging buffer, so a pipe in steady
+// state performs zero allocations. An empty pipe additionally disarms
+// itself from the kernel's active-latch list, so idle wires cost nothing
+// per cycle (see Kernel).
 type Pipe[T any] struct {
+	k       *Kernel
 	latency int
-	// slots[0] holds values visible now; slots[i] becomes visible after i
-	// more latches. Each slot may carry multiple values (e.g. a credit
-	// pipe aggregating several VCs); ordering within a slot is FIFO.
-	slots [][]T
-	// staged collects pushes made during the current cycle; latch moves
-	// them into slots[latency-1] after shifting.
-	staged []T
+	// bufs[vis] holds values visible now (with the first off already
+	// consumed); bufs[(vis+i)%len] becomes visible after i more latches;
+	// bufs[(vis+latency)%len] is the staging buffer collecting this
+	// cycle's pushes. Each buffer may carry multiple values (e.g. a credit
+	// pipe aggregating several VCs); ordering within a buffer is FIFO.
+	bufs [][]T
+	vis  int
+	off  int
+	// held counts unconsumed values anywhere in the ring (staged,
+	// in-flight, and visible-but-unpopped).
+	held int
+	// armed mirrors membership in the kernel's active-latch list.
+	armed bool
+	// wake, when set, runs whenever a latch leaves values visible — the
+	// delivery signal that returns a quiescent consumer to the active set.
+	wake func()
 }
 
 // NewPipe creates a delay line with the given latency (>= 1) and registers
@@ -26,74 +43,101 @@ func NewPipe[T any](k *Kernel, latency int) *Pipe[T] {
 		panic("sim: pipe latency must be >= 1")
 	}
 	p := &Pipe[T]{
+		k:       k,
 		latency: latency,
-		slots:   make([][]T, latency),
+		bufs:    make([][]T, latency+1),
 	}
-	k.addLatch(p)
 	return p
 }
+
+// SetWake installs the delivery callback: it runs at the end of any cycle
+// whose latch leaves at least one value visible, signalling the pipe's
+// consumer to wake (see Kernel.Waker). At most one callback is supported.
+func (p *Pipe[T]) SetWake(wake func()) { p.wake = wake }
 
 // Latency returns the pipe's configured delay in cycles.
 func (p *Pipe[T]) Latency() int { return p.latency }
 
 // Push enqueues v for delivery latency cycles from now.
 func (p *Pipe[T]) Push(v T) {
-	p.staged = append(p.staged, v)
+	s := (p.vis + p.latency) % len(p.bufs)
+	p.bufs[s] = append(p.bufs[s], v)
+	p.held++
+	if !p.armed {
+		p.armed = true
+		p.k.arm(p)
+	}
 }
 
 // Pop removes and returns the oldest value visible this cycle. ok is false
 // if no value is available.
 func (p *Pipe[T]) Pop() (v T, ok bool) {
-	head := p.slots[0]
-	if len(head) == 0 {
+	head := p.bufs[p.vis]
+	if p.off >= len(head) {
 		return v, false
 	}
-	v = head[0]
-	p.slots[0] = head[1:]
+	v = head[p.off]
+	p.off++
+	p.held--
 	return v, true
 }
 
 // Peek returns the oldest visible value without removing it.
 func (p *Pipe[T]) Peek() (v T, ok bool) {
-	head := p.slots[0]
-	if len(head) == 0 {
+	head := p.bufs[p.vis]
+	if p.off >= len(head) {
 		return v, false
 	}
-	return head[0], true
+	return head[p.off], true
 }
 
-// PopAll removes and returns every value visible this cycle.
+// PopAll removes and returns every value visible this cycle. The returned
+// slice aliases the pipe's internal ring buffer and is valid only until
+// the next latch; callers must consume (or copy) it within the cycle.
 func (p *Pipe[T]) PopAll() []T {
-	head := p.slots[0]
-	p.slots[0] = nil
+	head := p.bufs[p.vis][p.off:]
+	p.off = len(p.bufs[p.vis])
+	p.held -= len(head)
 	return head
 }
 
 // Empty reports whether no value is visible this cycle. Values still in
 // flight (pushed fewer than latency cycles ago) do not count.
-func (p *Pipe[T]) Empty() bool { return len(p.slots[0]) == 0 }
+func (p *Pipe[T]) Empty() bool { return p.off >= len(p.bufs[p.vis]) }
 
 // InFlight reports the total number of values buffered anywhere in the
 // pipe, including those not yet visible and any not yet latched.
-func (p *Pipe[T]) InFlight() int {
-	n := len(p.staged)
-	for _, s := range p.slots {
-		n += len(s)
-	}
-	return n
-}
+func (p *Pipe[T]) InFlight() int { return p.held }
 
-// latch advances the delay line by one cycle.
-func (p *Pipe[T]) latch() {
-	// Undelivered visible values remain visible (slot 0 accumulates), so a
-	// consumer that stalls does not lose data.
-	carry := p.slots[0]
-	copy(p.slots, p.slots[1:])
-	p.slots[p.latency-1] = p.staged
-	p.staged = nil
-	if len(carry) > 0 {
-		p.slots[0] = append(carry, p.slots[0]...)
+// latch advances the delay line by one cycle. It reports whether the pipe
+// still holds values and must stay on the kernel's active-latch list; an
+// all-empty pipe's latch is the identity (rotating empty buffers), so
+// skipping it is exact, not an approximation.
+func (p *Pipe[T]) latch() bool {
+	// Undelivered visible values remain visible (the new visible buffer
+	// accumulates them at its front), so a consumer that stalls does not
+	// lose data.
+	carryFrom := p.bufs[p.vis][p.off:]
+	next := (p.vis + 1) % len(p.bufs)
+	if len(carryFrom) > 0 {
+		if p.off == 0 && len(p.bufs[next]) == 0 {
+			// Nothing arriving and nothing consumed (a quiescent consumer
+			// letting credits/NACKs pool): carry by swapping buffers, no
+			// copy, no allocation, however long the consumer sleeps.
+			p.bufs[next], p.bufs[p.vis] = p.bufs[p.vis], p.bufs[next]
+		} else {
+			merged := make([]T, 0, len(carryFrom)+len(p.bufs[next]))
+			merged = append(merged, carryFrom...)
+			merged = append(merged, p.bufs[next]...)
+			p.bufs[next] = merged
+		}
 	}
-	// Note: for latency 1, slots[0] was overwritten with staged above and
-	// the carry is prepended, preserving FIFO order.
+	p.bufs[p.vis] = p.bufs[p.vis][:0]
+	p.vis = next
+	p.off = 0
+	if len(p.bufs[p.vis]) > 0 && p.wake != nil {
+		p.wake()
+	}
+	p.armed = p.held > 0
+	return p.armed
 }

@@ -128,6 +128,39 @@ func (s *Source) Tick() (dst flit.NodeID, ok bool) {
 	return d, true
 }
 
+// Skip advances the accumulator by k non-injecting cycles, replaying
+// exactly the additions Tick would have performed — so a caller that
+// skipped k idle cycles ends up with a bit-identical accumulator. It must
+// only be called for cycles known not to reach the injection threshold
+// (see NextCrossing): a crossing cycle draws a destination from the RNG,
+// which Skip deliberately does not.
+func (s *Source) Skip(k uint64) {
+	for i := uint64(0); i < k; i++ {
+		s.acc += s.perCycle
+	}
+}
+
+// NextCrossing predicts when the source next reaches the injection
+// threshold: the k-th future Tick (k >= 1) is the first to attempt an
+// injection. The prediction replays the accumulator's exact float
+// additions rather than dividing, so it agrees bit-for-bit with what Tick
+// will do. The search is capped at limit: (limit, false) means cycles
+// 1..limit-1 are all sub-threshold — the caller may sleep that long and
+// ask again. A zero-rate source returns (0, false): it never crosses.
+func (s *Source) NextCrossing(limit uint64) (k uint64, crosses bool) {
+	if s.perCycle <= 0 {
+		return 0, false
+	}
+	acc := s.acc
+	for k = 1; k < limit; k++ {
+		acc += s.perCycle
+		if acc >= 1 {
+			return k, true
+		}
+	}
+	return limit, false
+}
+
 // dest draws a destination per the configured pattern.
 func (s *Source) dest() flit.NodeID {
 	n := s.topo.Nodes()

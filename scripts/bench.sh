@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — kernel performance harness.
+#
+# Full mode (default) times the Fig 5/6 quick workloads under the
+# quiescent and naive schedulers, runs the kernel microbenchmarks, and
+# writes BENCH_kernel.json at the repo root. Pass a git ref to also
+# build that revision's nocsim and record the speedup against it:
+#
+#   scripts/bench.sh                      # current tree only
+#   scripts/bench.sh --baseline HEAD~1    # plus speedup vs a revision
+#   scripts/bench.sh --out /tmp/bench.json --baseline v0.1
+#
+# Smoke mode is the CI guard: it runs every kernel benchmark once (so
+# they cannot bit-rot) and fails the build if BenchmarkKernelSteady
+# reports any allocations per simulated cycle:
+#
+#   scripts/bench.sh --smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    # One iteration of everything: compile + run each benchmark body.
+    go test ./internal/network -run '^$' -bench 'BenchmarkKernel' -benchtime=1x -benchmem
+
+    # Allocation guard. 200 measured cycles after the benchmark's own
+    # 2000-cycle warm-up is enough for any per-cycle allocation to show
+    # up as allocs/op >= 1 (Go reports the floor of the mean).
+    line=$(go test ./internal/network -run '^$' -bench 'BenchmarkKernelSteady$' \
+        -benchtime=200x -benchmem | grep '^BenchmarkKernelSteady')
+    allocs=$(awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' <<<"$line")
+    if [[ -z "$allocs" ]]; then
+        echo "bench.sh: could not parse allocs/op from: $line" >&2
+        exit 1
+    fi
+    if [[ "$allocs" != "0" ]]; then
+        echo "bench.sh: FAIL — BenchmarkKernelSteady allocates ($allocs allocs/op); the steady-state hot path must be allocation-free" >&2
+        exit 1
+    fi
+    echo "bench.sh: OK — BenchmarkKernelSteady is allocation-free"
+    exit 0
+fi
+
+exec go run ./cmd/benchkernel "$@"
