@@ -54,6 +54,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "stream sampled per-router metrics to an NDJSON file")
 	metricsEvery := flag.Uint64("metrics-every", 100, "metrics sampling interval in cycles")
 	simNaive := flag.Bool("sim-naive", false, "disable kernel quiescence (tick every actor every cycle); results are identical, only slower")
+	check := flag.Bool("check", false, "run the runtime invariant checker alongside the simulation; exit non-zero on any violation")
+	checkEvery := flag.Uint64("check-every", 1, "with -check, audit network state every N cycles (1 = every cycle)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	configPath := flag.String("config", "", "load the configuration from a JSON file (other config flags are ignored)")
@@ -185,8 +187,14 @@ func main() {
 	// while the simulator finishes the abort path.
 	context.AfterFunc(ctx, stop)
 	// NaiveKernel is scheduling-only (excluded from canonical JSON), so it
-	// is applied after any -config load rather than read from it.
+	// is applied after any -config load rather than read from it. The
+	// invariant checker is likewise an observability attachment.
 	cfg.NaiveKernel = *simNaive
+	var chk *ftnoc.InvariantChecker
+	if *check {
+		chk = ftnoc.NewInvariantChecker(ftnoc.InvariantConfig{Every: *checkEvery})
+		cfg.Invariants = chk
+	}
 	net := ftnoc.New(cfg)
 	wallStart := time.Now()
 	res := net.RunContext(ctx)
@@ -264,6 +272,22 @@ func main() {
 		fmt.Print(visual.Heatmap(cfg.Width, cfg.Height, 0,
 			"per-router transmission-buffer utilization",
 			func(x, y int) float64 { return res.RouterTxUtil[y*cfg.Width+x] }))
+	}
+	if chk != nil {
+		injected, ejected, dropped, events := chk.Stats()
+		if err := chk.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim: invariant check FAILED:", err)
+			for i, v := range chk.Violations() {
+				if i >= 20 {
+					fmt.Fprintf(os.Stderr, "  ... and %d more\n", chk.Total()-i)
+					break
+				}
+				fmt.Fprintln(os.Stderr, " ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("invariants:     clean — %d packets injected, %d ejected, %d dropped terminally (%d events audited)\n",
+			injected, ejected, dropped, events)
 	}
 }
 

@@ -43,6 +43,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "replicates per point (distinct derived seeds; metrics print mean ± 95% CI)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	check := flag.Bool("check", false, "run the invariant checker inside every replicate; violations fail the replicate")
 	csvOut := flag.String("csv", "", "also write the full result table to this CSV file")
 	ndjsonOut := flag.String("ndjson", "", "also write the per-replicate result table to this NDJSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -102,6 +103,7 @@ func main() {
 		InjectionRates: rates,
 		Seeds:          *seeds,
 		Workers:        *workers,
+		Invariants:     *check,
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)

@@ -29,6 +29,7 @@ import (
 
 	"ftnoc/internal/deadlock"
 	"ftnoc/internal/fault"
+	"ftnoc/internal/invariant"
 	"ftnoc/internal/link"
 	"ftnoc/internal/network"
 	"ftnoc/internal/power"
@@ -167,6 +168,30 @@ func FilterTracePIDs(s TraceSink, pids []uint64) TraceSink { return trace.Filter
 func FilterTraceKinds(s TraceSink, kinds ...TraceKind) TraceSink {
 	return trace.FilterKinds(s, kinds...)
 }
+
+// Verification. The simulator carries a runtime invariant checker that
+// audits a run while it executes: flit conservation (every injected
+// packet is delivered, terminally dropped, or still resident), credit
+// flow-control conservation on every link, retransmission-buffer
+// soundness, ECC consistency, deadlock-recovery liveness, and
+// quiescence safety. Attach one via Config.Invariants (one checker per
+// run — checkers are stateful) and inspect it after Run; the nocsim
+// -check flag is the CLI form.
+
+// InvariantChecker audits a single run against the simulator's
+// structural invariants (Config.Invariants).
+type InvariantChecker = invariant.Checker
+
+// InvariantConfig tunes an InvariantChecker; the zero value is the
+// recommended default (audit every cycle, record up to 100 violations).
+type InvariantConfig = invariant.Config
+
+// InvariantViolation is one recorded invariant failure, with the cycle
+// and component it was attributed to. It implements error.
+type InvariantViolation = invariant.Violation
+
+// NewInvariantChecker returns a fresh checker for a single run.
+func NewInvariantChecker(cfg InvariantConfig) *InvariantChecker { return invariant.New(cfg) }
 
 // ReadConfig parses a JSON configuration (as written by Config.WriteJSON);
 // absent fields keep NewConfig defaults.

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"ftnoc/internal/invariant"
 	"ftnoc/internal/link"
 	"ftnoc/internal/network"
 	"ftnoc/internal/power"
@@ -65,6 +66,14 @@ type Spec struct {
 	// GOMAXPROCS, and negative is rejected by Run with an error wrapping
 	// network.ErrInvalidConfig.
 	Workers int
+
+	// Invariants runs the runtime invariant checker inside every
+	// replicate (a fresh checker per replicate — checkers are stateful).
+	// A violation becomes the replicate's Err, so a structurally unsound
+	// run is reported as a failure instead of contributing silently to
+	// the aggregates. Checking does not perturb results, so it does not
+	// contribute to CanonicalHash.
+	Invariants bool
 
 	// Progress, when non-nil, receives CampaignPointStart/Done events as
 	// replicates are dispatched and retired. The engine serialises
@@ -273,7 +282,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 					Kind: trace.CampaignPointStart, Node: -1, Port: -1, VC: -1,
 					Aux: uint64(j.point), PID: uint64(j.rep),
 				})
-				rr := runReplicate(ctx, cfg)
+				rr := runReplicate(ctx, cfg, spec.Invariants)
 				report.Points[j.point].Reps[j.rep] = rr
 				progress.emit(trace.Event{
 					Kind: trace.CampaignPointDone, Cycle: rr.Results.Cycles,
@@ -307,16 +316,28 @@ dispatch:
 
 // runReplicate builds and runs one simulation, converting any panic into
 // the replicate's error so a crashing point cannot take down the grid.
-func runReplicate(ctx context.Context, cfg network.Config) (rr RepResult) {
+// With check set it attaches a fresh invariant checker (replacing any
+// caller-supplied one — checkers are single-run state and must never be
+// shared across concurrent replicates); either way, a checker present on
+// the config turns violations into the replicate's error.
+func runReplicate(ctx context.Context, cfg network.Config, check bool) (rr RepResult) {
 	rr.Seed = cfg.Seed
 	defer func() {
 		if r := recover(); r != nil {
 			rr.Err = fmt.Errorf("campaign: replicate seed %d panicked: %v", rr.Seed, r)
 		}
 	}()
+	if check {
+		cfg.Invariants = invariant.New(invariant.Config{})
+	}
 	net := network.New(cfg)
 	rr.Results = net.RunContext(ctx)
 	rr.KernelTicked, rr.KernelSkipped = net.KernelStats()
+	if cfg.Invariants != nil && !rr.Results.Aborted {
+		if err := cfg.Invariants.Err(); err != nil {
+			rr.Err = fmt.Errorf("campaign: replicate seed %d: %w", rr.Seed, err)
+		}
+	}
 	return rr
 }
 
@@ -388,7 +409,7 @@ func RunConfigs(ctx context.Context, poolSize int, cfgs []network.Config) []Conf
 					out[i].Err = err
 					continue
 				}
-				rr := runReplicate(ctx, cfgs[i])
+				rr := runReplicate(ctx, cfgs[i], false)
 				out[i] = ConfigResult{Results: rr.Results, Err: rr.Err}
 			}
 		}()

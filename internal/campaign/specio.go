@@ -31,6 +31,7 @@ type specWire struct {
 	InjectionRates []float64       `json:"injection_rates"`
 	Seeds          int             `json:"seeds"`
 	Workers        int             `json:"workers"`
+	Invariants     bool            `json:"invariants"`
 }
 
 // wireSize accepts either {"width":8,"height":8} or the string "8x8".
@@ -86,6 +87,7 @@ func ParseSpec(data []byte) (Spec, error) {
 		InjectionRates: w.InjectionRates,
 		Seeds:          w.Seeds,
 		Workers:        w.Workers,
+		Invariants:     w.Invariants,
 	}
 	for _, s := range w.Sizes {
 		spec.Sizes = append(spec.Sizes, s.Size)
@@ -125,7 +127,8 @@ func ParseSpec(data []byte) (Spec, error) {
 // over the replicate count and every expanded point's validated
 // canonical Config. Runs are deterministic and scheduling-independent,
 // so two specs with equal hashes produce byte-identical reports —
-// Workers and Progress deliberately do not contribute. Each point's
+// Workers, Progress and Invariants deliberately do not contribute
+// (checking observes a run; it never changes one). Each point's
 // Config embeds Base.Seed (the root of per-replicate seed derivation),
 // so the base seed is hashed implicitly. An invalid point makes the
 // spec unhashable, mirroring Run's refusal to execute it silently.

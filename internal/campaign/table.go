@@ -24,12 +24,29 @@ var csvHeader = []string{
 // WriteCSV renders the report as one CSV row per point, in grid order,
 // with mean and 95%-CI half-width columns for each replicated metric.
 func (r *Report) WriteCSV(w io.Writer) error {
+	return WriteRowsCSV(w, r.rows())
+}
+
+// rows flattens the report's points into their external row form.
+func (r *Report) rows() []PointRow {
+	rows := make([]PointRow, len(r.Points))
+	for i := range r.Points {
+		rows[i] = PointRowOf(&r.Points[i])
+	}
+	return rows
+}
+
+// WriteRowsCSV renders already-flattened rows in the WriteCSV table
+// format. Splitting the row form from the Report lets a parsed table be
+// re-emitted byte-identically — the round-trip law ReadCSV∘WriteRowsCSV
+// is a fixed point, which the fuzz harness exercises.
+func WriteRowsCSV(w io.Writer, rows []PointRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	for i := range r.Points {
-		p := PointRowOf(&r.Points[i])
+	for i := range rows {
+		p := &rows[i]
 		row := []string{
 			strconv.Itoa(p.Point),
 			strconv.Itoa(p.Width), strconv.Itoa(p.Height),
@@ -150,10 +167,16 @@ func PointRowOf(p *PointResult) PointRow {
 // WriteNDJSON renders the report as one JSON object per line per point,
 // in grid order, with per-replicate detail nested in each row.
 func (r *Report) WriteNDJSON(w io.Writer) error {
+	return WriteRowsNDJSON(w, r.rows())
+}
+
+// WriteRowsNDJSON renders already-flattened rows in the WriteNDJSON
+// format (see WriteRowsCSV for why the row form is writable directly).
+func WriteRowsNDJSON(w io.Writer, rows []PointRow) error {
 	enc := json.NewEncoder(w)
-	for i := range r.Points {
-		if err := enc.Encode(PointRowOf(&r.Points[i])); err != nil {
-			return fmt.Errorf("campaign: encoding point %d: %w", r.Points[i].Index, err)
+	for i := range rows {
+		if err := enc.Encode(&rows[i]); err != nil {
+			return fmt.Errorf("campaign: encoding point %d: %w", rows[i].Point, err)
 		}
 	}
 	return nil

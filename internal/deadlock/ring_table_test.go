@@ -1,0 +1,197 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+
+	"ftnoc/internal/trace"
+)
+
+// TestRingDrainTable sweeps the ring model's edge geometries — the
+// minimal two-node ring, an exit on the wrap-around link, narrow
+// single-flit buffers, shifters smaller than a packet, and recovery
+// disabled — and pins for each whether the configuration drains and how
+// many flits leave. The analytical cases (Figs. 10/11) live in the
+// dedicated tests; this table guards the mechanics around them.
+func TestRingDrainTable(t *testing.T) {
+	cases := []struct {
+		name         string
+		n, tBuf, r   int
+		m            int // flits per packet loaded by Fill
+		exit         int
+		recovery     bool
+		limit        int
+		wantDrain    bool
+		wantDeliver  int
+		wantStuckAll bool // every transmission buffer still full at the end
+	}{
+		// The smallest legal ring, exit on the wrap-around edge (node 1
+		// sends to node 0 through the modulo step).
+		{name: "two-node-wraparound-exit", n: 2, tBuf: 3, r: 2, m: 3,
+			exit: 0, recovery: true, limit: 100, wantDrain: true, wantDeliver: 6},
+		// Exit at the highest index: the non-wrapping edge into it drains,
+		// the wrap edge out of it is never used once it is empty.
+		{name: "exit-at-last-node", n: 4, tBuf: 4, r: 3, m: 4,
+			exit: 3, recovery: true, limit: 200, wantDrain: true, wantDeliver: 16},
+		// An exit alone (no recovery) already un-wedges the ring: the node
+		// feeding the exit always has downstream space.
+		{name: "exit-without-recovery", n: 3, tBuf: 4, r: 3, m: 4,
+			exit: 1, recovery: false, limit: 200, wantDrain: true, wantDeliver: 12},
+		// Single-flit buffers: the tightest geometry that can still rotate.
+		{name: "single-flit-buffers", n: 3, tBuf: 1, r: 1, m: 1,
+			exit: 0, recovery: true, limit: 100, wantDrain: true, wantDeliver: 3},
+		// Shifter smaller than a packet still suffices with an exit: slack
+		// is created one flit at a time.
+		{name: "shifter-smaller-than-packet", n: 3, tBuf: 4, r: 2, m: 4,
+			exit: 0, recovery: true, limit: 300, wantDrain: true, wantDeliver: 12},
+		// No exit: recovery rotates flits around the cycle forever but
+		// nothing ever leaves — livelock, not progress.
+		{name: "recovery-without-exit-livelocks", n: 3, tBuf: 4, r: 3, m: 4,
+			exit: -1, recovery: true, limit: 120, wantDrain: false, wantDeliver: 0},
+		// Neither exit nor recovery: fully wedged, nothing moves at all.
+		{name: "wedged", n: 4, tBuf: 4, r: 3, m: 4,
+			exit: -1, recovery: false, limit: 50, wantDrain: false, wantDeliver: 0,
+			wantStuckAll: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ring := NewRing(tc.n, tc.tBuf, tc.r)
+			ring.Fill(tc.m)
+			ring.Exit = tc.exit
+			if tc.recovery {
+				ring.StartRecovery()
+			}
+			drained := ring.Run(tc.limit)
+			if drained != tc.wantDrain {
+				t.Fatalf("drained=%v, want %v (state: %s)", drained, tc.wantDrain, ring.Snapshot())
+			}
+			if ring.Delivered() != tc.wantDeliver {
+				t.Fatalf("delivered %d, want %d", ring.Delivered(), tc.wantDeliver)
+			}
+			if tc.wantStuckAll {
+				for i, n := range ring.Nodes {
+					if len(n.Trans) != tc.tBuf || len(n.Parked) != 0 {
+						t.Fatalf("node %d moved in a wedged ring: %s", i, ring.Snapshot())
+					}
+				}
+			}
+			if drained {
+				// Drained means drained: no stragglers in any buffer class.
+				for i, n := range ring.Nodes {
+					if n.Occupancy() != 0 {
+						t.Fatalf("node %d still holds flits after drain: %s", i, ring.Snapshot())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRingBlockedEdgeCases pins Blocked's boundary behaviour: partial
+// buffers are movable, a full ring is blocked, and the exit node's
+// infinite sink unblocks its upstream neighbour.
+func TestRingBlockedEdgeCases(t *testing.T) {
+	// Full ring, no exit: blocked.
+	r := NewRing(3, 2, 1)
+	r.Fill(2)
+	if !r.Blocked() {
+		t.Fatal("full exitless ring not blocked")
+	}
+	// The same ring with an exit is not blocked: the upstream of the exit
+	// can always transmit.
+	r.Exit = 1
+	if r.Blocked() {
+		t.Fatal("ring with an exit reported blocked")
+	}
+	// Partially filled ring: downstream space exists, so not blocked.
+	r2 := NewRing(3, 2, 1)
+	r2.Fill(2)
+	r2.Nodes[1].Trans = r2.Nodes[1].Trans[:1]
+	if r2.Blocked() {
+		t.Fatal("ring with free space reported blocked")
+	}
+}
+
+// TestNewRingRejectsDegenerateGeometry pins the constructor's guards.
+func TestNewRingRejectsDegenerateGeometry(t *testing.T) {
+	cases := []struct {
+		name    string
+		n, t, r int
+	}{
+		{"one-node", 1, 4, 3},
+		{"zero-transmission", 2, 0, 3},
+		{"negative-retrans", 2, 4, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewRing(%d,%d,%d) accepted degenerate geometry", tc.n, tc.t, tc.r)
+				}
+			}()
+			NewRing(tc.n, tc.t, tc.r)
+		})
+	}
+}
+
+// collectSink gathers ring events for the observability test.
+type collectSink struct{ events []trace.Event }
+
+func (c *collectSink) Emit(e trace.Event) { c.events = append(c.events, e) }
+
+// TestRingEmitsTraceEvents checks the ring speaks the simulator's event
+// taxonomy: RecoveryBegin at StartRecovery, FlitParked for lateral
+// moves, FlitDequeued/FlitBuffered for transmissions, FlitEjected at
+// the exit — and that a ring without a bus emits nothing and never
+// panics (the Enabled guard).
+func TestRingEmitsTraceEvents(t *testing.T) {
+	sink := &collectSink{}
+	bus := trace.NewBus()
+	bus.Attach(sink)
+	r := NewRing(3, 4, 3)
+	r.Bus = bus
+	r.Fill(4)
+	r.Exit = 0
+	r.StartRecovery()
+	if !r.Run(200) {
+		t.Fatalf("traced ring did not drain: %s", r.Snapshot())
+	}
+	counts := map[trace.Kind]int{}
+	for _, e := range sink.events {
+		counts[e.Kind]++
+	}
+	if counts[trace.RecoveryBegin] != 1 {
+		t.Fatalf("RecoveryBegin emitted %d times, want 1", counts[trace.RecoveryBegin])
+	}
+	for _, k := range []trace.Kind{trace.FlitParked, trace.FlitDequeued, trace.FlitBuffered} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events from a recovering ring", k)
+		}
+	}
+	if counts[trace.FlitEjected] != r.Delivered() {
+		t.Fatalf("%d FlitEjected events for %d delivered flits", counts[trace.FlitEjected], r.Delivered())
+	}
+
+	// No bus attached: same run, silent and safe.
+	quiet := NewRing(3, 4, 3)
+	quiet.Fill(4)
+	quiet.Exit = 0
+	quiet.StartRecovery()
+	if !quiet.Run(200) {
+		t.Fatal("busless ring did not drain")
+	}
+}
+
+// TestRingSnapshotShape pins Snapshot's rendering contract loosely (it
+// feeds trace tests and the example program): one "nodeN" group per
+// node with the three buffer classes visible.
+func TestRingSnapshotShape(t *testing.T) {
+	r := NewRing(2, 2, 1)
+	r.Fill(2)
+	s := r.Snapshot()
+	for _, want := range []string{"node0", "node1", "T:", "P:", "S:", "a1", "b1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("snapshot %q missing %q", s, want)
+		}
+	}
+}

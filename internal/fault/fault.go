@@ -146,10 +146,10 @@ type LinkInjector struct {
 // NewLinkInjector creates an injector with the given per-traversal error
 // rate and conditional double-bit fraction, drawing from rng.
 func NewLinkInjector(rate, double float64, rng *sim.RNG) *LinkInjector {
-	if rate < 0 || rate > 1 {
+	if !(rate >= 0 && rate <= 1) { // negated form rejects NaN too
 		panic("fault: link error rate must be in [0,1]")
 	}
-	if double < 0 || double > 1 {
+	if !(double >= 0 && double <= 1) {
 		panic("fault: double fraction must be in [0,1]")
 	}
 	return &LinkInjector{rate: rate, double: double, rng: rng}

@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"math/bits"
+	"testing"
+
+	"ftnoc/internal/ecc"
+	"ftnoc/internal/flit"
+	"ftnoc/internal/sim"
+)
+
+// FuzzLinkInjector drives the link fault injector with arbitrary rates,
+// seeds and codewords and holds it to the contract the protection
+// schemes build on: the reported outcome exactly matches the number of
+// bits flipped, and the SEC/DED decoder classifies the damage the way
+// the outcome promises (SingleFlip is correctable back to the original
+// codeword, DoubleFlip is detected).
+func FuzzLinkInjector(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(42), uint64(0xDEADBEEF), uint16(200))
+	f.Add(uint64(1000), uint64(1000), uint64(7), uint64(0), uint16(50))
+	f.Add(uint64(0), uint64(500), uint64(9), ^uint64(0), uint16(10))
+	f.Fuzz(func(t *testing.T, rateMil, doubleMil, seed, word uint64, n uint16) {
+		rate := float64(rateMil%1001) / 1000
+		double := float64(doubleMil%1001) / 1000
+		li := NewLinkInjector(rate, double, sim.NewRNG(seed))
+		for i := 0; i < int(n%512)+1; i++ {
+			fl := flit.Flit{Word: word, Check: ecc.Encode(word)}
+			origWord, origCheck := fl.Word, fl.Check
+			out := li.Corrupt(&fl)
+			flips := bits.OnesCount64(fl.Word^origWord) + bits.OnesCount8(fl.Check^origCheck)
+			want := map[LinkOutcome]int{NoError: 0, SingleFlip: 1, DoubleFlip: 2}
+			if flipped, ok := want[out]; !ok || flipped != flips {
+				t.Fatalf("outcome %d reports %d flips, codeword shows %d", out, flipped, flips)
+			}
+			dw, dc, dout := ecc.Decode(fl.Word, fl.Check)
+			switch out {
+			case NoError:
+				if dout != ecc.OK {
+					t.Fatalf("clean traversal decodes as %v", dout)
+				}
+			case SingleFlip:
+				if dout != ecc.Corrected || dw != origWord || dc != origCheck {
+					t.Fatalf("single flip not corrected: outcome %v, word %#x/%#x want %#x/%#x",
+						dout, dw, dc, origWord, origCheck)
+				}
+			case DoubleFlip:
+				if dout != ecc.Detected {
+					t.Fatalf("double flip decodes as %v, want Detected", dout)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"ftnoc/internal/link"
+	"ftnoc/internal/trace"
+)
+
+func inject(c *Checker, cycle, pid uint64, src, dst int32) {
+	c.Emit(trace.Event{Cycle: cycle, Kind: trace.FlitInjected, Node: src, Port: -1, VC: -1, PID: pid, Aux: uint64(dst)})
+}
+
+func eject(c *Checker, cycle, pid uint64, node int32) {
+	c.Emit(trace.Event{Cycle: cycle, Kind: trace.FlitEjected, Node: node, Port: -1, VC: 0, PID: pid})
+}
+
+func firstCheck(c *Checker) string {
+	if len(c.Violations()) == 0 {
+		return ""
+	}
+	return c.Violations()[0].Check
+}
+
+func TestLedgerCleanRoundTrip(t *testing.T) {
+	c := New(Config{})
+	inject(c, 10, 1, 0, 5)
+	inject(c, 12, 2, 3, 7)
+	eject(c, 40, 1, 5)
+	eject(c, 44, 2, 7)
+	c.Finalize(100, true, nil)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean round trip: %v", err)
+	}
+	injected, ejected, dropped, events := c.Stats()
+	if injected != 2 || ejected != 2 || dropped != 0 || events != 4 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 2/2/0/4", injected, ejected, dropped, events)
+	}
+}
+
+func TestLedgerVanishedPacket(t *testing.T) {
+	c := New(Config{})
+	inject(c, 10, 1, 0, 5)
+	c.Finalize(100, true, nil)
+	if c.Total() != 1 || firstCheck(c) != "conservation" {
+		t.Fatalf("vanished packet not flagged: total=%d first=%q", c.Total(), firstCheck(c))
+	}
+	if !strings.Contains(c.Err().Error(), "vanished") {
+		t.Fatalf("error does not name the failure: %v", c.Err())
+	}
+}
+
+func TestLedgerResidentPacketIsAccounted(t *testing.T) {
+	c := New(Config{})
+	inject(c, 10, 1, 0, 5)
+	c.Finalize(100, true, map[uint64]bool{1: true})
+	if err := c.Err(); err != nil {
+		t.Fatalf("resident packet misreported: %v", err)
+	}
+}
+
+func TestLedgerUncleanRunSkipsConservation(t *testing.T) {
+	c := New(Config{})
+	inject(c, 10, 1, 0, 5)
+	c.Finalize(100, false, nil)
+	if err := c.Err(); err != nil {
+		t.Fatalf("stalled run misreported: %v", err)
+	}
+}
+
+func TestLedgerTerminalDropAccounts(t *testing.T) {
+	for _, reason := range []uint64{trace.DropStray, trace.DropWormhole, trace.DropSALost, trace.DropCorrupt, trace.DropEvicted} {
+		c := New(Config{})
+		inject(c, 10, 1, 0, 5)
+		c.Emit(trace.Event{Cycle: 20, Kind: trace.FlitDropped, Node: 2, Port: 1, VC: 0, PID: 1, Aux: reason})
+		c.Finalize(100, true, nil)
+		if err := c.Err(); err != nil {
+			t.Fatalf("reason %d: terminally dropped packet misreported: %v", reason, err)
+		}
+	}
+}
+
+func TestLedgerTransientDropDoesNotAccount(t *testing.T) {
+	for _, reason := range []uint64{trace.DropWindow, trace.DropNACK, trace.DropMisroute} {
+		c := New(Config{})
+		inject(c, 10, 1, 0, 5)
+		c.Emit(trace.Event{Cycle: 20, Kind: trace.FlitDropped, Node: 2, Port: 1, VC: 0, PID: 1, Aux: reason})
+		c.Finalize(100, true, nil)
+		if c.Total() != 1 {
+			t.Fatalf("reason %d: transient drop wrongly closed the ledger (total=%d)", reason, c.Total())
+		}
+	}
+}
+
+func TestLedgerEjectionValidity(t *testing.T) {
+	t.Run("never-injected", func(t *testing.T) {
+		c := New(Config{})
+		eject(c, 40, 9, 5)
+		if c.Total() != 1 || firstCheck(c) != "conservation" {
+			t.Fatalf("ghost ejection not flagged: total=%d", c.Total())
+		}
+	})
+	t.Run("double-ejection", func(t *testing.T) {
+		c := New(Config{})
+		inject(c, 10, 1, 0, 5)
+		eject(c, 40, 1, 5)
+		eject(c, 41, 1, 5)
+		if c.Total() != 1 {
+			t.Fatalf("double ejection not flagged: total=%d", c.Total())
+		}
+	})
+	t.Run("wrong-destination", func(t *testing.T) {
+		c := New(Config{})
+		inject(c, 10, 1, 0, 5)
+		eject(c, 40, 1, 6)
+		if c.Total() != 1 {
+			t.Fatalf("misdelivery not flagged: total=%d", c.Total())
+		}
+	})
+	t.Run("duplicate-pid", func(t *testing.T) {
+		c := New(Config{})
+		inject(c, 10, 1, 0, 5)
+		inject(c, 11, 1, 2, 6)
+		if c.Total() != 1 {
+			t.Fatalf("duplicate injection not flagged: total=%d", c.Total())
+		}
+	})
+}
+
+func TestMonotonicity(t *testing.T) {
+	c := New(Config{})
+	inject(c, 50, 1, 0, 5)
+	inject(c, 40, 2, 1, 6) // time went backwards
+	if c.Total() != 1 || firstCheck(c) != "monotonic" {
+		t.Fatalf("non-monotonic cycle not flagged: total=%d first=%q", c.Total(), firstCheck(c))
+	}
+}
+
+func TestCampaignEventsIgnored(t *testing.T) {
+	c := New(Config{})
+	inject(c, 50, 1, 0, 5)
+	// Campaign brackets carry replicate durations in Cycle and replicate
+	// indices in PID — neither belongs to this run's timeline or ledger.
+	c.Emit(trace.Event{Cycle: 3, Kind: trace.CampaignPointDone, Node: -1, Port: -1, VC: -1, PID: 0, Aux: 7})
+	eject(c, 90, 1, 5)
+	c.Finalize(100, true, nil)
+	if err := c.Err(); err != nil {
+		t.Fatalf("campaign event perturbed the checker: %v", err)
+	}
+}
+
+func TestRetransmissionBound(t *testing.T) {
+	c := New(Config{ShifterDepth: 3})
+	nack := trace.Event{Cycle: 10, Kind: trace.NACKSent, Node: 1, Port: 0, VC: 0, Aux: uint64(link.NACKLinkError)}
+	retrans := trace.Event{Cycle: 11, Kind: trace.Retransmit, Node: 0, Port: 2, VC: 0, PID: 4}
+	c.Emit(nack)
+	for i := 0; i < 3; i++ {
+		c.Emit(retrans)
+	}
+	if c.Total() != 0 {
+		t.Fatalf("3 retransmits after 1 NACK (depth 3) wrongly flagged: %v", c.Err())
+	}
+	c.Emit(retrans) // 4th replay from a single 3-deep drain is impossible
+	if c.Total() != 1 || firstCheck(c) != "retrans-bound" {
+		t.Fatalf("retransmission bound not enforced: total=%d first=%q", c.Total(), firstCheck(c))
+	}
+	// Non-link-error NACKs (misroute reports) must not widen the bound.
+	c2 := New(Config{ShifterDepth: 3})
+	c2.Emit(trace.Event{Cycle: 10, Kind: trace.NACKSent, Node: 1, Port: 0, VC: 0, Aux: uint64(link.NACKMisroute)})
+	c2.Emit(retrans)
+	if c2.Total() != 1 {
+		t.Fatalf("retransmit without link-error NACK not flagged: total=%d", c2.Total())
+	}
+}
+
+func TestRecoveryLiveness(t *testing.T) {
+	t.Run("paired-episode", func(t *testing.T) {
+		c := New(Config{})
+		c.Emit(trace.Event{Cycle: 100, Kind: trace.RecoveryBegin, Node: 3, Port: -1, VC: -1})
+		c.Emit(trace.Event{Cycle: 180, Kind: trace.RecoveryEnd, Node: 3, Port: -1, VC: -1})
+		c.CheckEpisodes(10_000)
+		c.Finalize(20_000, true, nil)
+		if err := c.Err(); err != nil {
+			t.Fatalf("paired episode misreported: %v", err)
+		}
+	})
+	t.Run("double-begin", func(t *testing.T) {
+		c := New(Config{})
+		c.Emit(trace.Event{Cycle: 100, Kind: trace.RecoveryBegin, Node: 3, Port: -1, VC: -1})
+		c.Emit(trace.Event{Cycle: 120, Kind: trace.RecoveryBegin, Node: 3, Port: -1, VC: -1})
+		if c.Total() != 1 || firstCheck(c) != "recovery-liveness" {
+			t.Fatalf("double begin not flagged: total=%d", c.Total())
+		}
+	})
+	t.Run("end-without-begin", func(t *testing.T) {
+		c := New(Config{})
+		c.Emit(trace.Event{Cycle: 100, Kind: trace.RecoveryEnd, Node: 3, Port: -1, VC: -1})
+		if c.Total() != 1 {
+			t.Fatalf("unpaired end not flagged: total=%d", c.Total())
+		}
+	})
+	t.Run("livelock-bound", func(t *testing.T) {
+		c := New(Config{RecoveryBound: 1000})
+		c.Emit(trace.Event{Cycle: 100, Kind: trace.RecoveryBegin, Node: 3, Port: -1, VC: -1})
+		c.CheckEpisodes(900)
+		if c.Total() != 0 {
+			t.Fatalf("episode inside bound wrongly flagged: %v", c.Err())
+		}
+		c.CheckEpisodes(1200)
+		if c.Total() != 1 {
+			t.Fatalf("livelocked episode not flagged: total=%d", c.Total())
+		}
+		// Re-armed: the same episode reports again only after another full
+		// bound, not on every subsequent audit.
+		c.CheckEpisodes(1300)
+		if c.Total() != 1 {
+			t.Fatalf("livelock re-reported every audit: total=%d", c.Total())
+		}
+	})
+	t.Run("open-at-finalize", func(t *testing.T) {
+		c := New(Config{})
+		c.Emit(trace.Event{Cycle: 100, Kind: trace.RecoveryBegin, Node: 3, Port: -1, VC: -1})
+		c.Finalize(5000, true, nil)
+		if c.Total() != 1 {
+			t.Fatalf("episode open at end of run not flagged: total=%d", c.Total())
+		}
+	})
+}
+
+func TestViolationLimitAndCallback(t *testing.T) {
+	var seen int
+	c := New(Config{Limit: 3, OnViolation: func(Violation) { seen++ }})
+	for pid := uint64(1); pid <= 10; pid++ {
+		eject(c, pid, pid, 0) // ten ghost ejections
+	}
+	if len(c.Violations()) != 3 {
+		t.Fatalf("recorded %d violations, cap is 3", len(c.Violations()))
+	}
+	if c.Total() != 10 || seen != 10 {
+		t.Fatalf("total=%d callback=%d, want 10/10", c.Total(), seen)
+	}
+	if !strings.Contains(c.Err().Error(), "10 invariant violations") {
+		t.Fatalf("summary error wrong: %v", c.Err())
+	}
+}
+
+func TestViolationErrorRendering(t *testing.T) {
+	v := Violation{Check: "credits", Cycle: 42, Node: 3, Port: 1, VC: 2, PID: 9, Msg: "leak"}
+	s := v.Error()
+	for _, want := range []string{"credits", "cycle 42", "node 3", "port 1", "vc 2", "pid 9", "leak"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation text %q missing %q", s, want)
+		}
+	}
+	// Unattributable fields stay out of the text.
+	v2 := Violation{Check: "monotonic", Cycle: 7, Node: -1, Port: -1, VC: -1, Msg: "x"}
+	if s2 := v2.Error(); strings.Contains(s2, "node") || strings.Contains(s2, "port") {
+		t.Errorf("unattributable violation leaked placeholder fields: %q", s2)
+	}
+}

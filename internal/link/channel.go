@@ -231,6 +231,41 @@ func (c *Channel) RecvNACKs() []NACK {
 // including not-yet-visible ones (used by drain detection).
 func (c *Channel) Pending() int { return c.flits.InFlight() }
 
+// InFlightData counts the data flits anywhere in the forward wire that
+// ride the given VC. Control flits (probes/activations) bypass credits
+// and are excluded. Invariant-checker inspection.
+func (c *Channel) InFlightData(vc int) int {
+	n := 0
+	c.flits.Each(func(f flit.Flit) {
+		if f.IsData() && int(f.VC) == vc {
+			n++
+		}
+	})
+	return n
+}
+
+// InFlightCredits counts the credits anywhere in the backward credit wire
+// for the given VC. Invariant-checker inspection.
+func (c *Channel) InFlightCredits(vc int) int {
+	n := 0
+	c.credits.Each(func(cr Credit) {
+		if int(cr.VC) == vc {
+			n++
+		}
+	})
+	return n
+}
+
+// EachDataFlit visits every data flit anywhere in the forward wire.
+// Invariant-checker inspection; fn must not send or receive.
+func (c *Channel) EachDataFlit(fn func(flit.Flit)) {
+	c.flits.Each(func(f flit.Flit) {
+		if f.IsData() {
+			fn(f)
+		}
+	})
+}
+
 // SetFlitWake installs the forward flit pipe's delivery callback: it runs
 // whenever a latch leaves flits visible to the receiver, waking the
 // consuming actor (see sim.Kernel.Waker). Credit and NACK pipes need no

@@ -1,0 +1,27 @@
+package link
+
+import "testing"
+
+// FuzzParseProtection holds the protection-scheme parser to: no panics;
+// accepted names map to a known scheme; and the scheme's String form
+// parses back to the same scheme.
+func FuzzParseProtection(f *testing.F) {
+	for _, s := range []string{"hbh", "HBH", "e2e", "fec", "FEC", "", "tmr"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProtection(s)
+		if err != nil {
+			return
+		}
+		switch p {
+		case HBH, E2E, FEC:
+		default:
+			t.Fatalf("ParseProtection(%q) produced unknown protection %d", s, p)
+		}
+		back, err := ParseProtection(p.String())
+		if err != nil || back != p {
+			t.Fatalf("String form %q of ParseProtection(%q) does not round-trip: %v / %v", p, s, back, err)
+		}
+	})
+}

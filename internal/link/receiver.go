@@ -34,7 +34,32 @@ type Receiver struct {
 	bus       *trace.Bus
 	traceNode int32
 	tracePort int8
+
+	// verify, when non-nil, re-checks every SEC/DED-corrected codeword
+	// (invariant: corrected flits re-verify clean). Installed by the
+	// network when an invariant checker is attached.
+	verify func(cycle uint64, vc int, pid uint64, word uint64, check uint8)
+
+	// skipCreditEvery, when n > 0, silently swallows every nth
+	// ReturnCredit call — a deliberately broken credit loop used by the
+	// invariant checker's regression tests to prove credit-conservation
+	// violations are caught. Never set outside tests.
+	skipCreditEvery int
+	creditCalls     int
 }
+
+// SetVerifier installs the post-correction audit hook: fn runs after
+// every single-bit correction with the corrected codeword, letting an
+// invariant checker assert the repair actually decodes clean.
+func (r *Receiver) SetVerifier(fn func(cycle uint64, vc int, pid uint64, word uint64, check uint8)) {
+	r.verify = fn
+}
+
+// SkipCreditEvery breaks the credit loop on purpose: every nth freed
+// buffer slot is never reported back to the transmitter. Test hook for
+// proving the invariant checker detects credit leaks; n <= 0 restores
+// correct behaviour.
+func (r *Receiver) SkipCreditEvery(n int) { r.skipCreditEvery = n }
 
 // SetTrace attaches the structured event bus and this receiver's
 // (node, port) identity for event attribution.
@@ -107,6 +132,9 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (res flit.Flit, ok, isC
 			r.events.ECCCorrections++
 			r.counters.AddCorrected(fault.LinkError)
 			r.emitECCCorrected(cycle, -1, 0, 0)
+			if r.verify != nil {
+				r.verify(cycle, -1, 0, word, check)
+			}
 		}
 		f.Word, f.Check = word, check
 		return f, false, true
@@ -125,6 +153,7 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (res flit.Flit, ok, isC
 		// reserved slot.
 		r.counters.DroppedFlits++
 		r.ch.SendCredit(uint8(vc))
+		r.emitDrop(cycle, vc, uint64(f.PID), f.Seq, trace.DropWindow)
 		return flit.Flit{}, false, false
 	}
 
@@ -144,12 +173,15 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (res flit.Flit, ok, isC
 		if r.protection == E2E {
 			// E2E provides detection only: even a single-bit header error
 			// goes down the retransmission path.
-			r.nack(vc, cycle)
+			r.nack(vc, cycle, f)
 			return flit.Flit{}, false, false
 		}
 		r.events.ECCCorrections++
 		r.counters.AddCorrected(fault.LinkError)
 		r.emitECCCorrected(cycle, int8(vc), uint64(f.PID), f.Seq)
+		if r.verify != nil {
+			r.verify(cycle, vc, uint64(f.PID), word, check)
+		}
 		f.Word, f.Check = word, check
 		return f, true, false
 	default: // ecc.Detected
@@ -158,7 +190,7 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (res flit.Flit, ok, isC
 			// delivered corrupt and caught end-to-end.
 			return f, true, false
 		}
-		r.nack(vc, cycle)
+		r.nack(vc, cycle, f)
 		return flit.Flit{}, false, false
 	}
 }
@@ -166,13 +198,14 @@ func (r *Receiver) receiveOne(f flit.Flit, cycle uint64) (res flit.Flit, ok, isC
 // nack initiates hop-by-hop retransmission for a VC: drop the corrupt
 // flit (returning its slot), open the drop window for the two in-flight
 // flits behind it, and raise the NACK handshake.
-func (r *Receiver) nack(vc int, cycle uint64) {
+func (r *Receiver) nack(vc int, cycle uint64, f flit.Flit) {
 	r.counters.DroppedFlits++
 	r.counters.AddCorrected(fault.LinkError)
 	r.ch.SendCredit(uint8(vc))
 	r.ch.SendNACK(uint8(vc), NACKLinkError)
 	r.dropUntil[vc] = cycle + dropWindow
 	r.emitNACK(cycle, vc, NACKLinkError)
+	r.emitDrop(cycle, vc, uint64(f.PID), f.Seq, trace.DropNACK)
 }
 
 // emitNACK publishes a NACK handshake event.
@@ -185,6 +218,17 @@ func (r *Receiver) emitNACK(cycle uint64, vc int, kind NACKKind) {
 	}
 }
 
+// emitDrop publishes a flit-discard event with its reason code.
+func (r *Receiver) emitDrop(cycle uint64, vc int, pid uint64, seq uint8, reason uint64) {
+	if r.bus.Enabled() {
+		r.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitDropped,
+			Node: r.traceNode, Port: r.tracePort, VC: int8(vc),
+			PID: pid, Seq: seq, Aux: reason,
+		})
+	}
+}
+
 // decode applies SEC/DED to a flit and returns the (possibly corrected)
 // word/check pair.
 func (r *Receiver) decode(f flit.Flit) (uint64, uint8, ecc.Outcome) {
@@ -193,7 +237,15 @@ func (r *Receiver) decode(f flit.Flit) (uint64, uint8, ecc.Outcome) {
 
 // ReturnCredit hands a freed buffer slot back to the transmitter. The
 // router calls this when a flit leaves the input VC buffer.
-func (r *Receiver) ReturnCredit(vc int) { r.ch.SendCredit(uint8(vc)) }
+func (r *Receiver) ReturnCredit(vc int) {
+	if r.skipCreditEvery > 0 {
+		r.creditCalls++
+		if r.creditCalls%r.skipCreditEvery == 0 {
+			return // deliberate leak (see SkipCreditEvery)
+		}
+	}
+	r.ch.SendCredit(uint8(vc))
+}
 
 // SendNACK lets the router raise non-link NACKs (AC invalidation,
 // misroute reports) on this receiver's backward handshake wires.
@@ -202,11 +254,13 @@ func (r *Receiver) SendNACK(vc int, kind NACKKind) { r.ch.SendNACK(uint8(vc), ki
 // ForceDrop lets the router reject a flit the ECC accepted — the
 // misroute-consistency check of §4.2. The flit's slot is returned, the
 // stated NACK is raised, and the drop window opens so the in-flight flits
-// behind it are discarded like any retransmission episode.
-func (r *Receiver) ForceDrop(vc int, cycle uint64, kind NACKKind) {
+// behind it are discarded like any retransmission episode. pid and seq
+// identify the rejected flit for the event stream.
+func (r *Receiver) ForceDrop(vc int, cycle uint64, kind NACKKind, pid uint64, seq uint8) {
 	r.counters.DroppedFlits++
 	r.ch.SendCredit(uint8(vc))
 	r.ch.SendNACK(uint8(vc), kind)
 	r.dropUntil[vc] = cycle + dropWindow
 	r.emitNACK(cycle, vc, kind)
+	r.emitDrop(cycle, vc, pid, seq, trace.DropMisroute)
 }

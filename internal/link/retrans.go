@@ -86,6 +86,16 @@ func (rb *RetransBuffer) Expire(cycle uint64) int {
 	return n
 }
 
+// OldestSent returns the transmission cycle of the oldest retained flit;
+// ok is false when the buffer is empty. Invariant checkers use it to
+// assert no entry outlives its NACK window.
+func (rb *RetransBuffer) OldestSent() (cycle uint64, ok bool) {
+	if rb.count == 0 {
+		return 0, false
+	}
+	return rb.ring[rb.head].sent, true
+}
+
 // Drain removes and returns all retained flits, oldest first. The caller
 // retransmits them in order (re-capturing each as it goes back out on the
 // wire). An empty buffer drains to nil. The returned slice aliases an

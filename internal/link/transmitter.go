@@ -1,6 +1,8 @@
 package link
 
 import (
+	"fmt"
+
 	"ftnoc/internal/ecc"
 	"ftnoc/internal/fault"
 	"ftnoc/internal/flit"
@@ -210,6 +212,46 @@ func (t *Transmitter) ShifterOccupancy() (occupied, capacity int) {
 
 // PendingReplay returns the number of queued replay flits (tests).
 func (t *Transmitter) PendingReplay() int { return len(t.replay) - t.replayHead }
+
+// Channel returns the transmitter's channel (invariant-checker and test
+// inspection).
+func (t *Transmitter) Channel() *Channel { return t.ch }
+
+// EachRetained visits every flit the transmitter can still resend: the
+// pending replay queue followed by each VC's retransmission buffer.
+// Invariant-checker inspection.
+func (t *Transmitter) EachRetained(fn func(flit.Flit)) {
+	for _, f := range t.replay[t.replayHead:] {
+		fn(f)
+	}
+	for _, sh := range t.shifters {
+		for _, f := range sh.Snapshot() {
+			fn(f)
+		}
+	}
+}
+
+// AuditRetrans checks the retransmission machinery's soundness at a cycle
+// boundary (clock = the cycle about to be ticked): every shifter entry
+// must still be inside its NACK window — Expire frees slots at
+// sent+NACKWindow, so an older entry means the expiry clock was skipped —
+// and every queued replay flit must name a real VC, or it could never be
+// resent. It returns a description of the first violation, or "".
+func (t *Transmitter) AuditRetrans(clock uint64) string {
+	for vc, sh := range t.shifters {
+		if sent, ok := sh.OldestSent(); ok && clock > sent+NACKWindow {
+			return fmt.Sprintf("vc %d: shifter entry sent at %d still present at %d (window %d)",
+				vc, sent, clock, NACKWindow)
+		}
+	}
+	for _, f := range t.replay[t.replayHead:] {
+		if int(f.VC) >= len(t.credits) {
+			return fmt.Sprintf("replay flit pid %d names VC %d of %d — unresendable",
+				f.PID, f.VC, len(t.credits))
+		}
+	}
+	return ""
+}
 
 // Recall drains a VC's retransmission buffer without scheduling replay:
 // the misroute-recovery path of §4.2, where the sender must re-route the

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ftnoc/internal/fault"
+	"ftnoc/internal/invariant"
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
 	"ftnoc/internal/topology"
@@ -80,6 +81,14 @@ type Config struct {
 	// buffer depth, credit stalls) and samples every Metrics.Interval()
 	// cycles. Excluded from JSON for the same reason as TraceSink.
 	Metrics *trace.Metrics `json:"-"`
+
+	// Invariants, when non-nil, attaches the runtime invariant checker:
+	// it joins the event bus for the conservation/liveness ledger, and the
+	// network walks its component state (credits, shifters, bindings,
+	// quiescence) every Invariants.Every() cycles, reporting violations
+	// into it. Off by default — it exists to make test, fuzz and -check
+	// runs self-verifying. Excluded from JSON: checkers are not data.
+	Invariants *invariant.Checker `json:"-"`
 
 	// Measurement.
 	WarmupMessages uint64
@@ -169,14 +178,53 @@ func (c Config) Validate() error {
 		return fail("PacketSize must be >= 2 (head + tail), have %d", c.PacketSize)
 	case c.PipelineDepth < 1 || c.PipelineDepth > 4:
 		return fail("PipelineDepth must be in [1,4], have %d", c.PipelineDepth)
-	case c.InjectionRate < 0 || c.InjectionRate > 1:
+	case !(c.InjectionRate >= 0 && c.InjectionRate <= 1): // negated form rejects NaN too
 		return fail("InjectionRate must be in [0,1], have %g", c.InjectionRate)
 	case c.TotalMessages == 0 || c.TotalMessages < c.WarmupMessages:
 		return fail("TotalMessages must be >= WarmupMessages and > 0, have %d total / %d warm-up",
 			c.TotalMessages, c.WarmupMessages)
+	case c.Width*c.Height > maxNodes:
+		return fail("topology %dx%d exceeds %d nodes", c.Width, c.Height, maxNodes)
+	}
+	// Fault rates are probabilities; out-of-range (or NaN) values would
+	// otherwise surface as panics deep inside New's injector assembly.
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"Faults.Link", c.Faults.Link}, {"Faults.LinkDouble", c.Faults.LinkDouble},
+		{"Faults.RT", c.Faults.RT}, {"Faults.VA", c.Faults.VA}, {"Faults.SA", c.Faults.SA},
+		{"Faults.Handshake", c.Faults.Handshake}, {"Faults.RetransBuf", c.Faults.RetransBuf},
+		{"Faults.Xbar", c.Faults.Xbar},
+	} {
+		if !(r.v >= 0 && r.v <= 1) {
+			return fail("%s must be in [0,1], have %g", r.name, r.v)
+		}
+	}
+	// Hard faults must name links that physically exist: New applies them
+	// via Topology.FailLink, which panics on a non-existent link.
+	if len(c.HardFaults) > 0 {
+		kind := c.TopologyKind
+		if kind == 0 {
+			kind = topology.Mesh
+		}
+		topo := topology.New(kind, c.Width, c.Height)
+		for _, hf := range c.HardFaults {
+			if int(hf.From) >= topo.Nodes() {
+				return fail("hard fault names node %d outside the %dx%d topology", hf.From, c.Width, c.Height)
+			}
+			if _, ok := topo.Neighbor(hf.From, hf.Dir); !ok {
+				return fail("hard fault names non-existent link %v from node %d", hf.Dir, hf.From)
+			}
+		}
 	}
 	return nil
 }
+
+// maxNodes bounds the topology size Validate accepts, so untrusted
+// configuration documents (nocd request bodies) cannot demand an
+// arbitrarily large allocation.
+const maxNodes = 1 << 16
 
 // applyDefaults substitutes defaults for the optional zero-valued fields.
 func (c *Config) applyDefaults() {

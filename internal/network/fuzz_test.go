@@ -1,0 +1,77 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftnoc/internal/invariant"
+)
+
+// FuzzReadConfig throws arbitrary documents at the configuration parser
+// and holds it to three laws: it never panics; an accepted document
+// re-serialises to a fixed point (write → read → write is
+// byte-identical); and a document that additionally passes Validate can
+// be simulated — briefly, with the invariant checker attached — without
+// panicking or violating a structural invariant. The last law is what
+// makes this a whole-stack fuzzer rather than a JSON round-trip check.
+func FuzzReadConfig(f *testing.F) {
+	seed := NewConfig()
+	var buf bytes.Buffer
+	if err := seed.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"width":3,"height":3,"vcs":2}`)
+	f.Add(`{"faults":{"link":0.001},"protection":2}`)
+	f.Add(`{"hard_faults":[{"from":5,"dir":2}]}`)
+	f.Add(`{"injection_rate":1e999}`)
+	f.Add(`{"width":-1}`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		cfg, err := ReadConfig(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+
+		var w1 bytes.Buffer
+		if err := cfg.WriteJSON(&w1); err != nil {
+			t.Fatalf("accepted config does not re-serialise: %v", err)
+		}
+		cfg2, err := ReadConfig(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, w1.Bytes())
+		}
+		var w2 bytes.Buffer
+		if err := cfg2.WriteJSON(&w2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("write/read/write not a fixed point:\nfirst:  %s\nsecond: %s", w1.Bytes(), w2.Bytes())
+		}
+
+		if cfg.Validate() != nil {
+			return
+		}
+		// Keep the simulated slice small and bounded so exploration stays
+		// fast; these overrides cannot invalidate a valid config.
+		if cfg.Width*cfg.Height > 36 || cfg.VCs > 8 || cfg.BufDepth > 32 || cfg.PacketSize > 32 {
+			return
+		}
+		cfg.WarmupMessages = 0
+		cfg.TotalMessages = 20
+		cfg.MaxCycles = 50_000
+		cfg.StallCycles = 10_000
+		cfg.TracePIDs = nil
+		chk := invariant.New(invariant.Config{})
+		cfg.Invariants = chk
+		New(cfg).Run()
+		for _, v := range chk.Violations() {
+			t.Errorf("invariant violation on fuzzed config: %v", v)
+		}
+		if t.Failed() {
+			t.Fatalf("config: %+v", cfg)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"ftnoc/internal/fault"
 	"ftnoc/internal/flit"
+	"ftnoc/internal/invariant"
 	"ftnoc/internal/link"
 	"ftnoc/internal/router"
 	"ftnoc/internal/routing"
@@ -54,6 +55,10 @@ type Network struct {
 	bus     trace.Bus
 	journey *journeyTracker
 
+	// Runtime invariant checking (nil unless Config.Invariants is set).
+	inv   *invariant.Checker
+	loops []creditLoop
+
 	// Failure-mode tallies.
 	corruptedPackets uint64
 	lostPackets      uint64
@@ -94,6 +99,10 @@ func New(cfg Config) *Network {
 		n.bus.Attach(n.journey)
 	}
 	n.bus.Attach(cfg.TraceSink)
+	n.inv = cfg.Invariants
+	if n.inv != nil {
+		n.bus.Attach(n.inv)
+	}
 	if n.bus.Enabled() {
 		// Republish fault accounting as structured events, stamped with
 		// the live cycle (the counters themselves are cycle-blind).
@@ -185,6 +194,9 @@ func New(cfg Config) *Network {
 		rx.SetTrace(&n.bus, int32(dst), int8(l.Dir.Opposite()))
 		n.routers[l.From].AttachOutput(l.Dir, tx)
 		n.routers[dst].AttachInput(l.Dir.Opposite(), rx)
+		if n.inv != nil {
+			n.watchLink(tx, rx, ch, int32(l.From), int8(l.Dir), int(dst), l.Dir.Opposite(), false)
+		}
 	}
 
 	// PE <-> router local channels (fault-free, §2.2).
@@ -207,6 +219,10 @@ func New(cfg Config) *Network {
 		downTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
 		downRx.SetTrace(&n.bus, int32(i), int8(topology.Local))
 		n.routers[i].AttachOutput(topology.Local, downTx)
+		if n.inv != nil {
+			n.watchLink(upTx, upRx, up, int32(i), int8(topology.Local), i, topology.Local, false)
+			n.watchLink(downTx, downRx, down, int32(i), int8(topology.Local), i, topology.Local, true)
+		}
 
 		src := traffic.NewSource(id, n.topo, cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, trafficRNG.Split())
 		n.pes[i] = newPE(n, id, src, upTx, downRx)
@@ -370,6 +386,11 @@ func (n *Network) run(done <-chan struct{}) Results {
 			}
 		}
 		n.kernel.Step()
+		if n.inv != nil {
+			if cl := n.kernel.Cycle(); cl%n.inv.Every() == 0 {
+				n.checkState(cl)
+			}
+		}
 		if n.measuring {
 			n.sampleUtilization()
 		}
@@ -382,6 +403,10 @@ func (n *Network) run(done <-chan struct{}) Results {
 	}
 	res := n.results(stalled)
 	res.Aborted = aborted
+	if n.inv != nil {
+		clean := !stalled && !aborted && n.delivered >= n.cfg.TotalMessages
+		n.inv.Finalize(n.kernel.Cycle(), clean, n.residentPIDs())
+	}
 	return res
 }
 

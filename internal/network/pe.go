@@ -295,6 +295,19 @@ func (p *pe) eject(cycle uint64) {
 	}
 }
 
+// emitDrop publishes a terminal packet-loss event at the PE, so
+// conservation audits can account for every packet that will never be
+// cleanly ejected.
+func (p *pe) emitDrop(cycle uint64, vc int, pid flit.PacketID, reason uint64) {
+	if p.net.bus.Enabled() {
+		p.net.bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitDropped,
+			Node: int32(p.id), Port: -1, VC: int8(vc),
+			PID: uint64(pid), Aux: reason,
+		})
+	}
+}
+
 // consume runs the destination-side integrity check and packet assembly
 // for one flit.
 func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
@@ -304,6 +317,7 @@ func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
 			// Previous packet never closed: stranded wormhole debris
 			// (possible only with unprotected logic faults).
 			p.net.sinkAnomalies++
+			p.emitDrop(cycle, vc, p.sinkPID[vc], trace.DropStray)
 		}
 		hdr := flit.DecodeHeader(f.Word)
 		p.sinkLive[vc] = true
@@ -321,6 +335,7 @@ func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
 	case flit.Body, flit.Tail:
 		if !p.sinkLive[vc] {
 			p.net.sinkAnomalies++
+			p.emitDrop(cycle, vc, f.PID, trace.DropStray)
 			return
 		}
 		// Sequence continuity: a gap means flits were lost in transit
@@ -351,7 +366,11 @@ func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
 		return
 	}
 	if corrupt {
+		// Terminal under HBH; under E2E/FEC the retransmission request may
+		// still recover the packet (a later clean tail ejects it), but the
+		// drop event keeps the PID accounted even if the request is lost.
 		p.net.corruptedPackets++
+		p.emitDrop(cycle, vc, pid, trace.DropCorrupt)
 		if p.usesRetention() {
 			p.sendRetransRequest(cycle, src, pid)
 		}
@@ -413,6 +432,7 @@ func (p *pe) handleRetransRequest(cycle uint64, pid flit.PacketID) {
 	if !ok {
 		// Evicted: the packet is unrecoverable.
 		p.net.lostPackets++
+		p.emitDrop(cycle, -1, pid, trace.DropEvicted)
 		return
 	}
 	ret.deadline = cycle + p.net.cfg.E2ETimeout
@@ -421,6 +441,35 @@ func (p *pe) handleRetransRequest(cycle uint64, pid flit.PacketID) {
 	// Retransmission keeps the original injection timestamp so measured
 	// latency includes the recovery round trip.
 	p.queueFront(ret.pkt)
+}
+
+// eachResidentPID visits the id of every packet with state still inside
+// this PE: queued or staged for injection, retained for end-to-end
+// retransmission, held by the transmitter's replay machinery, or
+// half-reassembled at the sink. Invariant-checker residency sweep.
+func (p *pe) eachResidentPID(fn func(uint64)) {
+	for _, pkt := range p.queue[p.qHead:] {
+		fn(uint64(pkt.ID))
+	}
+	for _, fs := range p.ctrl {
+		for _, f := range fs {
+			fn(uint64(f.PID))
+		}
+	}
+	for _, fs := range p.vcFlits {
+		for _, f := range fs {
+			fn(uint64(f.PID))
+		}
+	}
+	for pid := range p.retention {
+		fn(uint64(pid))
+	}
+	for vc, live := range p.sinkLive {
+		if live {
+			fn(uint64(p.sinkPID[vc]))
+		}
+	}
+	p.tx.EachRetained(func(f flit.Flit) { fn(uint64(f.PID)) })
 }
 
 // sweepRetention drops copies whose implicit-ACK timeout expired.

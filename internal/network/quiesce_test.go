@@ -5,9 +5,36 @@ import (
 	"reflect"
 	"testing"
 
+	"ftnoc/internal/invariant"
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
 )
+
+// attachChecker gives cfg a fresh runtime invariant checker (one per
+// run — checkers are stateful) and returns it for the post-run verdict.
+func attachChecker(cfg *Config) *invariant.Checker {
+	chk := invariant.New(invariant.Config{})
+	cfg.Invariants = chk
+	return chk
+}
+
+// assertClean fails the test if the checker recorded any violation, and
+// sanity-checks that it actually audited traffic (a checker that saw
+// nothing proves nothing).
+func assertClean(t *testing.T, label string, chk *invariant.Checker) {
+	t.Helper()
+	for i, v := range chk.Violations() {
+		if i >= 5 {
+			t.Errorf("%s: ... and %d more violations", label, chk.Total()-i)
+			break
+		}
+		t.Errorf("%s: %v", label, v)
+	}
+	injected, _, _, events := chk.Stats()
+	if injected == 0 || events == 0 {
+		t.Fatalf("%s: checker audited no traffic (injected %d, events %d)", label, injected, events)
+	}
+}
 
 // diffConfig builds one point of the differential grid: a small network
 // with packet journeys traced so the comparison covers event timing, not
@@ -61,13 +88,17 @@ func TestQuiescenceDifferential(t *testing.T) {
 					t.Parallel()
 					naiveCfg := cfg
 					naiveCfg.NaiveKernel = true
+					naiveChk := attachChecker(&naiveCfg)
 					nn := New(naiveCfg)
 					want := comparable(nn.Run())
 					if _, skipped := nn.KernelStats(); skipped != 0 {
 						t.Fatalf("naive kernel skipped %d ticks", skipped)
 					}
+					assertClean(t, "naive", naiveChk)
 
-					qn := New(cfg)
+					quiesCfg := cfg
+					quiesChk := attachChecker(&quiesCfg)
+					qn := New(quiesCfg)
 					got := comparable(qn.Run())
 					if !reflect.DeepEqual(want, got) {
 						t.Fatalf("quiescent kernel diverged from naive:\nnaive:     %+v\nquiescent: %+v", want, got)
@@ -75,6 +106,7 @@ func TestQuiescenceDifferential(t *testing.T) {
 					if _, skipped := qn.KernelStats(); skipped == 0 && rate == 0 {
 						t.Error("quiescent kernel never skipped a tick on a fault-free run")
 					}
+					assertClean(t, "quiescent", quiesChk)
 				})
 			}
 		}
@@ -91,6 +123,8 @@ func TestQuiescenceDifferentialBurst(t *testing.T) {
 	cfg.TotalMessages = 400
 	naiveCfg := cfg
 	naiveCfg.NaiveKernel = true
+	naiveChk := attachChecker(&naiveCfg)
+	quiesChk := attachChecker(&cfg)
 	want := comparable(New(naiveCfg).Run())
 	got := comparable(New(cfg).Run())
 	if !reflect.DeepEqual(want, got) {
@@ -99,6 +133,8 @@ func TestQuiescenceDifferentialBurst(t *testing.T) {
 	if want.Delivered != 400 {
 		t.Fatalf("burst delivered %d/400", want.Delivered)
 	}
+	assertClean(t, "naive", naiveChk)
+	assertClean(t, "quiescent", quiesChk)
 }
 
 // TestQuiescenceDifferentialRecovery drives the deadlock-recovery and
@@ -112,9 +148,13 @@ func TestQuiescenceDifferentialRecovery(t *testing.T) {
 	cfg.Faults.VA = 5e-4
 	naiveCfg := cfg
 	naiveCfg.NaiveKernel = true
+	naiveChk := attachChecker(&naiveCfg)
+	quiesChk := attachChecker(&cfg)
 	want := comparable(New(naiveCfg).Run())
 	got := comparable(New(cfg).Run())
 	if !reflect.DeepEqual(want, got) {
 		t.Fatalf("recovery run diverged:\nnaive:     %+v\nquiescent: %+v", want, got)
 	}
+	assertClean(t, "naive", naiveChk)
+	assertClean(t, "quiescent", quiesChk)
 }

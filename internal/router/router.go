@@ -287,7 +287,7 @@ func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
 			dst := flit.DecodeHeader(f.Word).Dst
 			exp := r.cachedNeighborRoute(ip.port, up, dst)
 			if len(exp) == 1 && exp[0] != ip.port.Opposite() {
-				ip.rx.ForceDrop(vc, cycle, link.NACKMisroute)
+				ip.rx.ForceDrop(vc, cycle, link.NACKMisroute, uint64(f.PID), f.Seq)
 				return
 			}
 		}
@@ -299,6 +299,7 @@ func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
 		// wormhole state. Drop and reclaim the slot.
 		r.wormholeViolations++
 		ip.rx.ReturnCredit(vc)
+		r.emitDrop(cycle, ip.port, vc, f, trace.DropWormhole)
 		return
 	}
 	if ivc.occupied() == 0 {
@@ -352,6 +353,7 @@ func (r *Router) advance(cycle uint64) {
 						PID: uint64(dropped.PID), Seq: dropped.Seq, Aux: aux,
 					})
 				}
+				r.emitDrop(cycle, ivc.port, ivc.idx, dropped, trace.DropStray)
 				continue
 			}
 			ivc.dst = flit.DecodeHeader(f.Word).Dst
@@ -816,13 +818,16 @@ func (r *Router) executeGrant(cycle uint64, g ac.Grant, corrupted bool) {
 		// Uncaught corruption pointed nowhere usable: the flit is lost.
 		r.strayFlits++
 		r.cfg.Counters.AddUndetected(fault.SALogic)
+		r.emitDrop(cycle, g.InPort, g.InVC, f, trace.DropSALost)
 	case corrupted && op.tx.Credits(vc) <= 0:
 		r.strayFlits++
 		r.cfg.Counters.AddUndetected(fault.SALogic)
+		r.emitDrop(cycle, g.InPort, g.InVC, f, trace.DropSALost)
 	case op.tx.HasReplay():
 		// The corrupted grant targets a port busy replaying; flit lost.
 		r.strayFlits++
 		r.cfg.Counters.AddUndetected(fault.SALogic)
+		r.emitDrop(cycle, g.InPort, g.InVC, f, trace.DropSALost)
 	default:
 		op.tx.Send(f, vc, cycle)
 		if corrupted {
@@ -837,6 +842,18 @@ func (r *Router) executeGrant(cycle uint64, g ac.Grant, corrupted bool) {
 			r.out[ivc.outPort].vcs[ivc.outVC] = outputVC{}
 		}
 		ivc.reset(cycle)
+	}
+}
+
+// emitDrop publishes a terminal flit-loss event with its reason code, so
+// conservation audits can account for every discarded flit.
+func (r *Router) emitDrop(cycle uint64, port topology.Port, vc int, f flit.Flit, reason uint64) {
+	if r.cfg.Bus.Enabled() {
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.FlitDropped,
+			Node: int32(r.id), Port: int8(port), VC: int8(vc),
+			PID: uint64(f.PID), Seq: f.Seq, Aux: reason,
+		})
 	}
 }
 
@@ -973,6 +990,78 @@ func (r *Router) CheckInvariants() string {
 				return fmt.Sprintf("router %d: active VC %v/%d binding %v/%d not reserved for it (busy=%v owner=%v/%d)",
 					r.id, p, ivc.idx, ivc.outPort, ivc.outVC, ov.busy, ov.inPort, ov.inVC)
 			}
+		}
+	}
+	return ""
+}
+
+// VCBufLen returns the occupancy of one input VC buffer — the flits that
+// still hold upstream credits. Parked (pending) flits are excluded: their
+// credits were returned when recovery parked them. Invariant-checker
+// inspection; 0 for unattached ports.
+func (r *Router) VCBufLen(p topology.Port, vc int) int {
+	ip := r.in[p]
+	if ip == nil || vc < 0 || vc >= len(ip.vcs) {
+		return 0
+	}
+	return ip.vcs[vc].buf.Len()
+}
+
+// EachResidentFlit visits every data flit currently held inside the
+// router: input VC buffers and recovery-parked pending queues. Flits in
+// output-side retransmission machinery are visited via the transmitters
+// (EachRetained). Invariant-checker inspection.
+func (r *Router) EachResidentFlit(fn func(flit.Flit)) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.in[p] == nil {
+			continue
+		}
+		for _, ivc := range r.in[p].vcs {
+			for _, f := range ivc.buf.Snapshot() {
+				fn(f)
+			}
+			for _, f := range ivc.pending {
+				fn(f)
+			}
+		}
+	}
+}
+
+// EachRetainedFlit visits every flit the router's transmitters can still
+// resend (replay queues and retransmission shifters). Invariant-checker
+// inspection.
+func (r *Router) EachRetainedFlit(fn func(flit.Flit)) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.out[p] != nil {
+			r.out[p].tx.EachRetained(fn)
+		}
+	}
+}
+
+// AuditInvariants runs the per-cycle structural audit at a cycle boundary
+// (clock = the cycle about to tick): the VA-binding consistency of
+// CheckInvariants, every output port's retransmission-buffer soundness,
+// and the probe-memory bound — pruning runs every probeSeenWindow cycles
+// and discards entries older than the window, so no entry may be older
+// than 3x the window (2x from pruning cadence plus slack for entries
+// refreshed just before a prune). It returns a description of the first
+// violation, or "".
+func (r *Router) AuditInvariants(clock uint64) string {
+	if s := r.CheckInvariants(); s != "" {
+		return s
+	}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.out[p] == nil {
+			continue
+		}
+		if s := r.out[p].tx.AuditRetrans(clock); s != "" {
+			return fmt.Sprintf("router %d out %v: %s", r.id, p, s)
+		}
+	}
+	for k, seen := range r.probeSeen {
+		if clock > seen && clock-seen > 3*probeSeenWindow {
+			return fmt.Sprintf("router %d: probeSeen entry origin=%d aged %d cycles (bound %d) — prune leak",
+				r.id, k.origin, clock-seen, 3*probeSeenWindow)
 		}
 	}
 	return ""

@@ -341,17 +341,53 @@ func TestSSEStreamAndCancel(t *testing.T) {
 
 // TestSSERealCampaignProgress runs a real 2-point campaign and checks
 // the bus-to-SSE bridge delivers per-point progress and a terminal done
-// event with full replicate accounting.
+// event with full replicate accounting. The campaign is gated behind a
+// channel released only after the subscriber has read the opening
+// snapshot, so every progress event is deterministically observable —
+// an ungated fast campaign can finish before the event stream connects.
 func TestSSERealCampaignProgress(t *testing.T) {
-	s := New(Options{Workers: 1})
+	release := make(chan struct{})
+	s := newServer(Options{Workers: 1}, func(ctx context.Context, spec campaign.Spec) (*campaign.Report, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return campaign.Run(ctx, spec)
+	})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	defer shutdownNow(t, s)
 
 	sr, _ := postSpec(t, ts, tinySpecBody(21))
-	names, lastData := consumeSSE(t, ts, sr.ID)
-	if names[len(names)-1] != string(StateDone) {
-		t.Fatalf("terminal event = %v", names)
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	var lastData string
+	released := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			names = append(names, name)
+			if !released {
+				// The opening snapshot arrived: we are attached, and the
+				// campaign has not started. Let it run.
+				close(release)
+				released = true
+			}
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			lastData = data
+		}
+	}
+	if !released {
+		t.Fatal("stream ended without any event")
+	}
+	if names[0] != "status" || names[len(names)-1] != string(StateDone) {
+		t.Fatalf("event sequence = %v", names)
 	}
 	var counted struct {
 		RepsDone  int `json:"reps_done"`
@@ -372,11 +408,10 @@ func TestSSERealCampaignProgress(t *testing.T) {
 			dones++
 		}
 	}
-	// The subscriber attached after submission, so it may have missed
-	// early events, but a 4-replicate campaign must show some progress
-	// and every observed start pairs with no more dones than starts.
-	if dones == 0 && starts == 0 {
-		t.Fatalf("no progress events at all: %v", names)
+	// Subscription preceded the campaign start, so every replicate's
+	// progress events (2 points x 2 seeds) must be present in full.
+	if starts != 4 || dones != 4 {
+		t.Fatalf("progress events: %d starts, %d dones, want 4/4 (%v)", starts, dones, names)
 	}
 
 	// A late subscriber to a finished job gets the terminal event only.

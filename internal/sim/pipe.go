@@ -109,6 +109,22 @@ func (p *Pipe[T]) Empty() bool { return p.off >= len(p.bufs[p.vis]) }
 // pipe, including those not yet visible and any not yet latched.
 func (p *Pipe[T]) InFlight() int { return p.held }
 
+// Each visits every value still held by the pipe — visible-but-unpopped,
+// in-flight, and staged this cycle — in no particular order. It is a
+// read-only inspection for invariant checkers and debug tooling; fn must
+// not push or pop.
+func (p *Pipe[T]) Each(fn func(T)) {
+	for i := 0; i <= p.latency; i++ {
+		b := p.bufs[(p.vis+i)%len(p.bufs)]
+		if i == 0 {
+			b = b[p.off:]
+		}
+		for _, v := range b {
+			fn(v)
+		}
+	}
+}
+
 // latch advances the delay line by one cycle. It reports whether the pipe
 // still holds values and must stay on the kernel's active-latch list; an
 // all-empty pipe's latch is the identity (rotating empty buffers), so

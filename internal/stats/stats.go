@@ -179,11 +179,20 @@ var t95 = [...]float64{
 
 // MeanCI95 estimates the population mean from replicate samples: the
 // sample mean and the 95% confidence half-width t(n-1) * s / sqrt(n).
-// Empty input returns a zero Estimate.
+// Empty input returns a zero Estimate; a single sample returns its value
+// with a zero half-width (no dispersion information). A NaN sample
+// poisons the whole estimate — both fields come back NaN, never a
+// half-computed mixture — so a corrupted replicate cannot masquerade as
+// a tight confidence interval.
 func MeanCI95(samples []float64) Estimate {
 	n := len(samples)
 	if n == 0 {
 		return Estimate{}
+	}
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			return Estimate{Mean: math.NaN(), CI95: math.NaN(), N: n}
+		}
 	}
 	sum := 0.0
 	for _, v := range samples {

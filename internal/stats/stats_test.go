@@ -175,6 +175,31 @@ func TestMeanCI95(t *testing.T) {
 	}
 }
 
+func TestMeanCI95NaNPoisons(t *testing.T) {
+	// A NaN replicate must surface as a fully-NaN estimate, whatever its
+	// position and whether the sample is replicated or not: a corrupted
+	// measurement may not hide behind a finite mean or a zero half-width.
+	cases := [][]float64{
+		{math.NaN()},
+		{math.NaN(), 2, 3},
+		{1, math.NaN(), 3},
+		{1, 2, math.NaN()},
+	}
+	for _, samples := range cases {
+		e := MeanCI95(samples)
+		if !math.IsNaN(e.Mean) || !math.IsNaN(e.CI95) {
+			t.Errorf("MeanCI95(%v) = %+v, want NaN mean and NaN CI95", samples, e)
+		}
+		if e.N != len(samples) {
+			t.Errorf("MeanCI95(%v).N = %d, want %d", samples, e.N, len(samples))
+		}
+	}
+	// Infinities are not silently poisoned: the mean propagates them.
+	if e := MeanCI95([]float64{math.Inf(1), 1}); !math.IsInf(e.Mean, 1) {
+		t.Errorf("infinite sample lost: %+v", e)
+	}
+}
+
 func TestEstimateString(t *testing.T) {
 	if s := (Estimate{Mean: 3, N: 1}).String(); s != "3" {
 		t.Fatalf("single-sample string %q", s)

@@ -84,6 +84,13 @@ const (
 	// simulated length. Node/Port/VC are -1 (not router-attributable).
 	CampaignPointStart
 	CampaignPointDone
+	// FlitDropped: a flit (or, for the terminal reasons, a whole packet)
+	// left the network without reaching its destination cleanly. Aux is a
+	// Drop* reason code. Emitted at every discard site — receiver drop
+	// windows, NACK drops, misroute force-drops, stray/wormhole drops,
+	// uncaught switch-allocation losses, corrupt deliveries and retention
+	// evictions — so a conservation checker can account for every packet.
+	FlitDropped
 
 	numKinds
 )
@@ -132,6 +139,8 @@ func (k Kind) String() string {
 		return "campaign-point-start"
 	case CampaignPointDone:
 		return "campaign-point-done"
+	case FlitDropped:
+		return "flit-dropped"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -149,6 +158,37 @@ const (
 	AuxSA         uint64 = 1
 	AuxProbe      uint64 = 0
 	AuxActivation uint64 = 1
+)
+
+// Aux reason codes for FlitDropped. Transient reasons mean the flit has a
+// live retransmission copy upstream (the packet is still in flight);
+// terminal reasons mean this copy of the packet can only be recovered
+// end-to-end, if at all.
+const (
+	// DropWindow: discarded inside a receiver's post-NACK drop window
+	// (transient — the transmitter's shifter replays it).
+	DropWindow uint64 = iota + 1
+	// DropNACK: the uncorrectable flit that raised a link-error NACK
+	// (transient — drained into the replay queue).
+	DropNACK
+	// DropMisroute: force-dropped by the §4.2 arrival-direction check
+	// (transient — recalled from the shifter and re-routed).
+	DropMisroute
+	// DropStray: a non-head flit arrived at an idle VC with no wormhole
+	// (terminal for the flit; only unprotected logic faults cause it).
+	DropStray
+	// DropWormhole: arrived at a full buffer after corrupted wormhole
+	// state defeated flow control (terminal for the flit).
+	DropWormhole
+	// DropSALost: an uncaught switch-allocation corruption sent the flit
+	// nowhere usable (terminal for the flit).
+	DropSALost
+	// DropCorrupt: the packet completed at its destination but failed the
+	// end check (terminal unless an E2E/FEC retransmission revives it).
+	DropCorrupt
+	// DropEvicted: an E2E/FEC retransmission request arrived after the
+	// retained copy timed out — the packet is unrecoverable.
+	DropEvicted
 )
 
 // Event is one structured record. It is a flat value type — publishing

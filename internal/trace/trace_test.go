@@ -21,6 +21,7 @@ func TestKindStringsStable(t *testing.T) {
 		FlitParked:      "flit-parked",
 		FlitRecalled:    "flit-recalled",
 		FlitEjected:     "flit-ejected",
+		FlitDropped:     "flit-dropped",
 		RouteComputed:   "route-computed",
 		VCAllocated:     "vc-allocated",
 		ACMismatch:      "ac-mismatch",

@@ -1,0 +1,27 @@
+package traffic
+
+import "testing"
+
+// FuzzParsePattern holds the traffic-pattern parser to: no panics;
+// accepted mnemonics map to a known pattern; and the pattern's String
+// form parses back to the same pattern.
+func FuzzParsePattern(f *testing.F) {
+	for _, s := range []string{"NR", "bc", "TN", "tp", "SH", "hs", "", "XX"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return
+		}
+		switch p {
+		case UniformRandom, BitComplement, Tornado, Transpose, Shuffle, Hotspot:
+		default:
+			t.Fatalf("ParsePattern(%q) produced unknown pattern %d", s, p)
+		}
+		back, err := ParsePattern(p.String())
+		if err != nil || back != p {
+			t.Fatalf("String form %q of ParsePattern(%q) does not round-trip: %v / %v", p, s, back, err)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# coverage_gate.sh — fail the build if total test coverage regresses.
+#
+# Runs the full test suite with a coverage profile and compares the
+# total statement coverage against scripts/coverage_baseline.txt. A drop
+# of more than 0.5 points fails (slack absorbs run-to-run jitter from
+# randomized tests); a rise of more than 2 points prints a reminder to
+# ratchet the baseline up so the gain is locked in.
+#
+#   scripts/coverage_gate.sh            # gate against the baseline
+#   scripts/coverage_gate.sh --update   # rewrite the baseline instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [[ -z "$total" ]]; then
+    echo "coverage_gate.sh: could not compute total coverage" >&2
+    exit 1
+fi
+
+if [[ "${1:-}" == "--update" ]]; then
+    echo "$total" > scripts/coverage_baseline.txt
+    echo "coverage_gate.sh: baseline updated to ${total}%"
+    exit 0
+fi
+
+baseline=$(cat scripts/coverage_baseline.txt)
+echo "total coverage: ${total}% (baseline ${baseline}%)"
+
+if ! awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t + 0.5 >= b) }'; then
+    echo "coverage_gate.sh: FAIL — coverage fell more than 0.5 points below the baseline" >&2
+    echo "  (if the drop is intentional, run scripts/coverage_gate.sh --update)" >&2
+    exit 1
+fi
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t > b + 2.0) }'; then
+    echo "note: coverage is >2 points above baseline; run scripts/coverage_gate.sh --update to ratchet it"
+fi
+echo "coverage_gate.sh: OK"

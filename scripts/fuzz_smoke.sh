@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# fuzz_smoke.sh — run every fuzz target in the module for a short burst.
+#
+# Targets are discovered with `go test -list`, so a new FuzzXxx anywhere
+# in the tree is picked up without editing this script. Each target gets
+# FUZZTIME (default 10s) of coverage-guided input generation on top of
+# its seed corpus; any crasher fails the run and go leaves the input
+# under the package's testdata/fuzz/ for reproduction.
+#
+#   scripts/fuzz_smoke.sh               # 10s per target (CI default)
+#   FUZZTIME=60s scripts/fuzz_smoke.sh  # longer local soak
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+# `go test -list` prints the matching target names of each package
+# followed by that package's "ok <import path> ..." line; fold that into
+# "<package> <target>" pairs.
+targets=$(go test -list '^Fuzz' ./... | awk '
+    /^Fuzz/ { names[n++] = $1 }
+    /^ok/   { for (i = 0; i < n; i++) print $2, names[i]; n = 0 }
+')
+if [[ -z "$targets" ]]; then
+    echo "fuzz_smoke.sh: no fuzz targets found" >&2
+    exit 1
+fi
+
+count=0
+while read -r pkg target; do
+    echo "== $pkg $target ($FUZZTIME)"
+    go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME"
+    count=$((count + 1))
+done <<<"$targets"
+
+echo "fuzz_smoke.sh: OK — $count targets fuzzed for $FUZZTIME each"
