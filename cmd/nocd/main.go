@@ -13,7 +13,8 @@
 //	GET    /v1/campaigns/{id}/events SSE per-point progress + terminal event
 //	DELETE /v1/campaigns/{id}        cancel a queued or running campaign
 //	GET    /v1/stats                 queue, job and cache counters
-//	GET    /healthz                  liveness (503 while draining)
+//	GET    /healthz                  liveness + build info (503 while draining)
+//	GET    /metrics                  Prometheus text-format exposition
 //
 // SIGTERM/SIGINT drain gracefully: running campaigns get -drain to
 // finish, then are canceled and publish their partial results; a second
@@ -25,8 +26,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,7 +47,15 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 5*time.Second, "Retry-After hint on 429 responses")
 	maxJobs := flag.Int("max-jobs", 1024, "finished-job records retained for GET")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown lets running campaigns finish before canceling them")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
+
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv := serve.New(serve.Options{
 		Workers:    *workers,
@@ -52,7 +63,29 @@ func main() {
 		CacheBytes: *cacheMB << 20,
 		RetryAfter: *retryAfter,
 		MaxJobs:    *maxJobs,
+		Logger:     logger,
 	})
+
+	// pprof stays off the service mux: profiling endpoints never share a
+	// port with the public API, so exposing one cannot expose the other.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -101,6 +134,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nocd:", err)
 	}
 	fmt.Fprintln(os.Stderr, "nocd: bye")
+}
+
+// newLogger builds the daemon's slog.Logger from the -log-level and
+// -log-format flags.
+func newLogger(w *os.File, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("nocd: unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("nocd: unknown -log-format %q (want text or json)", format)
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@
 //
 //	sweep -routing adaptive -link-errors 1e-3 -from 0.05 -to 0.5 -step 0.05
 //	sweep -pattern TN -seeds 5 -workers 8 -csv sweep.csv
+//	sweep -seeds 3 -timeline spans.json   # engine span timeline for chrome://tracing
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"ftnoc"
 	"ftnoc/internal/campaign"
+	"ftnoc/internal/trace"
 )
 
 func main() {
@@ -46,6 +48,7 @@ func main() {
 	check := flag.Bool("check", false, "run the invariant checker inside every replicate; violations fail the replicate")
 	csvOut := flag.String("csv", "", "also write the full result table to this CSV file")
 	ndjsonOut := flag.String("ndjson", "", "also write the per-replicate result table to this NDJSON file")
+	timelineOut := flag.String("timeline", "", "write the campaign span timeline (Chrome trace JSON, open in chrome://tracing or Perfetto) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -107,6 +110,28 @@ func main() {
 	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+
+	// The engine's span stream (campaign → point → replicate) renders
+	// directly as a Chrome trace: lanes for the campaign, each grid
+	// point's wall window, and per-worker replicate execution.
+	var timeline *trace.ChromeTrace
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			fatal(err)
+		}
+		timeline = trace.NewChromeTrace(f)
+		spec.Progress = timeline
+		defer func() {
+			if err := timeline.Close(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "sweep: wrote", *timelineOut)
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -20,6 +20,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -76,10 +77,22 @@ type Spec struct {
 	Invariants bool
 
 	// Progress, when non-nil, receives CampaignPointStart/Done events as
-	// replicates are dispatched and retired. The engine serialises
-	// emissions, so any Sink works unmodified; events arrive in
-	// completion order, not point order.
+	// replicates are dispatched and retired, plus the span-timeline kinds
+	// (CampaignBegin/End, CampaignPointBegin/End, CampaignRepBegin/End)
+	// whose Cycle field carries wall-clock microseconds since Run
+	// started — feed it a trace.ChromeTrace and the whole schedule
+	// (worker lanes, idle gaps, straggler points) renders in
+	// chrome://tracing. The engine serialises emissions, so any Sink
+	// works unmodified; events arrive in completion order, not point
+	// order.
 	Progress trace.Sink
+
+	// Logger, when non-nil, receives a structured record for every
+	// failed replicate, attributed with the point's grid coordinates and
+	// the replicate's derived seed — so a service running thousands of
+	// points can tell exactly which configuration died. Like Progress it
+	// does not perturb results and is excluded from CanonicalHash.
+	Logger *slog.Logger
 }
 
 // Point is one fully resolved grid coordinate.
@@ -108,6 +121,11 @@ type RepResult struct {
 	// simulator, not the simulated network, and must not perturb result
 	// hashing or serialisation.
 	KernelTicked, KernelSkipped uint64
+	// Wall is the replicate's wall-clock execution time on its worker.
+	// Like the kernel counters it describes the engine, not the
+	// simulated network: it varies run to run, so it stays out of the
+	// result tables and the content-addressed hash.
+	Wall time.Duration
 	// Err captures a crash inside this replicate's simulation; the
 	// Results are zero when set.
 	Err error
@@ -132,6 +150,10 @@ type PointResult struct {
 	Point
 	Reps []RepResult
 	Agg  Aggregate
+	// Wall is the point's wall-clock window: from its first replicate's
+	// dispatch to its last replicate's retirement (straggler points show
+	// up as outliers here). Zero when no replicate was dispatched.
+	Wall time.Duration
 	// Err is the point's validation error (no replicate ran), or the
 	// first replicate error when every replicate failed.
 	Err error
@@ -269,33 +291,43 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		}
 	}
 
+	spans := newSpanTracker(progress, start, len(points), reps)
+	spans.campaignBegin(len(points), len(jobs))
+
 	jobc := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < report.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for j := range jobc {
 				cfg := points[j.point].Config
 				cfg.Seed = DeriveSeed(spec.Base.Seed, j.point, j.rep)
+				spans.repBegin(worker, j.point, j.rep, cfg.Seed)
 				progress.emit(trace.Event{
 					Kind: trace.CampaignPointStart, Node: -1, Port: -1, VC: -1,
 					Aux: uint64(j.point), PID: uint64(j.rep),
 				})
+				repStart := time.Now()
 				rr := runReplicate(ctx, cfg, spec.Invariants)
+				rr.Wall = time.Since(repStart)
 				report.Points[j.point].Reps[j.rep] = rr
+				logRepFailure(spec.Logger, points[j.point], j.rep, rr)
 				progress.emit(trace.Event{
 					Kind: trace.CampaignPointDone, Cycle: rr.Results.Cycles,
 					Node: -1, Port: -1, VC: -1,
 					Aux: uint64(j.point), PID: uint64(j.rep),
 				})
+				spans.repEnd(worker, j.point, j.rep, rr)
 			}
-		}()
+		}(w)
 	}
+	dispatched := 0
 dispatch:
 	for _, j := range jobs {
 		select {
 		case jobc <- j:
+			dispatched++
 		case <-ctx.Done():
 			report.Aborted = true
 			break dispatch
@@ -303,6 +335,7 @@ dispatch:
 	}
 	close(jobc)
 	wg.Wait()
+	spans.flush(report)
 
 	for i := range report.Points {
 		finalizePoint(&report.Points[i])
@@ -310,8 +343,144 @@ dispatch:
 			report.Aborted = true
 		}
 	}
+	spans.campaignEnd(dispatched, report.Aborted)
 	report.Elapsed = time.Since(start)
 	return report, nil
+}
+
+// spanTracker turns the workers' replicate lifecycles into the
+// hierarchical span timeline (campaign → point → replicate) published on
+// the progress sink, and accumulates the wall-clock windows recorded on
+// the report. Points open on their first replicate's dispatch and close
+// on their last replicate's retirement; an aborted campaign closes its
+// still-open points in flush so every Begin has a matching End.
+type spanTracker struct {
+	sink  *lockedSink
+	start time.Time
+	reps  int // replicates per point
+
+	mu     sync.Mutex
+	points []pointSpan
+}
+
+type pointSpan struct {
+	started, done, failed int
+	begun, ended          bool
+	first, last           time.Time
+}
+
+func newSpanTracker(sink *lockedSink, start time.Time, points, reps int) *spanTracker {
+	return &spanTracker{sink: sink, start: start, reps: reps, points: make([]pointSpan, points)}
+}
+
+// wall is the event timestamp: microseconds of wall clock since Run
+// started (the Chrome exporter's 1 tick = 1 µs).
+func (t *spanTracker) wall() uint64 { return uint64(time.Since(t.start).Microseconds()) }
+
+func (t *spanTracker) campaignBegin(points, jobs int) {
+	t.sink.emit(trace.Event{
+		Kind: trace.CampaignBegin, Cycle: t.wall(), Node: -1, Port: -1, VC: -1,
+		Aux: uint64(points), Aux2: uint64(jobs),
+	})
+}
+
+func (t *spanTracker) campaignEnd(ran int, aborted bool) {
+	var ab uint64
+	if aborted {
+		ab = 1
+	}
+	t.sink.emit(trace.Event{
+		Kind: trace.CampaignEnd, Cycle: t.wall(), Node: -1, Port: -1, VC: -1,
+		Aux: uint64(ran), Aux2: ab,
+	})
+}
+
+func (t *spanTracker) repBegin(worker, point, rep int, seed uint64) {
+	now := t.wall()
+	t.mu.Lock()
+	ps := &t.points[point]
+	ps.started++
+	if !ps.begun {
+		ps.begun = true
+		ps.first = time.Now()
+		t.sink.emit(trace.Event{
+			Kind: trace.CampaignPointBegin, Cycle: now, Node: -1, Port: -1, VC: -1,
+			Aux: uint64(point),
+		})
+	}
+	t.mu.Unlock()
+	t.sink.emit(trace.Event{
+		Kind: trace.CampaignRepBegin, Cycle: now, Node: int32(worker), Port: -1, VC: -1,
+		Aux: uint64(point), PID: uint64(rep), Aux2: seed,
+	})
+}
+
+func (t *spanTracker) repEnd(worker, point, rep int, rr RepResult) {
+	now := t.wall()
+	status := trace.RepStatusOK
+	switch {
+	case rr.Err != nil:
+		status = trace.RepStatusError
+	case rr.Results.Aborted:
+		status = trace.RepStatusAborted
+	}
+	t.sink.emit(trace.Event{
+		Kind: trace.CampaignRepEnd, Cycle: now, Node: int32(worker), Port: -1, VC: -1,
+		PID: uint64(rep), Aux: rr.KernelTicked, Aux2: rr.KernelSkipped, Seq: status,
+	})
+	t.mu.Lock()
+	ps := &t.points[point]
+	ps.done++
+	if rr.Err != nil {
+		ps.failed++
+	}
+	ps.last = time.Now()
+	if ps.done == t.reps && !ps.ended {
+		ps.ended = true
+		t.sink.emit(trace.Event{
+			Kind: trace.CampaignPointEnd, Cycle: now, Node: -1, Port: -1, VC: -1,
+			Aux: uint64(point), Aux2: uint64(ps.failed),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// flush closes the point spans an aborted dispatch left open and copies
+// every begun point's wall window onto the report.
+func (t *spanTracker) flush(report *Report) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.points {
+		ps := &t.points[i]
+		if !ps.begun {
+			continue
+		}
+		if !ps.ended {
+			ps.ended = true
+			t.sink.emit(trace.Event{
+				Kind: trace.CampaignPointEnd, Cycle: t.wall(), Node: -1, Port: -1, VC: -1,
+				Aux: uint64(i), Aux2: uint64(ps.failed),
+			})
+		}
+		report.Points[i].Wall = ps.last.Sub(ps.first)
+	}
+}
+
+// logRepFailure emits the structured record for a failed replicate:
+// the full grid coordinates plus the derived seed, so the exact failing
+// configuration can be re-run in isolation (nocsim with the same
+// parameters and -seed). No-op for nil loggers and successful runs.
+func logRepFailure(l *slog.Logger, p Point, rep int, rr RepResult) {
+	if l == nil || rr.Err == nil {
+		return
+	}
+	l.Error("replicate failed",
+		"point", p.Index, "rep", rep, "seed", rr.Seed,
+		"size", p.Size.String(), "topology", p.Topology.String(),
+		"routing", p.Routing.String(), "protection", p.Protection.String(),
+		"pattern", p.Pattern.String(),
+		"link_error_rate", p.LinkErrorRate, "injection_rate", p.InjectionRate,
+		"err", rr.Err)
 }
 
 // runReplicate builds and runs one simulation, converting any panic into

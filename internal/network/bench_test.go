@@ -1,7 +1,10 @@
 package network
 
 import (
+	"io"
 	"testing"
+
+	"ftnoc/internal/trace"
 )
 
 // benchConfig is the steady-state benchmark workload: a fault-free 4x4
@@ -34,6 +37,31 @@ func BenchmarkKernelSteady(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.kernel.Step()
+	}
+	b.StopTimer()
+	reportKernel(b, n)
+}
+
+// BenchmarkKernelSteadyMetrics proves the zero-cost-when-unscraped
+// observability contract on the hot path: a metrics registry is
+// attached (every router registers its three gauges at construction)
+// but the sampling interval never fires inside the measurement window,
+// and the steady-state tick must still allocate nothing — the off-cycle
+// Tick is one modulo and a return.
+func BenchmarkKernelSteadyMetrics(b *testing.B) {
+	cfg := benchConfig()
+	m := trace.NewMetrics(io.Discard, 1<<62)
+	cfg.Metrics = m
+	n := New(cfg)
+	for i := 0; i < 2000; i++ {
+		n.kernel.Step()
+		m.Tick(n.kernel.Cycle())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.kernel.Step()
+		m.Tick(n.kernel.Cycle())
 	}
 	b.StopTimer()
 	reportKernel(b, n)

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(4)
+	g.Dec()
+
+	got := scrape(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Total jobs.\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# HELP queue_depth Jobs waiting.\n# TYPE queue_depth gauge\nqueue_depth 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLabelledSeriesSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests.", "route", "status")
+	v.With("/v1/b", "200").Add(2)
+	v.With("/v1/a", "500").Inc()
+	v.With(`q"\`+"\n", "200").Inc()
+
+	got := scrape(t, r)
+	iA := strings.Index(got, `http_requests_total{route="/v1/a",status="500"} 1`)
+	iB := strings.Index(got, `http_requests_total{route="/v1/b",status="200"} 2`)
+	if iA < 0 || iB < 0 || iA > iB {
+		t.Fatalf("series missing or unsorted:\n%s", got)
+	}
+	if !strings.Contains(got, `route="q\"\\\n"`) {
+		t.Errorf("label escaping wrong:\n%s", got)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	got := scrape(t, r)
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the equal-to-bound 0.1
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 55.65`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestFuncFamiliesReadAtScrapeTime(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.GaugeFunc("goroutines", "Now.", func() float64 { n++; return n })
+	r.CounterFunc("hits_total", "Mirrored.", func() float64 { return 42 })
+
+	if got := scrape(t, r); !strings.Contains(got, "goroutines 1\n") {
+		t.Fatalf("first scrape:\n%s", got)
+	}
+	got := scrape(t, r)
+	if !strings.Contains(got, "goroutines 2\n") || !strings.Contains(got, "hits_total 42\n") {
+		t.Fatalf("second scrape:\n%s", got)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.CounterVec("b_total", "B.", "x").With("1").Inc()
+		r.Gauge("a", "A.").Set(7)
+		r.Histogram("c_seconds", "C.", []float64{1}).Observe(0.5)
+		return r
+	}
+	if a, b := scrape(t, build()), scrape(t, build()); a != b {
+		t.Fatalf("scrapes differ:\n%s\n---\n%s", a, b)
+	}
+	// Families are name-sorted: a before b_total before c_seconds.
+	got := scrape(t, build())
+	if !(strings.Index(got, "# TYPE a ") < strings.Index(got, "# TYPE b_total ") &&
+		strings.Index(got, "# TYPE b_total ") < strings.Index(got, "# TYPE c_seconds ")) {
+		t.Fatalf("families not name-sorted:\n%s", got)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("inf", "Inf.", func() float64 { return math.Inf(1) })
+	got := scrape(t, r)
+	if !strings.Contains(got, "inf +Inf\n") {
+		t.Errorf("infinity rendering:\n%s", got)
+	}
+}
+
+func TestReRegisterSameShapeSharesState(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Add(3)
+	r.Counter("x_total", "X.").Inc()
+	if got := scrape(t, r); !strings.Contains(got, "x_total 4\n") {
+		t.Fatalf("re-registration did not share state:\n%s", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type should panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "N.")
+	v := r.CounterVec("m_total", "M.", "w")
+	h := r.Histogram("d_seconds", "D.", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lab := string(rune('a' + w))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				v.With(lab).Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			_ = r.WriteText(&sb)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000 (lost updates)", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type for the encoder's output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText encodes every family in the Prometheus text exposition
+// format (v0.0.4): families sorted by name, series sorted by label
+// values, histograms expanded to cumulative _bucket/_sum/_count. The
+// output for identical registry state is byte-identical.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		families = append(families, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeText(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	if f.fn != nil {
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(formatValue(f.fn()))
+		w.WriteByte('\n')
+		return
+	}
+
+	f.mu.Lock()
+	all := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		all = append(all, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return strings.Join(all[i].labelVals, "\x00") < strings.Join(all[j].labelVals, "\x00")
+	})
+
+	for _, s := range all {
+		switch f.kind {
+		case histogramKind:
+			f.writeHistogram(w, s)
+		default:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, s.labelVals, "")
+			w.WriteByte(' ')
+			w.WriteString(formatValue(math.Float64frombits(s.bits.Load())))
+			w.WriteByte('\n')
+		}
+	}
+}
+
+// writeHistogram expands one series into cumulative le-buckets plus the
+// _sum and _count samples.
+func (f *family) writeHistogram(w *bufio.Writer, s *series) {
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += s.counts[i].Load()
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		writeLabels(w, f.labels, s.labelVals, formatValue(bound))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(cum, 10))
+		w.WriteByte('\n')
+	}
+	cum += s.inf.Load()
+	w.WriteString(f.name)
+	w.WriteString("_bucket")
+	writeLabels(w, f.labels, s.labelVals, "+Inf")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+
+	w.WriteString(f.name)
+	w.WriteString("_sum")
+	writeLabels(w, f.labels, s.labelVals, "")
+	w.WriteByte(' ')
+	w.WriteString(formatValue(math.Float64frombits(s.sum.Load())))
+	w.WriteByte('\n')
+
+	w.WriteString(f.name)
+	w.WriteString("_count")
+	writeLabels(w, f.labels, s.labelVals, "")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(s.total.Load(), 10))
+	w.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}, appending le when non-empty. Nothing
+// is written for a label-less sample without le.
+func writeLabels(w *bufio.Writer, names, vals []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(vals[i]))
+		w.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(`le="`)
+		w.WriteString(le)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the infinities spelled the way the exposition format wants them.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

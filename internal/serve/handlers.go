@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
+
+	"ftnoc/internal/obs"
 )
 
 // maxBodyBytes bounds a submitted spec document; campaign grids are
@@ -17,12 +20,16 @@ const maxBodyBytes = 1 << 20
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/campaigns", s.handleSubmit)
+	handle("GET /v1/campaigns/{id}", s.handleStatus)
+	handle("GET /v1/campaigns/{id}/events", s.handleEvents)
+	handle("DELETE /v1/campaigns/{id}", s.handleCancel)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
 }
 
 // submitResponse is the POST /v1/campaigns reply envelope.
@@ -64,6 +71,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Coalesced: !queued && !snap.Cached && !snap.State.Terminal(),
 		Points:    j.points, Reps: j.repsTotal,
 	}
+	reqLog(r.Context()).Info("campaign submitted",
+		"job", j.id, "hash", j.hash, "queued", queued,
+		"cached", snap.Cached, "coalesced", resp.Coalesced,
+		"points", j.points, "reps_total", j.repsTotal)
 	status := http.StatusAccepted
 	if !queued {
 		status = http.StatusOK
@@ -139,6 +150,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer j.hub.unsubscribe(ch)
+	s.obs.sseSubs.Inc()
+	defer s.obs.sseSubs.Dec()
 
 	// Opening snapshot, so a subscriber knows where the job stands
 	// before the first live event arrives.
@@ -192,16 +205,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// healthzResponse is the GET /healthz document: liveness plus the build
+// identity (module version and VCS revision stamped by the go tool; both
+// empty when the binary was built without VCS metadata, e.g. under
+// plain `go test`).
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	Modified      bool    `json:"modified,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	version, revision, modified := buildInfo()
+	resp := healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Version:       version,
+		Revision:      revision,
+		Modified:      modified,
+	}
 	if draining {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the Prometheus text exposition. The snapshot
+// refresh means the state-derived families encode exactly the document
+// a concurrent /v1/stats would return (modulo one snapshot's worth of
+// time skew, not divergent accounting).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.obs.refresh(s.Stats())
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.obs.reg.WriteText(w)
 }
 
 // splitNDJSON turns rendered result bytes (one JSON object per line)

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"log/slog"
+
+	"ftnoc/internal/obs"
+)
+
+// scrapeMetrics fetches /metrics, asserting the exposition content type.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("metrics content-type = %q, want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample line ("series value") from a scrape.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, series+" "); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				t.Fatalf("series %q has unparsable value %q", series, v)
+			}
+			return f
+		}
+	}
+	t.Fatalf("series %q not in scrape:\n%s", series, body)
+	return 0
+}
+
+// TestMetricsExposition runs a real campaign and asserts the scrape
+// covers every advertised family with sane values: queue, jobs, cache,
+// HTTP, histograms, build info, and runtime health.
+func TestMetricsExposition(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer shutdownNow(t, s)
+
+	sr, resp := postSpec(t, ts, tinySpecBody(31))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	waitState(t, ts, sr.ID, StateDone)
+
+	body := scrapeMetrics(t, ts)
+
+	// Typed headers for the major families.
+	for _, want := range []string{
+		"# TYPE nocd_http_requests_total counter",
+		"# TYPE nocd_http_request_seconds histogram",
+		"# TYPE nocd_jobs_completed_total counter",
+		"# TYPE nocd_job_queue_wait_seconds histogram",
+		"# TYPE nocd_job_run_seconds histogram",
+		"# TYPE nocd_jobs gauge",
+		"# TYPE nocd_queue_depth gauge",
+		"# TYPE nocd_cache_hits_total counter",
+		"# TYPE nocd_sse_subscribers gauge",
+		"# TYPE nocd_workers_busy gauge",
+		"# TYPE nocd_goroutines gauge",
+		"# TYPE nocd_heap_alloc_bytes gauge",
+		"# TYPE nocd_build_info gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	if v := metricValue(t, body, `nocd_http_requests_total{method="POST",route="POST /v1/campaigns",status="202"}`); v != 1 {
+		t.Errorf("submit request count = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `nocd_jobs{state="done"}`); v != 1 {
+		t.Errorf("done jobs gauge = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `nocd_jobs_completed_total{state="done"}`); v != 1 {
+		t.Errorf("jobs completed = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "nocd_job_queue_wait_seconds_count"); v != 1 {
+		t.Errorf("queue wait observations = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "nocd_job_run_seconds_count"); v != 1 {
+		t.Errorf("run duration observations = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "nocd_workers"); v != 2 {
+		t.Errorf("workers = %v, want 2", v)
+	}
+	if v := metricValue(t, body, "nocd_queue_capacity"); v != 16 {
+		t.Errorf("queue capacity = %v, want default 16", v)
+	}
+	if v := metricValue(t, body, "nocd_goroutines"); v <= 0 {
+		t.Errorf("goroutines = %v", v)
+	}
+	if v := metricValue(t, body, "nocd_heap_alloc_bytes"); v <= 0 {
+		t.Errorf("heap alloc = %v", v)
+	}
+	if v := metricValue(t, body, "nocd_uptime_seconds"); v < 0 {
+		t.Errorf("uptime = %v", v)
+	}
+	// Build info is a constant 1 regardless of whether the test binary
+	// carries VCS stamps; the series must exist with some label set.
+	if !strings.Contains(body, "nocd_build_info{") {
+		t.Error("nocd_build_info series missing")
+	}
+
+	// A histogram's +Inf bucket equals its count (cumulative contract).
+	inf := metricValue(t, body, `nocd_job_run_seconds_bucket{le="+Inf"}`)
+	if count := metricValue(t, body, "nocd_job_run_seconds_count"); inf != count {
+		t.Errorf("+Inf bucket %v != count %v", inf, count)
+	}
+}
+
+// TestStatsAndMetricsAgree is the single-snapshot contract: after a
+// cached resubmit, the cache counters reported by /v1/stats and by
+// /metrics are identical — both derive from Server.Stats(), so the two
+// observability surfaces cannot diverge.
+func TestStatsAndMetricsAgree(t *testing.T) {
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer shutdownNow(t, s)
+
+	body := tinySpecBody(32)
+	sr, _ := postSpec(t, ts, body)
+	waitState(t, ts, sr.ID, StateDone)
+
+	// Byte-identical resubmit: a content-addressed cache hit.
+	sr2, resp2 := postSpec(t, ts, body)
+	if resp2.StatusCode != http.StatusOK || !sr2.Cached {
+		t.Fatalf("resubmit: status %d cached %v", resp2.StatusCode, sr2.Cached)
+	}
+
+	httpResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	scrape := scrapeMetrics(t, ts)
+
+	if st.Cache.Hits < 1 || st.Cache.Misses < 1 {
+		t.Fatalf("cache counters did not move: %+v", st.Cache)
+	}
+	pairs := []struct {
+		series string
+		want   float64
+	}{
+		{"nocd_cache_hits_total", float64(st.Cache.Hits)},
+		{"nocd_cache_misses_total", float64(st.Cache.Misses)},
+		{"nocd_cache_evictions_total", float64(st.Cache.Evictions)},
+		{"nocd_cache_entries", float64(st.Cache.Entries)},
+		{"nocd_cache_bytes", float64(st.Cache.Bytes)},
+		{"nocd_queue_depth", float64(st.QueueDepth)},
+		{"nocd_workers", float64(st.Workers)},
+		{`nocd_jobs{state="done"}`, float64(st.Jobs[string(StateDone)])},
+	}
+	for _, p := range pairs {
+		if got := metricValue(t, scrape, p.series); got != p.want {
+			t.Errorf("%s = %v, /v1/stats says %v", p.series, got, p.want)
+		}
+	}
+	// Both submissions reached done: one ran, one was born finished from
+	// the cache. The terminal counter must count them both.
+	if v := metricValue(t, scrape, `nocd_jobs_completed_total{state="done"}`); v != 2 {
+		t.Errorf("jobs completed = %v, want 2 (fresh + cached)", v)
+	}
+	// But only one campaign actually executed.
+	if v := metricValue(t, scrape, "nocd_job_run_seconds_count"); v != 1 {
+		t.Errorf("run observations = %v, want 1 (cache hits never run)", v)
+	}
+}
+
+// TestConcurrentMetricsScrapes hammers /metrics while a campaign is
+// running and workers/queue state churn — the scrape path must be safe
+// under the race detector and always well-formed.
+func TestConcurrentMetricsScrapes(t *testing.T) {
+	g := newStubRunner()
+	s := newServer(Options{Workers: 1, QueueDepth: 4}, g.run)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	sr, _ := postSpec(t, ts, tinySpecBody(33))
+	<-g.started // the job is now running
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 10; n++ {
+				body := scrapeMetrics(t, ts)
+				if !strings.Contains(body, "nocd_workers_busy") {
+					t.Error("scrape missing nocd_workers_busy")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Mid-run state: the lone worker is busy.
+	if v := metricValue(t, scrapeMetrics(t, ts), "nocd_workers_busy"); v != 1 {
+		t.Errorf("workers busy mid-run = %v, want 1", v)
+	}
+
+	close(g.release)
+	waitState(t, ts, sr.ID, StateDone)
+	if v := metricValue(t, scrapeMetrics(t, ts), "nocd_workers_busy"); v != 0 {
+		t.Errorf("workers busy after drain = %v, want 0", v)
+	}
+	shutdownNow(t, s)
+}
+
+// TestHealthzBuildInfo: /healthz now reports liveness plus build
+// identity and uptime.
+func TestHealthzBuildInfo(t *testing.T) {
+	s := New(Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer shutdownNow(t, s)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz content-type = %q", ct)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" {
+		t.Errorf("status = %q", hz.Status)
+	}
+	if hz.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", hz.UptimeSeconds)
+	}
+	if hz.GoVersion == "" {
+		t.Error("go_version empty")
+	}
+	// Version/Revision are empty under `go test` (no VCS stamping) — the
+	// fields just have to round-trip, which Decode above already proved.
+}
+
+// lockedBuffer lets the test read log output that handler goroutines
+// write concurrently.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestStructuredRequestLogs: every request gets a log record carrying a
+// request id, and the job lifecycle (submitted → started → finished)
+// logs under the job id.
+func TestStructuredRequestLogs(t *testing.T) {
+	var buf lockedBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	g := newStubRunner()
+	s := newServer(Options{Workers: 1, Logger: logger}, g.run)
+	ts := httptest.NewServer(s)
+
+	sr, _ := postSpec(t, ts, tinySpecBody(34))
+	<-g.started
+	close(g.release)
+	waitState(t, ts, sr.ID, StateDone)
+
+	// A malformed submission logs with its 400 status too.
+	if _, resp := postSpec(t, ts, `{"bogus"`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec = %d", resp.StatusCode)
+	}
+
+	ts.Close() // waits for in-flight handlers, so the log is complete
+	shutdownNow(t, s)
+
+	got := buf.String()
+	for _, want := range []string{
+		"msg=http",
+		"req=r1",
+		`route="POST /v1/campaigns"`,
+		"status=202",
+		"status=400",
+		`msg="campaign submitted"`,
+		`msg="job started"`,
+		`msg="job finished"`,
+		"job=" + sr.ID,
+		"state=done",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("log missing %q in:\n%s", want, got)
+		}
+	}
+}

@@ -187,9 +187,17 @@ func (s *Server) runJob(j *job) {
 		j.finish(StateCanceled, nil, false, context.Cause(j.ctx))
 		return
 	}
-	if !j.setRunning(time.Now()) {
+	now := time.Now()
+	if !j.setRunning(now) {
 		return
 	}
+	wait := now.Sub(j.submitted)
+	s.obs.queueWait.Observe(wait.Seconds())
+	s.obs.workersBusy.Inc()
+	defer s.obs.workersBusy.Dec()
+	s.log.Info("job started",
+		"job", j.id, "points", j.points, "reps_total", j.repsTotal,
+		"queue_wait_ms", float64(wait.Microseconds())/1000)
 	report, err := s.run(j.ctx, j.spec)
 	switch {
 	case err != nil:

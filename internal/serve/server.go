@@ -24,9 +24,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftnoc/internal/campaign"
@@ -50,6 +53,10 @@ type Options struct {
 	// beyond it the oldest finished jobs are forgotten. Their results
 	// may still be served from the cache on resubmission.
 	MaxJobs int
+	// Logger receives the daemon's structured records: per-request logs
+	// (with request ids), job lifecycle transitions, and replicate
+	// failures surfaced by the campaign engine. Nil discards everything.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +75,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return o
 }
 
@@ -83,6 +93,10 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *cache
 	start time.Time
+	log   *slog.Logger
+	obs   *serverObs
+
+	reqSeq atomic.Uint64 // request-id source for the instrument middleware
 
 	mu       sync.Mutex
 	draining bool
@@ -104,6 +118,8 @@ func newServer(opts Options, run runner) *Server {
 		run:    run,
 		cache:  newCache(opts.CacheBytes),
 		start:  time.Now(),
+		log:    opts.Logger,
+		obs:    newServerObs(),
 		jobs:   make(map[string]*job),
 		byHash: make(map[string]*job),
 		jobc:   make(chan *job, opts.QueueDepth),
@@ -201,6 +217,10 @@ func (s *Server) newJobLocked(hash string, spec campaign.Spec, points, repsTotal
 		onFinish:  s.noteFinished,
 	}
 	spec.Progress = progressSink{j: j}
+	// Failed replicates log their grid coordinates and seed under this
+	// job's id (campaign.Spec.Logger is excluded from the canonical hash,
+	// so attaching it cannot perturb cache identity).
+	spec.Logger = s.log.With("job", j.id)
 	j.spec = spec
 	return j
 }
@@ -225,8 +245,23 @@ func (s *Server) lookup(id string) (*job, bool) {
 
 // noteFinished retires a job from the coalescing index into the
 // retention queue; job.finish calls it exactly once per job, with no
-// locks held.
+// locks held. Exactly-once also makes it the one sound place to count
+// terminal transitions and observe run durations.
 func (s *Server) noteFinished(j *job) {
+	snap := j.snapshot()
+	s.obs.jobsFinished.With(string(snap.State)).Inc()
+	if !snap.Started.IsZero() && !snap.Finished.IsZero() {
+		s.obs.runDuration.Observe(snap.Finished.Sub(snap.Started).Seconds())
+	}
+	errText := ""
+	if snap.Err != nil {
+		errText = snap.Err.Error()
+	}
+	s.log.Info("job finished",
+		"job", j.id, "state", snap.State, "cached", snap.Cached,
+		"aborted", snap.Aborted, "reps_done", snap.RepsDone,
+		"reps_total", snap.RepsTotal, "error", errText)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.byHash[j.hash] == j {

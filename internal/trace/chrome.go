@@ -20,6 +20,15 @@ import (
 //   - every other kind becomes a thread-scoped instant ("i") event with
 //     the packet id, VC, sequence number and aux detail in args.
 //
+// Campaign span kinds (CampaignBegin … CampaignRepEnd) are timeline
+// events rather than simulation events: their timestamps are wall-clock
+// microseconds, and they render on three dedicated processes far above
+// any router id — CampaignLanePID holds the campaign-wide span,
+// PointLanePID one thread per grid point (stragglers appear as the long
+// lanes), and WorkerLanePID one thread per pool worker (gaps are idle
+// workers). Replicate spans carry the seed, the kernel's ticked/skipped
+// counters and the terminal status in args.
+//
 // Process and thread names are emitted lazily as metadata events the
 // first time a (node) or (node, port) appears; override the generic
 // labels with ProcessName / ThreadName before the first event.
@@ -36,7 +45,16 @@ type ChromeTrace struct {
 	first   bool
 	procs   map[int32]bool
 	threads map[int64]bool
+	lanes   map[int64]bool // campaign timeline (pid, tid) pairs already named
 }
+
+// Campaign timeline process ids (see the type comment). They sit far
+// above any realistic router id so a mixed trace cannot collide.
+const (
+	CampaignLanePID = 1 << 20
+	PointLanePID    = 1<<20 + 1
+	WorkerLanePID   = 1<<20 + 2
+)
 
 // NewChromeTrace creates a Chrome trace_event exporter writing to w.
 func NewChromeTrace(w io.Writer) *ChromeTrace {
@@ -46,6 +64,7 @@ func NewChromeTrace(w io.Writer) *ChromeTrace {
 		first:   true,
 		procs:   make(map[int32]bool),
 		threads: make(map[int64]bool),
+		lanes:   make(map[int64]bool),
 	}
 	c.writeString(`{"displayTimeUnit":"ms","traceEvents":[`)
 	return c
@@ -97,9 +116,79 @@ func (c *ChromeTrace) meta(node int32, port int8) {
 	}
 }
 
+// laneMeta names a campaign timeline (pid, tid) pair the first time it
+// appears.
+func (c *ChromeTrace) laneMeta(pid, tid int64, process, thread string) {
+	key := pid<<32 | tid
+	if c.lanes[key] {
+		return
+	}
+	c.lanes[key] = true
+	c.sep()
+	c.writeString(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`, pid, strconv.Quote(process)))
+	c.sep()
+	c.writeString(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`, pid, tid, strconv.Quote(thread)))
+}
+
+// emitCampaign renders one campaign span event on its timeline lane.
+func (c *ChromeTrace) emitCampaign(e Event) {
+	var (
+		pid, tid int64
+		ph       byte
+		name     string
+		args     string
+	)
+	switch e.Kind {
+	case CampaignBegin:
+		pid, tid, ph = CampaignLanePID, 1, 'B'
+		c.laneMeta(pid, tid, "campaign", "schedule")
+		name = "campaign"
+		args = fmt.Sprintf(`{"points":%d,"reps_total":%d}`, e.Aux, e.Aux2)
+	case CampaignEnd:
+		pid, tid, ph = CampaignLanePID, 1, 'E'
+		name = "campaign"
+		args = fmt.Sprintf(`{"reps_run":%d,"aborted":%t}`, e.Aux, e.Aux2 != 0)
+	case CampaignPointBegin:
+		pid, tid, ph = PointLanePID, int64(e.Aux)+1, 'B'
+		c.laneMeta(pid, tid, "points", fmt.Sprintf("point %d", e.Aux))
+		name = fmt.Sprintf("point %d", e.Aux)
+		args = fmt.Sprintf(`{"point":%d}`, e.Aux)
+	case CampaignPointEnd:
+		pid, tid, ph = PointLanePID, int64(e.Aux)+1, 'E'
+		name = fmt.Sprintf("point %d", e.Aux)
+		args = fmt.Sprintf(`{"point":%d,"failed_reps":%d}`, e.Aux, e.Aux2)
+	case CampaignRepBegin:
+		pid, tid, ph = WorkerLanePID, int64(e.Node)+1, 'B'
+		c.laneMeta(pid, tid, "workers", fmt.Sprintf("worker %d", e.Node))
+		name = fmt.Sprintf("p%d r%d", e.Aux, e.PID)
+		args = fmt.Sprintf(`{"point":%d,"rep":%d,"seed":%d}`, e.Aux, e.PID, e.Aux2)
+	case CampaignRepEnd:
+		pid, tid, ph = WorkerLanePID, int64(e.Node)+1, 'E'
+		status := "ok"
+		switch e.Seq {
+		case RepStatusError:
+			status = "error"
+		case RepStatusAborted:
+			status = "aborted"
+		}
+		name = fmt.Sprintf("r%d", e.PID)
+		args = fmt.Sprintf(`{"rep":%d,"kernel_ticked":%d,"kernel_skipped":%d,"status":%q}`,
+			e.PID, e.Aux, e.Aux2, status)
+	}
+	c.sep()
+	c.writeString(fmt.Sprintf(`{"ph":"%c","name":%s,"pid":%d,"tid":%d,"ts":%d,"args":%s}`,
+		ph, strconv.Quote(name), pid, tid, e.Cycle, args))
+}
+
 // Emit implements Sink.
 func (c *ChromeTrace) Emit(e Event) {
 	if c.err != nil {
+		return
+	}
+	switch e.Kind {
+	case CampaignBegin, CampaignEnd, CampaignPointBegin, CampaignPointEnd,
+		CampaignRepBegin, CampaignRepEnd:
+		c.emitCampaign(e)
 		return
 	}
 	node := e.Node

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A gauge registered after sampling has begun simply joins subsequent
+// sampling points — earlier lines are not retroactively rewritten and
+// the registration order (hence the line order) stays deterministic.
+func TestMetricsRegisterAfterFirstTick(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics(&buf, 5)
+	m.Register(0, "early", func() float64 { return 1 })
+	m.Tick(5)
+	m.Register(1, "late", func() float64 { return 2 })
+	m.Tick(10)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 samples (early@5, early@10, late@10), got %d: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"metric":"early"`) || !strings.Contains(lines[0], `"cycle":5`) {
+		t.Errorf("line 0 wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"metric":"early"`) || !strings.Contains(lines[2], `"metric":"late"`) {
+		t.Errorf("registration order not preserved at cycle 10: %q", lines[1:])
+	}
+}
+
+// Close is idempotent: the second call reports the same error state and
+// must not panic or duplicate output.
+func TestMetricsCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics(&buf, 1)
+	m.Register(0, "g", func() float64 { return 3 })
+	m.Tick(1)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("second Close wrote %d more bytes", buf.Len()-n)
+	}
+}
+
+// errWriter fails after the first write, to exercise sticky errors.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestMetricsStickyWriteError(t *testing.T) {
+	m := NewMetrics(&errWriter{}, 1)
+	// A payload larger than the 64 KiB buffer forces flushes during Tick.
+	big := strings.Repeat("x", 1<<16)
+	m.Register(0, big, func() float64 { return 0 })
+	m.Register(1, big, func() float64 { return 0 })
+	for c := uint64(1); c <= 4; c++ {
+		m.Tick(c)
+	}
+	if err := m.Close(); err == nil {
+		t.Fatal("Close must surface the write error")
+	}
+}
+
+// Interval 0 means "sample every cycle", including cycle 0 — the same
+// contract Run relies on when the caller passes -metrics-every 0.
+func TestMetricsIntervalZeroSamplesEveryCycle(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics(&buf, 0)
+	m.Register(0, "g", func() float64 { return 1 })
+	for c := uint64(0); c < 3; c++ {
+		m.Tick(c)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 samples, got %d: %q", len(lines), buf.String())
+	}
+}
+
+// A registry with no gauges must still tick and close cleanly.
+func TestMetricsNoGauges(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics(&buf, 1)
+	m.Tick(1)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("gauge-less registry wrote %q", buf.String())
+	}
+}

@@ -47,6 +47,12 @@ func (s *NDJSON) Emit(e Event) {
 	b = strconv.AppendUint(b, uint64(e.Seq), 10)
 	b = append(b, `,"aux":`...)
 	b = strconv.AppendUint(b, e.Aux, 10)
+	// aux2 appears only when set, so the simulator kinds' output (all
+	// aux2-free) is byte-identical to the pre-aux2 format.
+	if e.Aux2 != 0 {
+		b = append(b, `,"aux2":`...)
+		b = strconv.AppendUint(b, e.Aux2, 10)
+	}
 	b = append(b, '}', '\n')
 	s.buf = b
 	if _, err := s.w.Write(b); err != nil {

@@ -92,7 +92,40 @@ const (
 	// evictions — so a conservation checker can account for every packet.
 	FlitDropped
 
+	// Campaign span-timeline kinds (package campaign). Unlike every kind
+	// above, their Cycle field carries wall-clock microseconds since the
+	// campaign started, not a simulated cycle — they describe the
+	// engine's schedule, not the simulated network — so the hierarchy
+	// campaign → point → replicate renders as nested spans in the Chrome
+	// exporter (worker lanes included; see ChromeTrace).
+	//
+	// CampaignBegin / CampaignEnd bracket the whole run. Begin: Aux is
+	// the point count, Aux2 the total replicate count. End: Aux is the
+	// replicates that ran, Aux2 is 1 if the campaign was aborted.
+	CampaignBegin
+	CampaignEnd
+	// CampaignPointBegin / CampaignPointEnd bracket a grid point's wall
+	// window, from its first replicate's dispatch to its last
+	// replicate's retirement. Aux is the point index; End's Aux2 counts
+	// the point's failed replicates.
+	CampaignPointBegin
+	CampaignPointEnd
+	// CampaignRepBegin / CampaignRepEnd bracket one replicate on its
+	// worker: Node is the worker index, PID the replicate index. Begin:
+	// Aux is the point index, Aux2 the derived simulation seed. End: Aux
+	// and Aux2 carry the kernel's ticked/skipped actor-tick counters,
+	// and Seq is a RepStatus* code.
+	CampaignRepBegin
+	CampaignRepEnd
+
 	numKinds
+)
+
+// Seq values for CampaignRepEnd.
+const (
+	RepStatusOK      uint8 = 0
+	RepStatusError   uint8 = 1
+	RepStatusAborted uint8 = 2
 )
 
 // String implements fmt.Stringer with stable kebab-case names (they are
@@ -141,6 +174,18 @@ func (k Kind) String() string {
 		return "campaign-point-done"
 	case FlitDropped:
 		return "flit-dropped"
+	case CampaignBegin:
+		return "campaign-begin"
+	case CampaignEnd:
+		return "campaign-end"
+	case CampaignPointBegin:
+		return "campaign-point-begin"
+	case CampaignPointEnd:
+		return "campaign-point-end"
+	case CampaignRepBegin:
+		return "campaign-rep-begin"
+	case CampaignRepEnd:
+		return "campaign-rep-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -203,6 +248,7 @@ type Event struct {
 	Seq   uint8 // flit sequence within its packet
 	PID   uint64
 	Aux   uint64 // kind-specific detail (see the Kind docs)
+	Aux2  uint64 // second kind-specific detail; zero for most kinds
 }
 
 // Sink consumes events. Implementations must not assume any ordering

@@ -37,6 +37,13 @@ func TestKindStringsStable(t *testing.T) {
 
 		CampaignPointStart: "campaign-point-start",
 		CampaignPointDone:  "campaign-point-done",
+
+		CampaignBegin:      "campaign-begin",
+		CampaignEnd:        "campaign-end",
+		CampaignPointBegin: "campaign-point-begin",
+		CampaignPointEnd:   "campaign-point-end",
+		CampaignRepBegin:   "campaign-rep-begin",
+		CampaignRepEnd:     "campaign-rep-end",
 	}
 	for k := Kind(1); k < numKinds; k++ {
 		if w, ok := want[k]; !ok || k.String() != w {
@@ -161,6 +168,23 @@ func TestNDJSONFormat(t *testing.T) {
 	}
 }
 
+func TestNDJSONAux2OnlyWhenSet(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSON(&buf)
+	s.Emit(Event{Cycle: 1, Kind: Retransmit, Node: 3, Port: 2, VC: 1})
+	s.Emit(Event{Cycle: 2, Kind: CampaignRepBegin, Node: 0, Port: -1, VC: -1, Aux: 4, Aux2: 99})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if strings.Contains(lines[0], "aux2") {
+		t.Errorf("aux2-free event must not serialise the field: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"aux2":99`) {
+		t.Errorf("aux2 missing: %s", lines[1])
+	}
+}
+
 func TestChromeTraceValidJSON(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewChromeTrace(&buf)
@@ -204,6 +228,64 @@ func TestChromeTraceValidJSON(t *testing.T) {
 	}
 	if phases["retransmit"] != "i" || phases["flit-buffered"] != "i" {
 		t.Fatalf("point events must be instants, got %v", phases)
+	}
+}
+
+func TestChromeCampaignTimelineLanes(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChromeTrace(&buf)
+	c.Emit(Event{Cycle: 0, Kind: CampaignBegin, Node: -1, Aux: 2, Aux2: 2})
+	c.Emit(Event{Cycle: 1, Kind: CampaignPointBegin, Node: -1, Aux: 0})
+	c.Emit(Event{Cycle: 1, Kind: CampaignRepBegin, Node: 0, Aux: 0, PID: 0, Aux2: 77})
+	c.Emit(Event{Cycle: 9, Kind: CampaignRepEnd, Node: 0, PID: 0, Aux: 100, Aux2: 40, Seq: RepStatusOK})
+	c.Emit(Event{Cycle: 9, Kind: CampaignPointEnd, Node: -1, Aux: 0, Aux2: 0})
+	c.Emit(Event{Cycle: 10, Kind: CampaignEnd, Node: -1, Aux: 2})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			TS   uint64         `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Each lane must open and close on the same (pid, tid), and the
+	// replicate end must carry the kernel stats.
+	type lane struct{ pid, tid int64 }
+	open := map[lane]int{}
+	var sawRepStats bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			open[lane{e.PID, e.TID}]++
+		case "E":
+			open[lane{e.PID, e.TID}]--
+			if e.PID == WorkerLanePID {
+				if e.Args["kernel_ticked"] != float64(100) || e.Args["kernel_skipped"] != float64(40) || e.Args["status"] != "ok" {
+					t.Errorf("rep-end args wrong: %v", e.Args)
+				}
+				sawRepStats = true
+			}
+		}
+	}
+	for l, n := range open {
+		if n != 0 {
+			t.Errorf("lane %+v has %d unmatched span boundaries", l, n)
+		}
+	}
+	if !sawRepStats {
+		t.Error("no replicate end span on the worker lane")
+	}
+	if len(open) != 3 {
+		t.Errorf("want spans on 3 lanes (campaign, point, worker), got %d", len(open))
 	}
 }
 

@@ -22,21 +22,25 @@ if [[ "${1:-}" == "--smoke" ]]; then
     # One iteration of everything: compile + run each benchmark body.
     go test ./internal/network -run '^$' -bench 'BenchmarkKernel' -benchtime=1x -benchmem
 
-    # Allocation guard. 200 measured cycles after the benchmark's own
+    # Allocation guard. 200 measured cycles after each benchmark's own
     # 2000-cycle warm-up is enough for any per-cycle allocation to show
-    # up as allocs/op >= 1 (Go reports the floor of the mean).
-    line=$(go test ./internal/network -run '^$' -bench 'BenchmarkKernelSteady$' \
-        -benchtime=200x -benchmem | grep '^BenchmarkKernelSteady')
-    allocs=$(awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' <<<"$line")
-    if [[ -z "$allocs" ]]; then
-        echo "bench.sh: could not parse allocs/op from: $line" >&2
-        exit 1
-    fi
-    if [[ "$allocs" != "0" ]]; then
-        echo "bench.sh: FAIL — BenchmarkKernelSteady allocates ($allocs allocs/op); the steady-state hot path must be allocation-free" >&2
-        exit 1
-    fi
-    echo "bench.sh: OK — BenchmarkKernelSteady is allocation-free"
+    # up as allocs/op >= 1 (Go reports the floor of the mean). The
+    # Metrics variant guards the zero-cost-when-unscraped observability
+    # contract: gauges registered, sampling interval never firing.
+    for bench in BenchmarkKernelSteady BenchmarkKernelSteadyMetrics; do
+        line=$(go test ./internal/network -run '^$' -bench "${bench}\$" \
+            -benchtime=200x -benchmem | grep "^${bench}")
+        allocs=$(awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' <<<"$line")
+        if [[ -z "$allocs" ]]; then
+            echo "bench.sh: could not parse allocs/op from: $line" >&2
+            exit 1
+        fi
+        if [[ "$allocs" != "0" ]]; then
+            echo "bench.sh: FAIL — ${bench} allocates ($allocs allocs/op); the steady-state hot path must be allocation-free" >&2
+            exit 1
+        fi
+        echo "bench.sh: OK — ${bench} is allocation-free"
+    done
     exit 0
 fi
 

@@ -2,8 +2,9 @@
 # End-to-end smoke test for the nocd daemon: build it, start it on a
 # random port, run a tiny 2-point campaign over HTTP, stream its SSE
 # progress to completion, then resubmit the identical spec and assert a
-# cache hit with byte-identical results. Finishes with a graceful
-# SIGTERM shutdown.
+# cache hit with byte-identical results — scraping /metrics before and
+# after the resubmit to prove the Prometheus counters track the same
+# events. Finishes with a graceful SIGTERM shutdown.
 #
 # Used by CI; runnable locally from the repo root: scripts/nocd_smoke.sh
 set -euo pipefail
@@ -18,6 +19,11 @@ cleanup() {
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+# metric FILE SERIES — extract one sample value from a text-format scrape.
+metric() {
+    awk -v s="$2" 'index($0, s " ") == 1 {print $NF}' "$1"
+}
 
 echo "== build nocd"
 go build -o "$workdir/nocd" ./cmd/nocd
@@ -54,6 +60,24 @@ jq -e '.state == "done" and .cached == false and (.result | length) == 2' "$work
     || { echo "unexpected status:"; jq . "$workdir/status1.json"; exit 1; }
 jq -c '.result' "$workdir/status1.json" >"$workdir/result1.json"
 
+echo "== healthz reports build info"
+curl -sf "http://$addr/healthz" >"$workdir/healthz.json"
+jq -e '.status == "ok" and .go_version != "" and .uptime_seconds >= 0' "$workdir/healthz.json" >/dev/null \
+    || { echo "unexpected healthz document:"; cat "$workdir/healthz.json"; exit 1; }
+
+echo "== scrape /metrics (baseline before the cached resubmit)"
+curl -sf "http://$addr/metrics" >"$workdir/metrics1.txt"
+grep -q '^# TYPE nocd_jobs_completed_total counter$' "$workdir/metrics1.txt" \
+    || { echo "scrape missing nocd_jobs_completed_total TYPE header"; exit 1; }
+for fam in nocd_http_requests_total nocd_queue_depth nocd_jobs nocd_cache_hits_total \
+           nocd_sse_subscribers nocd_job_run_seconds_bucket nocd_build_info; do
+    grep -q "^$fam" "$workdir/metrics1.txt" || { echo "scrape missing family $fam"; exit 1; }
+done
+done1=$(metric "$workdir/metrics1.txt" 'nocd_jobs_completed_total{state="done"}')
+hits1=$(metric "$workdir/metrics1.txt" 'nocd_cache_hits_total')
+[[ "$done1" == "1" ]] || { echo "jobs_completed_total{done} = $done1, want 1"; exit 1; }
+echo "   jobs done=$done1 cache hits=$hits1"
+
 echo "== resubmit the identical spec — must be a cache hit"
 curl -sf -X POST -d "$body" "http://$addr/v1/campaigns" >"$workdir/sub2.json"
 jq -e '.cached == true and .state == "done"' "$workdir/sub2.json" >/dev/null \
@@ -68,6 +92,18 @@ cmp -s "$workdir/result1.json" "$workdir/result2.json" \
 jq -e '.cache.hits >= 1 and .cache.misses >= 1' <(curl -sf "http://$addr/v1/stats") >/dev/null \
     || { echo "cache counters missing the hit/miss"; exit 1; }
 echo "   cache hit, result bytes identical"
+
+echo "== /metrics counters moved across the cached resubmit"
+curl -sf "http://$addr/metrics" >"$workdir/metrics2.txt"
+done2=$(metric "$workdir/metrics2.txt" 'nocd_jobs_completed_total{state="done"}')
+hits2=$(metric "$workdir/metrics2.txt" 'nocd_cache_hits_total')
+[[ "$done2" == "2" ]] || { echo "jobs_completed_total{done} = $done2 after resubmit, want 2"; exit 1; }
+awk -v a="$hits1" -v b="$hits2" 'BEGIN {exit !(b > a)}' \
+    || { echo "cache_hits_total did not increment: $hits1 -> $hits2"; exit 1; }
+# /v1/stats and /metrics must agree on the cache hit counter.
+jq -e --argjson hits "$hits2" '.cache.hits == $hits' <(curl -sf "http://$addr/v1/stats") >/dev/null \
+    || { echo "/v1/stats and /metrics disagree on cache hits"; exit 1; }
+echo "   jobs done $done1->$done2, cache hits $hits1->$hits2, stats agree"
 
 echo "== graceful shutdown"
 kill -TERM "$nocd_pid"
