@@ -1,9 +1,9 @@
 // Command benchkernel is the kernel performance harness behind
-// scripts/bench.sh. It times the Fig 5/6 quick workloads under the
-// quiescent scheduler, the -sim-naive scheduler, and (optionally) a
-// baseline git revision's nocsim binary, runs the kernel
-// microbenchmarks, and writes the combined measurements to
-// BENCH_kernel.json — the file that seeds the repo's perf trajectory.
+// scripts/bench.sh. It times the Fig 5/6 quick workloads under every
+// scheduler (naive, quiescent, event) and (optionally) a baseline git
+// revision's nocsim binary, runs the kernel microbenchmarks, and writes
+// the combined measurements to BENCH_kernel.json — the file that seeds
+// the repo's perf trajectory.
 //
 //	benchkernel -out BENCH_kernel.json            # current tree only
 //	benchkernel -baseline HEAD~1                  # plus speedup vs a ref
@@ -65,22 +65,24 @@ func workloads() []workload {
 	}
 }
 
-// measurement is one timed run of a workload.
+// measurement is one timed run of a workload under one scheduler.
 type measurement struct {
-	WallMS       float64 `json:"wall_ms"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	SkippedRatio float64 `json:"skipped_ratio,omitempty"`
+	WallMS         float64 `json:"wall_ms"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	SkippedRatio   float64 `json:"skipped_ratio,omitempty"`
+	Events         uint64  `json:"events_dispatched,omitempty"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
 }
 
-// workloadResult is a workload's JSON record.
+// workloadResult is a workload's JSON record: one measurement per
+// scheduler, keyed by kernel name, each carrying its own
+// speedup_vs_naive (the naive entry's is 1).
 type workloadResult struct {
-	Name              string       `json:"name"`
-	Cycles            uint64       `json:"cycles"`
-	Quiescent         measurement  `json:"quiescent"`
-	Naive             measurement  `json:"naive"`
-	Baseline          *measurement `json:"baseline,omitempty"`
-	SpeedupVsNaive    float64      `json:"speedup_vs_naive"`
-	SpeedupVsBaseline float64      `json:"speedup_vs_baseline,omitempty"`
+	Name              string                 `json:"name"`
+	Cycles            uint64                 `json:"cycles"`
+	Kernels           map[string]measurement `json:"kernels"`
+	Baseline          *measurement           `json:"baseline,omitempty"`
+	SpeedupVsBaseline float64                `json:"speedup_vs_baseline,omitempty"`
 }
 
 // benchResult is one parsed `go test -bench` line.
@@ -121,19 +123,25 @@ func main() {
 		defer cleanup()
 	}
 
+	kernels := []ftnoc.KernelKind{ftnoc.KernelNaive, ftnoc.KernelQuiescent, ftnoc.KernelEvent}
 	for _, w := range workloads() {
 		fmt.Fprintf(os.Stderr, "benchkernel: %s\n", w.name)
-		r := workloadResult{Name: w.name}
-		r.Quiescent, r.Cycles = timeInProcess(w.cfg, false, *reps)
-		r.Naive, _ = timeInProcess(w.cfg, true, *reps)
-		if r.Naive.WallMS > 0 {
-			r.SpeedupVsNaive = round3(r.Quiescent.CyclesPerSec / r.Naive.CyclesPerSec)
+		r := workloadResult{Name: w.name, Kernels: map[string]measurement{}}
+		for _, k := range kernels {
+			m, cycles := timeInProcess(w.cfg, k, *reps)
+			r.Cycles = cycles
+			if naive := r.Kernels[ftnoc.KernelNaive.String()]; naive.WallMS > 0 {
+				m.SpeedupVsNaive = round3(m.CyclesPerSec / naive.CyclesPerSec)
+			} else if k == ftnoc.KernelNaive {
+				m.SpeedupVsNaive = 1
+			}
+			r.Kernels[k.String()] = m
 		}
 		if baseBin != "" {
 			m := timeBinary(baseBin, w.args, r.Cycles, *reps)
 			r.Baseline = &m
-			if m.WallMS > 0 {
-				r.SpeedupVsBaseline = round3(r.Quiescent.CyclesPerSec / m.CyclesPerSec)
+			if ev := r.Kernels[ftnoc.KernelEvent.String()]; m.WallMS > 0 {
+				r.SpeedupVsBaseline = round3(ev.CyclesPerSec / m.CyclesPerSec)
 			}
 		}
 		rep.Workloads = append(rep.Workloads, r)
@@ -163,8 +171,8 @@ func main() {
 // timeInProcess runs the workload reps times in this process and keeps
 // the fastest run (least scheduling noise); results are deterministic so
 // every rep simulates the identical cycle count.
-func timeInProcess(cfg ftnoc.Config, naive bool, reps int) (measurement, uint64) {
-	cfg.NaiveKernel = naive
+func timeInProcess(cfg ftnoc.Config, kind ftnoc.KernelKind, reps int) (measurement, uint64) {
+	cfg.Kernel = kind
 	var best measurement
 	var cycles uint64
 	for i := 0; i < reps; i++ {
@@ -176,13 +184,14 @@ func timeInProcess(cfg ftnoc.Config, naive bool, reps int) (measurement, uint64)
 		start := time.Now()
 		res := net.Run()
 		wall := time.Since(start)
-		ticked, skipped := net.KernelStats()
+		ks := net.KernelStats()
 		m := measurement{
 			WallMS:       round3(float64(wall.Microseconds()) / 1e3),
 			CyclesPerSec: round3(float64(res.Cycles) / wall.Seconds()),
+			Events:       ks.Events,
 		}
-		if total := ticked + skipped; total > 0 {
-			m.SkippedRatio = round3(float64(skipped) / float64(total))
+		if total := ks.Ticked + ks.Skipped; total > 0 {
+			m.SkippedRatio = round3(float64(ks.Skipped) / float64(total))
 		}
 		cycles = res.Cycles
 		if best.WallMS == 0 || m.WallMS < best.WallMS {

@@ -53,7 +53,8 @@ func main() {
 	eventsOut := flag.String("events-out", "", "stream structured events to an NDJSON file")
 	metricsOut := flag.String("metrics-out", "", "stream sampled per-router metrics to an NDJSON file")
 	metricsEvery := flag.Uint64("metrics-every", 100, "metrics sampling interval in cycles")
-	simNaive := flag.Bool("sim-naive", false, "disable kernel quiescence (tick every actor every cycle); results are identical, only slower")
+	kernelName := flag.String("kernel", "event", "simulation scheduler: naive, quiescent or event; results are identical, only speed differs")
+	simNaive := flag.Bool("sim-naive", false, "deprecated alias for -kernel naive")
 	check := flag.Bool("check", false, "run the runtime invariant checker alongside the simulation; exit non-zero on any violation")
 	checkEvery := flag.Uint64("check-every", 1, "with -check, audit network state every N cycles (1 = every cycle)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -186,10 +187,15 @@ func main() {
 	// the default handling and kills the process instead of being ignored
 	// while the simulator finishes the abort path.
 	context.AfterFunc(ctx, stop)
-	// NaiveKernel is scheduling-only (excluded from canonical JSON), so it
-	// is applied after any -config load rather than read from it. The
+	// Kernel choice is scheduling-only (excluded from canonical JSON), so
+	// it is applied after any -config load rather than read from it. The
 	// invariant checker is likewise an observability attachment.
-	cfg.NaiveKernel = *simNaive
+	if cfg.Kernel, err = ftnoc.ParseKernel(*kernelName); err != nil {
+		fatal(err)
+	}
+	if *simNaive {
+		cfg.Kernel = ftnoc.KernelNaive
+	}
 	var chk *ftnoc.InvariantChecker
 	if *check {
 		chk = ftnoc.NewInvariantChecker(ftnoc.InvariantConfig{Every: *checkEvery})
@@ -228,7 +234,7 @@ func main() {
 		cfg.Pattern, cfg.InjectionRate, cfg.PacketSize, cfg.Routing, cfg.Protection)
 	fmt.Printf("delivered:      %d messages in %d cycles (stalled: %v, aborted: %v)\n",
 		res.Delivered, res.Cycles, res.Stalled, res.Aborted)
-	fmt.Printf("kernel:         %s\n", kernelSummary(net, res.Cycles, wall))
+	fmt.Printf("kernel:         %s\n", kernelSummary(net, cfg.Kernel, res.Cycles, wall))
 	fmt.Printf("latency:        avg %.2f, p95 %.0f, max %.0f cycles\n", res.AvgLatency, res.P95Latency, res.MaxLatency)
 	fmt.Printf("throughput:     %s\n", res.Throughput)
 	fmt.Printf("energy:         %.4f nJ/message\n", ftnoc.EnergyPerMessageNJ(res))
@@ -291,25 +297,24 @@ func main() {
 	}
 }
 
-// kernelSummary renders the end-of-run scheduling line: simulated
-// cycles per wall-clock second and the fraction of actor ticks the
-// quiescence machinery skipped.
-func kernelSummary(net *ftnoc.Network, cycles uint64, wall time.Duration) string {
-	ticked, skipped := net.KernelStats()
+// kernelSummary renders the end-of-run scheduling line: the scheduler
+// in use, simulated cycles per wall-clock second, the fraction of actor
+// ticks elided relative to the naive schedule, and (for the event
+// kernel) how many calendar events were dispatched.
+func kernelSummary(net *ftnoc.Network, kind ftnoc.KernelKind, cycles uint64, wall time.Duration) string {
+	ks := net.KernelStats()
 	rate := "n/a"
 	if wall > 0 {
 		rate = fmt.Sprintf("%.0f cycles/sec", float64(cycles)/wall.Seconds())
 	}
-	mode := ""
-	if net.Kernel().Naive() {
-		mode = ", naive scheduling"
+	s := fmt.Sprintf("%v, %s (wall %v)", kind, rate, wall.Round(time.Millisecond))
+	if total := ks.Ticked + ks.Skipped; total > 0 {
+		s += fmt.Sprintf(", %.1f%% actor ticks skipped", 100*float64(ks.Skipped)/float64(total))
 	}
-	total := ticked + skipped
-	if total == 0 {
-		return fmt.Sprintf("%s (wall %v)%s", rate, wall.Round(time.Millisecond), mode)
+	if ks.Events > 0 {
+		s += fmt.Sprintf(", %d events dispatched", ks.Events)
 	}
-	return fmt.Sprintf("%s (wall %v), %.1f%% actor ticks skipped%s",
-		rate, wall.Round(time.Millisecond), 100*float64(skipped)/float64(total), mode)
+	return s
 }
 
 // parsePIDs parses the -trace flag: a comma-separated packet ID list.

@@ -45,6 +45,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "replicates per point (distinct derived seeds; metrics print mean ± 95% CI)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	kernelName := flag.String("kernel", "event", "simulation scheduler: naive, quiescent or event; results are identical, only speed differs")
 	check := flag.Bool("check", false, "run the invariant checker inside every replicate; violations fail the replicate")
 	csvOut := flag.String("csv", "", "also write the full result table to this CSV file")
 	ndjsonOut := flag.String("ndjson", "", "also write the per-replicate result table to this NDJSON file")
@@ -80,6 +81,11 @@ func main() {
 	}
 	protection, err := ftnoc.ParseProtection(*protName)
 	if err != nil {
+		fatal(err)
+	}
+	// Scheduling-only: kernel choice never changes a replicate's Results,
+	// so it is excluded from the spec's canonical hash.
+	if cfg.Kernel, err = ftnoc.ParseKernel(*kernelName); err != nil {
 		fatal(err)
 	}
 
@@ -178,10 +184,10 @@ func main() {
 
 // kernelSummary aggregates scheduler throughput across every completed
 // replicate: simulated cycles per wall-clock second (summed over the
-// parallel workers) and the fraction of actor ticks the quiescence
-// machinery skipped.
+// parallel workers), the fraction of actor ticks elided relative to the
+// naive schedule, and calendar events dispatched (event kernel only).
 func kernelSummary(report *campaign.Report) string {
-	var cycles, ticked, skipped uint64
+	var cycles, ticked, skipped, events uint64
 	for _, p := range report.Points {
 		for _, rr := range p.Reps {
 			if rr.Err != nil || rr.Seed == 0 {
@@ -190,6 +196,7 @@ func kernelSummary(report *campaign.Report) string {
 			cycles += rr.Results.Cycles
 			ticked += rr.KernelTicked
 			skipped += rr.KernelSkipped
+			events += rr.KernelEvents
 		}
 	}
 	rate := "n/a"
@@ -199,8 +206,12 @@ func kernelSummary(report *campaign.Report) string {
 	if ticked+skipped == 0 {
 		return rate
 	}
-	return fmt.Sprintf("%s aggregate, %.1f%% actor ticks skipped",
+	s := fmt.Sprintf("%s aggregate, %.1f%% actor ticks skipped",
 		rate, 100*float64(skipped)/float64(ticked+skipped))
+	if events > 0 {
+		s += fmt.Sprintf(", %d events dispatched", events)
+	}
+	return s
 }
 
 // ci renders a confidence half-width suffix ("±x.xx"), or nothing for

@@ -30,10 +30,12 @@ import (
 	"ftnoc/internal/deadlock"
 	"ftnoc/internal/fault"
 	"ftnoc/internal/invariant"
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/link"
 	"ftnoc/internal/network"
 	"ftnoc/internal/power"
 	"ftnoc/internal/routing"
+	"ftnoc/internal/sim"
 	"ftnoc/internal/topology"
 	"ftnoc/internal/trace"
 	"ftnoc/internal/traffic"
@@ -95,6 +97,24 @@ const (
 	Shuffle       = traffic.Shuffle
 	Hotspot       = traffic.Hotspot
 )
+
+// KernelKind selects the simulation scheduler (Config.Kernel): the naive
+// tick-everything oracle, the quiescence-skipping kernel, or the
+// calendar-queue event-driven kernel (the default). All three produce
+// byte-identical Results; they differ only in wall-clock speed.
+type KernelKind = kernel.Kind
+
+// Kernel kinds.
+const (
+	KernelNaive     = kernel.Naive
+	KernelQuiescent = kernel.Quiescent
+	KernelEvent     = kernel.Event
+)
+
+// KernelStats is the scheduler's cumulative counter record (actor ticks
+// executed, ticks skipped relative to the naive schedule, calendar events
+// dispatched), returned by Network.KernelStats.
+type KernelStats = sim.Stats
 
 // TopologyKind selects the network shape.
 type TopologyKind = topology.Kind
@@ -240,6 +260,10 @@ func ParseProtection(s string) (Protection, error) { return link.ParseProtection
 // ParseTopology parses a CLI topology name: mesh, torus
 // (case-insensitive).
 func ParseTopology(s string) (TopologyKind, error) { return topology.ParseKind(s) }
+
+// ParseKernel parses a CLI kernel name: naive, quiescent, event
+// (case-insensitive).
+func ParseKernel(s string) (KernelKind, error) { return kernel.Parse(s) }
 
 // ConfigHash returns the configuration's canonical content hash: a hex
 // SHA-256 over its canonical JSON form. Two configurations with the same

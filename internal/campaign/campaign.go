@@ -115,12 +115,14 @@ type Point struct {
 type RepResult struct {
 	Seed    uint64
 	Results network.Results
-	// KernelTicked/KernelSkipped are the replicate's scheduler-level
-	// actor-tick counters (skipped = ticks elided by quiescence). They
-	// live here rather than in Results because they describe the
-	// simulator, not the simulated network, and must not perturb result
-	// hashing or serialisation.
-	KernelTicked, KernelSkipped uint64
+	// KernelTicked/KernelSkipped/KernelEvents are the replicate's
+	// scheduler-level counters: actor ticks executed, ticks elided
+	// relative to the naive schedule, and calendar-queue events
+	// dispatched (zero outside the event kernel). They live here rather
+	// than in Results because they describe the simulator, not the
+	// simulated network, and must not perturb result hashing or
+	// serialisation.
+	KernelTicked, KernelSkipped, KernelEvents uint64
 	// Wall is the replicate's wall-clock execution time on its worker.
 	// Like the kernel counters it describes the engine, not the
 	// simulated network: it varies run to run, so it stays out of the
@@ -501,7 +503,8 @@ func runReplicate(ctx context.Context, cfg network.Config, check bool) (rr RepRe
 	}
 	net := network.New(cfg)
 	rr.Results = net.RunContext(ctx)
-	rr.KernelTicked, rr.KernelSkipped = net.KernelStats()
+	ks := net.KernelStats()
+	rr.KernelTicked, rr.KernelSkipped, rr.KernelEvents = ks.Ticked, ks.Skipped, ks.Events
 	if cfg.Invariants != nil && !rr.Results.Aborted {
 		if err := cfg.Invariants.Err(); err != nil {
 			rr.Err = fmt.Errorf("campaign: replicate seed %d: %w", rr.Seed, err)

@@ -1,0 +1,25 @@
+package kernel
+
+import "testing"
+
+// FuzzParse holds the kernel-name parser to: no panics; accepted names
+// map to a known kernel; and the kernel's String form parses back to the
+// same kernel (the CLI prints names it must itself accept).
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{"naive", "quiescent", "event", "EVENT", " naive ", "", "fast", "calendar"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !k.Valid() {
+			t.Fatalf("Parse(%q) produced unknown kernel %d", s, k)
+		}
+		back, err := Parse(k.String())
+		if err != nil || back != k {
+			t.Fatalf("String form %q of Parse(%q) does not round-trip: %v / %v", k, s, back, err)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+// Package kernel names the simulation scheduler implementations. The
+// choice is pure scheduling policy: every kernel produces byte-identical
+// Results (the differential grids in internal/network prove it), so the
+// kind is excluded from canonical config JSON and campaign hashes — it
+// may change how fast an answer arrives, never the answer.
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind selects a simulation kernel. The zero value is invalid so that a
+// Config which never chose one can be given the default explicitly.
+type Kind uint8
+
+const (
+	// Naive ticks every actor every cycle — the slow, obviously-correct
+	// oracle the other kernels are differentially tested against.
+	Naive Kind = iota + 1
+	// Quiescent skips actors that proved themselves idle, waking them on
+	// pipe delivery or a self-declared timer (the PR 4 kernel).
+	Quiescent
+	// Event is the calendar-queue discrete-event scheduler: actors are
+	// stepped only on cycles where an event is due, and cost scales with
+	// events rather than cycles x actors. The default.
+	Event
+)
+
+// String returns the canonical lower-case name, the exact form Parse
+// accepts (Parse ∘ String is the identity; the fuzz suite holds it).
+func (k Kind) String() string {
+	switch k {
+	case Naive:
+		return "naive"
+	case Quiescent:
+		return "quiescent"
+	case Event:
+		return "event"
+	}
+	return fmt.Sprintf("kernel.Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k names a real kernel.
+func (k Kind) Valid() bool { return k == Naive || k == Quiescent || k == Event }
+
+// Parse resolves a kernel name (case-insensitive): naive, quiescent,
+// event.
+func Parse(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "naive":
+		return Naive, nil
+	case "quiescent":
+		return Quiescent, nil
+	case "event":
+		return Event, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q (want naive, quiescent or event)", s)
+}

@@ -1,0 +1,59 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Naive, Quiescent, Event} {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("Parse(%q) = %v, want %v", k.String(), got, k)
+		}
+		if !k.Valid() {
+			t.Fatalf("%v.Valid() = false", k)
+		}
+	}
+}
+
+func TestParseCaseAndSpace(t *testing.T) {
+	for in, want := range map[string]Kind{
+		"Naive":      Naive,
+		"QUIESCENT":  Quiescent,
+		"  event  ":  Event,
+		"\tEvEnT\n":  Event,
+		" quiescent": Quiescent,
+	} {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("Parse(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	for _, in := range []string{"", "fast", "naïve", "event kernel", "quiescent,event"} {
+		if k, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) = %v, want error", in, k)
+		} else if !strings.Contains(err.Error(), "kernel") {
+			t.Fatalf("Parse(%q) error %q does not name the problem", in, err)
+		}
+	}
+}
+
+func TestInvalidKindString(t *testing.T) {
+	var zero Kind
+	if zero.Valid() {
+		t.Fatal("zero Kind reports valid")
+	}
+	if s := Kind(42).String(); !strings.Contains(s, "42") {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+}

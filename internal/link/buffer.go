@@ -35,6 +35,26 @@ func NewFIFO(capacity int) *FIFO {
 	return &FIFO{cap: capacity}
 }
 
+// NewFIFOs creates n queues of the given capacity whose backing storage
+// is carved out of one contiguous arena, for cache locality when a router
+// walks its VC buffers. Each queue's window is capacity-capped (a
+// three-index slice), so a queue that outgrows its window during a
+// recovery extension reallocates privately instead of clobbering its
+// neighbour. The returned slice itself is contiguous; callers keep
+// pointers &fifos[i].
+func NewFIFOs(n, capacity int) []FIFO {
+	if capacity < 1 {
+		panic("link: FIFO capacity must be >= 1")
+	}
+	fifos := make([]FIFO, n)
+	arena := make([]flit.Flit, n*capacity)
+	for i := range fifos {
+		fifos[i].cap = capacity
+		fifos[i].buf = arena[i*capacity : i*capacity : (i+1)*capacity]
+	}
+	return fifos
+}
+
 // Cap returns the nominal (non-recovery) capacity.
 func (q *FIFO) Cap() int { return q.cap }
 

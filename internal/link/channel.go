@@ -268,8 +268,20 @@ func (c *Channel) EachDataFlit(fn func(flit.Flit)) {
 
 // SetFlitWake installs the forward flit pipe's delivery callback: it runs
 // whenever a latch leaves flits visible to the receiver, waking the
-// consuming actor (see sim.Kernel.Waker). Credit and NACK pipes need no
-// wake: their contents accumulate unobserved in the visible slot and are
-// drained by the consumer's BeginCycle whenever it next ticks, before any
-// decision depends on them.
+// consuming actor (see sim.Kernel.Waker). Credit pipes need no wake:
+// credits accumulate unobserved in the visible slot and are drained by
+// the consumer's BeginCycle whenever it next ticks, before any decision
+// depends on them.
 func (c *Channel) SetFlitWake(f func()) { c.flits.SetWake(f) }
+
+// SetNACKWake installs the backward NACK pipe's delivery callback, waking
+// the transmitter-owning actor when a NACK becomes visible. Under strict
+// quiescence this was unnecessary — a router holding retransmission-buffer
+// entries (the only NACK targets) could not sleep. Relaxed quiescence lets
+// it sleep with a timed wake at the oldest entry's expiry, and misroute or
+// recovery NACKs can arrive before that deadline; this wake guarantees
+// they are processed on their exact visibility cycle. (Link-error NACKs
+// need no wake even then: one is visible at the transmitter exactly
+// NACKWindow cycles after the flawed flit was sent, which coincides with
+// that flit's expiry wake.)
+func (c *Channel) SetNACKWake(f func()) { c.nacks.SetWake(f) }

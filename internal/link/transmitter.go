@@ -200,6 +200,22 @@ func (t *Transmitter) SendControl(f flit.Flit) {
 	t.ch.Send(f)
 }
 
+// EarliestExpiry returns the earliest cycle at which any retransmission-
+// buffer entry on this port expires (oldest capture + NACKWindow), and
+// whether such an entry exists. It is the timed-wake deadline that lets a
+// router sleep with occupied shifters: no entry can expire — and no
+// link-error NACK for one can arrive — before that cycle.
+func (t *Transmitter) EarliestExpiry() (cycle uint64, ok bool) {
+	for _, sh := range t.shifters {
+		if sent, has := sh.OldestSent(); has {
+			if !ok || sent+NACKWindow < cycle {
+				cycle, ok = sent+NACKWindow, true
+			}
+		}
+	}
+	return cycle, ok
+}
+
 // ShifterOccupancy returns the summed occupancy and capacity of the
 // port's retransmission buffers, for the Fig. 9 utilization metric.
 func (t *Transmitter) ShifterOccupancy() (occupied, capacity int) {
@@ -208,6 +224,15 @@ func (t *Transmitter) ShifterOccupancy() (occupied, capacity int) {
 		capacity += sh.Depth()
 	}
 	return occupied, capacity
+}
+
+// ShifterOccupied is the occupancy half of ShifterOccupancy without the
+// capacity walk, for per-cycle samplers that cache the fixed capacity.
+func (t *Transmitter) ShifterOccupied() (occupied int) {
+	for _, sh := range t.shifters {
+		occupied += sh.Len()
+	}
+	return occupied
 }
 
 // PendingReplay returns the number of queued replay flits (tests).

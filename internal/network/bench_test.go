@@ -4,6 +4,7 @@ import (
 	"io"
 	"testing"
 
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/trace"
 )
 
@@ -24,9 +25,10 @@ func benchConfig() Config {
 }
 
 // BenchmarkKernelSteady is the CI-guarded hot path: one simulated cycle
-// of the whole network in steady state. After the 2000-cycle warm-up all
-// scratch buffers, queues and wake-heap capacity have reached their
-// steady-state sizes, so the per-cycle tick must allocate nothing — the
+// of the whole network in steady state under the default (event)
+// scheduler. After the 2000-cycle warm-up all scratch buffers, queues,
+// calendar buckets and wake-heap capacity have reached their
+// steady-state sizes, so the per-cycle step must allocate nothing — the
 // CI bench-smoke job fails the build if allocs/op is ever > 0.
 func BenchmarkKernelSteady(b *testing.B) {
 	n := New(benchConfig())
@@ -67,11 +69,30 @@ func BenchmarkKernelSteadyMetrics(b *testing.B) {
 	reportKernel(b, n)
 }
 
-// BenchmarkKernelSteadyNaive is the same workload with quiescence
-// disabled — the baseline the quiescent kernel is measured against.
+// BenchmarkKernelSteadyNaive is the same workload under the naive
+// scheduler — the baseline every other kernel is measured against.
 func BenchmarkKernelSteadyNaive(b *testing.B) {
 	cfg := benchConfig()
-	cfg.NaiveKernel = true
+	cfg.Kernel = kernel.Naive
+	n := New(cfg)
+	for i := 0; i < 2000; i++ {
+		n.kernel.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.kernel.Step()
+	}
+	b.StopTimer()
+	reportKernel(b, n)
+}
+
+// BenchmarkKernelSteadyQuiescent is the same workload under the
+// quiescent scheduler: the per-cycle active-set walk with dense VC
+// iteration, kept live as the middle point between naive and event.
+func BenchmarkKernelSteadyQuiescent(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Kernel = kernel.Quiescent
 	n := New(cfg)
 	for i := 0; i < 2000; i++ {
 		n.kernel.Step()
@@ -107,9 +128,9 @@ func BenchmarkKernelSteadyLowLoad(b *testing.B) {
 // reportKernel attaches the skipped-actor-tick ratio to the benchmark
 // output, and cycles/sec as the human-facing inverse of ns/op.
 func reportKernel(b *testing.B, n *Network) {
-	ticked, skipped := n.KernelStats()
-	if total := ticked + skipped; total > 0 {
-		b.ReportMetric(float64(skipped)/float64(total), "skipped-ratio")
+	ks := n.KernelStats()
+	if total := ks.Ticked + ks.Skipped; total > 0 {
+		b.ReportMetric(float64(ks.Skipped)/float64(total), "skipped-ratio")
 	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(b.N)/s, "cycles/sec")

@@ -11,6 +11,7 @@ import (
 
 	"ftnoc/internal/fault"
 	"ftnoc/internal/invariant"
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
 	"ftnoc/internal/topology"
@@ -103,13 +104,15 @@ type Config struct {
 	// possible retransmission before assuming delivery.
 	E2ETimeout uint64
 
-	// NaiveKernel disables the kernel's quiescence skipping, ticking every
-	// actor every cycle as the original kernel did. Results are identical
-	// either way (that is the quiescence contract, enforced by the
-	// differential tests); the flag exists as the escape hatch and the
-	// baseline for benchmarks. Excluded from JSON so scheduling never
-	// perturbs ConfigHash or canonical configs.
-	NaiveKernel bool `json:"-"`
+	// Kernel selects the simulation scheduler: kernel.Naive ticks every
+	// actor every cycle (the differential oracle), kernel.Quiescent skips
+	// provably idle actors, kernel.Event (the default) runs the calendar-
+	// queue scheduler that steps actors only when an event is due. Results
+	// are identical across all three (that is the scheduling contract,
+	// enforced by the differential tests); the knob exists as the escape
+	// hatch and the baseline axis for benchmarks. Excluded from JSON so
+	// scheduling never perturbs ConfigHash or canonical configs.
+	Kernel kernel.Kind `json:"-"`
 
 	Seed uint64
 }
@@ -185,6 +188,8 @@ func (c Config) Validate() error {
 			c.TotalMessages, c.WarmupMessages)
 	case c.Width*c.Height > maxNodes:
 		return fail("topology %dx%d exceeds %d nodes", c.Width, c.Height, maxNodes)
+	case c.Kernel != 0 && !c.Kernel.Valid():
+		return fail("unknown kernel %d (want naive, quiescent or event)", c.Kernel)
 	}
 	// Fault rates are probabilities; out-of-range (or NaN) values would
 	// otherwise surface as panics deep inside New's injector assembly.
@@ -239,6 +244,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.E2ETimeout == 0 {
 		c.E2ETimeout = 2_048
+	}
+	if c.Kernel == 0 {
+		c.Kernel = kernel.Event
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ftnoc/internal/invariant"
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
 	"ftnoc/internal/topology"
@@ -141,17 +142,13 @@ func TestRandomizedDifferentialProperty(t *testing.T) {
 		}
 		t.Run(hash[:12], func(t *testing.T) {
 			t.Parallel()
-			naiveCfg := cfg
-			naiveCfg.NaiveKernel = true
-			naiveChk := attachChecker(&naiveCfg)
-			quiesChk := attachChecker(&cfg)
-			want := comparable(New(naiveCfg).Run())
-			got := comparable(New(cfg).Run())
-			if !reflect.DeepEqual(want, got) {
-				t.Fatalf("kernels diverged on %+v:\nnaive:     %+v\nquiescent: %+v", cfg, want, got)
+			want, _ := runKernel(t, cfg, kernel.Naive)
+			for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+				got, _ := runKernel(t, cfg, k)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%v kernel diverged on %+v:\nnaive: %+v\n%v:    %+v", k, cfg, want, k, got)
+				}
 			}
-			assertClean(t, "naive", naiveChk)
-			assertClean(t, "quiescent", quiesChk)
 		})
 	}
 }

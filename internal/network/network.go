@@ -8,6 +8,7 @@ import (
 	"ftnoc/internal/fault"
 	"ftnoc/internal/flit"
 	"ftnoc/internal/invariant"
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/link"
 	"ftnoc/internal/router"
 	"ftnoc/internal/routing"
@@ -30,10 +31,9 @@ type Network struct {
 	// Kernel handles for wake wiring and quiescence-aware sampling.
 	routerH []sim.Handle
 	peH     []sim.Handle
-	// Cached per-router buffer/shifter capacities (constant after build),
-	// letting sampleUtilization skip walking a quiescent router's VCs.
+	// Cached per-router buffer capacities (constant after build), letting
+	// sampleUtilization skip walking a quiescent router's VCs.
 	bufCap []int
-	shCap  []int
 
 	events     stats.Events
 	counters   *fault.Counters
@@ -143,6 +143,7 @@ func New(cfg Config) *Network {
 			XYCheck:         xyCheck,
 			RecoveryEnabled: cfg.RecoveryEnabled,
 			Cthres:          cfg.Cthres,
+			Sparse:          cfg.Kernel == kernel.Event,
 			Events:          &n.events,
 			Counters:        n.counters,
 			Bus:             &n.bus,
@@ -163,12 +164,15 @@ func New(cfg Config) *Network {
 	}
 
 	// flitWires records, for every channel, which actor consumes its
-	// forward flit pipe; the wake callbacks are installed once actor
-	// handles exist (after registration below).
+	// forward flit pipe and which actor owns its transmitter (the NACK
+	// consumer); the wake callbacks are installed once actor handles exist
+	// (after registration below).
 	type flitWire struct {
-		ch   *link.Channel
-		node int
-		toPE bool
+		ch     *link.Channel
+		node   int
+		toPE   bool
+		txNode int
+		txPE   bool
 	}
 	var wires []flitWire
 
@@ -181,7 +185,7 @@ func New(cfg Config) *Network {
 			inj = fault.NewLinkInjector(cfg.Faults.Link, cfg.Faults.LinkDouble, linkRNG.Split())
 		}
 		ch := link.NewChannel(&n.kernel, inj, false, &n.events, n.counters)
-		wires = append(wires, flitWire{ch: ch, node: int(dst)})
+		wires = append(wires, flitWire{ch: ch, node: int(dst), txNode: int(l.From)})
 		if cfg.Faults.Handshake > 0 {
 			ch.SetHandshakeFaults(cfg.Faults.Handshake, cfg.TMREnabled, linkRNG.Split())
 		}
@@ -205,7 +209,7 @@ func New(cfg Config) *Network {
 		id := flit.NodeID(i)
 		// PE -> router.
 		up := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
-		wires = append(wires, flitWire{ch: up, node: i})
+		wires = append(wires, flitWire{ch: up, node: i, txNode: i, txPE: true})
 		upTx := link.NewTransmitter(up, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
 		upRx := link.NewReceiver(up, cfg.VCs, cfg.Protection, &n.events, n.counters)
 		upTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
@@ -213,7 +217,7 @@ func New(cfg Config) *Network {
 		n.routers[i].AttachInput(topology.Local, upRx)
 		// Router -> PE.
 		down := link.NewChannel(&n.kernel, nil, true, &n.events, n.counters)
-		wires = append(wires, flitWire{ch: down, node: i, toPE: true})
+		wires = append(wires, flitWire{ch: down, node: i, toPE: true, txNode: i})
 		downTx := link.NewTransmitter(down, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.counters)
 		downRx := link.NewReceiver(down, cfg.VCs, cfg.Protection, &n.events, n.counters)
 		downTx.SetTrace(&n.bus, int32(i), int8(topology.Local))
@@ -238,21 +242,36 @@ func New(cfg Config) *Network {
 	}
 
 	// Quiescence wiring: every flit pipe wakes its consuming actor when a
-	// latch leaves flits visible. Credit and NACK pipes need no wakes (see
-	// link.Channel.SetFlitWake). Only with all deliveries covered is it
-	// sound to opt the actors into idle skipping.
+	// latch leaves flits visible, and every NACK pipe wakes the
+	// transmitter-owning actor (relaxed quiescence lets an actor sleep
+	// with occupied retransmission shifters — see link.Channel.SetNACKWake
+	// for why that makes NACK wakes necessary). Credit pipes need no wakes
+	// (see link.Channel.SetFlitWake). Only with all deliveries covered is
+	// it sound to opt the actors into idle skipping.
 	for _, w := range wires {
 		h := n.routerH[w.node]
 		if w.toPE {
 			h = n.peH[w.node]
 		}
 		w.ch.SetFlitWake(n.kernel.Waker(h))
+		th := n.routerH[w.txNode]
+		if w.txPE {
+			th = n.peH[w.txNode]
+		}
+		w.ch.SetNACKWake(n.kernel.Waker(th))
 	}
 	for i := 0; i < nodes; i++ {
 		n.kernel.EnableQuiescence(n.routerH[i])
 		n.kernel.EnableQuiescence(n.peH[i])
 	}
-	n.kernel.SetNaive(cfg.NaiveKernel)
+	switch cfg.Kernel {
+	case kernel.Naive:
+		n.kernel.SetMode(sim.ModeNaive)
+	case kernel.Quiescent:
+		n.kernel.SetMode(sim.ModeQuiescent)
+	default:
+		n.kernel.SetMode(sim.ModeEvent)
+	}
 
 	// Metrics registry: per-router gauges, sampled by Run.
 	if cfg.Metrics != nil {
@@ -416,20 +435,25 @@ func (n *Network) sampleUtilization() {
 	if n.routerUtil == nil {
 		n.routerUtil = make([]stats.Utilization, len(n.routers))
 		n.bufCap = make([]int, len(n.routers))
-		n.shCap = make([]int, len(n.routers))
 		for i, r := range n.routers {
 			_, n.bufCap[i] = r.BufferOccupancy()
-			_, n.shCap[i] = r.ShifterOccupancy()
 		}
 	}
 	to, tc, ro, rc := 0, 0, 0, 0
 	for i, r := range n.routers {
 		if n.kernel.Asleep(n.routerH[i]) {
-			// A quiescent router proved every VC buffer and shifter empty,
-			// so its sample is (0, capacity) without walking them.
+			// A quiescent router proved every VC buffer empty, so its
+			// buffer sample is (0, capacity) without walking them. Its
+			// retransmission shifters may still hold entries awaiting
+			// their NACK-window expiry (relaxed quiescence), and that
+			// frozen occupancy is exactly what the naive kernel would
+			// observe — no entry can expire before the declared wake —
+			// so it is read for real.
 			n.routerUtil[i].Sample(0, n.bufCap[i])
 			tc += n.bufCap[i]
-			rc += n.shCap[i]
+			o, c := r.ShifterOccupancy()
+			ro += o
+			rc += c
 			continue
 		}
 		o, c := r.BufferOccupancy()
@@ -445,10 +469,11 @@ func (n *Network) sampleUtilization() {
 }
 
 // KernelStats reports the kernel's cumulative scheduling counters: actor
-// ticks executed and actor ticks skipped through quiescence. Deliberately
-// not part of Results — scheduling is an implementation detail and the
-// naive/quiescent kernels must produce identical Results.
-func (n *Network) KernelStats() (ticked, skipped uint64) { return n.kernel.Stats() }
+// ticks executed, actor ticks skipped relative to the naive schedule, and
+// calendar-queue events dispatched (event mode only). Deliberately not
+// part of Results — scheduling is an implementation detail and all
+// kernels must produce identical Results.
+func (n *Network) KernelStats() sim.Stats { return n.kernel.Stats() }
 
 // Snapshot renders every router's live VC state — a debugging view of
 // the whole chip at the current cycle.

@@ -129,14 +129,16 @@ func (p *pe) catchUp(gap uint64) {
 }
 
 // Quiescent implements sim.Quiescer: the PE is idle when its injection
-// side has nothing queued, staged or in flight, and its retransmission
-// shifters are empty (entries expire on their own clock, so the PE stays
-// awake for the NACK window after its last send). Sink-side reassembly
+// side has nothing queued, staged or in flight. Sink-side reassembly
 // state needs no attention between arrivals — every arrival wakes the PE
-// through the router->PE flit pipe. Two duties are purely clock-driven
-// and covered by timed wakes: the traffic source's next injection slot
-// and, while packet copies are retained, the next retention-sweep
-// boundary.
+// through the router->PE flit pipe. Occupied retransmission shifters do
+// not keep the PE awake: the local PE->router channel is fault-free and
+// the router never NACKs its Local input (no XY check, no recovery
+// handshake on Local ports), so the only shifter duty is expiry, covered
+// by a timed wake at the oldest entry's deadline. Two more duties are
+// purely clock-driven and covered the same way: the traffic source's
+// next injection slot and, while packet copies are retained, the next
+// retention-sweep boundary.
 func (p *pe) Quiescent(cycle uint64) (bool, uint64) {
 	if p.qHead < len(p.queue) || len(p.ctrl) != 0 {
 		return false, 0
@@ -149,13 +151,15 @@ func (p *pe) Quiescent(cycle uint64) (bool, uint64) {
 	if p.tx.HasReplay() {
 		return false, 0
 	}
-	if occ, _ := p.tx.ShifterOccupancy(); occ != 0 {
-		return false, 0
-	}
 	var wake uint64
+	if exp, ok := p.tx.EarliestExpiry(); ok {
+		wake = exp
+	}
 	if lim := p.net.cfg.InjectLimit; lim == 0 || p.net.injected < lim {
 		if k, crosses := p.src.NextCrossing(srcLookahead); crosses || k > 0 {
-			wake = cycle + k
+			if w := cycle + k; wake == 0 || w < wake {
+				wake = w
+			}
 		}
 	}
 	if p.usesRetention() && len(p.retention) > 0 {

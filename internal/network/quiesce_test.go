@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ftnoc/internal/invariant"
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/link"
 	"ftnoc/internal/routing"
 )
@@ -65,13 +66,25 @@ func comparable(r Results) Results {
 	return r
 }
 
-// TestQuiescenceDifferential is the quiescence contract made executable:
-// for every grid point, a run with idle-actor skipping enabled must
-// produce Results — counters, latencies, utilizations, and the traced
-// packet journeys — deeply equal to the naive tick-everyone kernel's.
-// Subtests are keyed by the config's canonical hash, so a failure names
-// the exact reproducible configuration.
-func TestQuiescenceDifferential(t *testing.T) {
+// runKernel executes cfg under the given scheduler with a fresh checker
+// attached and returns the comparable results plus the scheduler stats.
+func runKernel(t *testing.T, cfg Config, k kernel.Kind) (Results, uint64) {
+	t.Helper()
+	cfg.Kernel = k
+	chk := attachChecker(&cfg)
+	n := New(cfg)
+	res := comparable(n.Run())
+	assertClean(t, k.String(), chk)
+	return res, n.KernelStats().Skipped
+}
+
+// TestKernelDifferential is the scheduling contract made executable: for
+// every grid point, the quiescent and event kernels must produce
+// Results — counters, latencies, utilizations, and the traced packet
+// journeys — deeply equal to the naive tick-everyone oracle's. Subtests
+// are keyed by the config's canonical hash, so a failure names the exact
+// reproducible configuration.
+func TestKernelDifferential(t *testing.T) {
 	algs := []routing.Algorithm{routing.XY, routing.OddEven}
 	prots := []link.Protection{link.HBH, link.E2E, link.FEC}
 	rates := []float64{0, 1e-3, 1e-2}
@@ -84,77 +97,63 @@ func TestQuiescenceDifferential(t *testing.T) {
 					t.Fatalf("hashing config: %v", err)
 				}
 				name := fmt.Sprintf("%s-%s-%g-%s", alg, prot, rate, hash[:12])
+				rate := rate
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
-					naiveCfg := cfg
-					naiveCfg.NaiveKernel = true
-					naiveChk := attachChecker(&naiveCfg)
-					nn := New(naiveCfg)
-					want := comparable(nn.Run())
-					if _, skipped := nn.KernelStats(); skipped != 0 {
-						t.Fatalf("naive kernel skipped %d ticks", skipped)
+					want, naiveSkipped := runKernel(t, cfg, kernel.Naive)
+					if naiveSkipped != 0 {
+						t.Fatalf("naive kernel skipped %d ticks", naiveSkipped)
 					}
-					assertClean(t, "naive", naiveChk)
-
-					quiesCfg := cfg
-					quiesChk := attachChecker(&quiesCfg)
-					qn := New(quiesCfg)
-					got := comparable(qn.Run())
-					if !reflect.DeepEqual(want, got) {
-						t.Fatalf("quiescent kernel diverged from naive:\nnaive:     %+v\nquiescent: %+v", want, got)
+					for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+						got, skipped := runKernel(t, cfg, k)
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("%v kernel diverged from naive:\nnaive: %+v\n%v:    %+v", k, want, k, got)
+						}
+						if skipped == 0 && rate == 0 {
+							t.Errorf("%v kernel never skipped a tick on a fault-free run", k)
+						}
 					}
-					if _, skipped := qn.KernelStats(); skipped == 0 && rate == 0 {
-						t.Error("quiescent kernel never skipped a tick on a fault-free run")
-					}
-					assertClean(t, "quiescent", quiesChk)
 				})
 			}
 		}
 	}
 }
 
-// TestQuiescenceDifferentialBurst covers the injection-limit path: once
-// the network-wide limit is reached, sleeping sources stop replaying
-// their accumulators — that divergence must stay unobservable.
-func TestQuiescenceDifferentialBurst(t *testing.T) {
+// TestKernelDifferentialBurst covers the injection-limit path: once the
+// network-wide limit is reached, sleeping sources stop replaying their
+// accumulators — that divergence must stay unobservable under both
+// skipping schedulers.
+func TestKernelDifferentialBurst(t *testing.T) {
 	cfg := diffConfig(routing.XY, link.HBH, 1e-3, 11)
 	cfg.WarmupMessages = 0
 	cfg.InjectLimit = 400
 	cfg.TotalMessages = 400
-	naiveCfg := cfg
-	naiveCfg.NaiveKernel = true
-	naiveChk := attachChecker(&naiveCfg)
-	quiesChk := attachChecker(&cfg)
-	want := comparable(New(naiveCfg).Run())
-	got := comparable(New(cfg).Run())
-	if !reflect.DeepEqual(want, got) {
-		t.Fatalf("burst run diverged:\nnaive:     %+v\nquiescent: %+v", want, got)
-	}
+	want, _ := runKernel(t, cfg, kernel.Naive)
 	if want.Delivered != 400 {
 		t.Fatalf("burst delivered %d/400", want.Delivered)
 	}
-	assertClean(t, "naive", naiveChk)
-	assertClean(t, "quiescent", quiesChk)
+	for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+		got, _ := runKernel(t, cfg, k)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("burst run diverged under %v:\nnaive: %+v\n%v:    %+v", k, want, k, got)
+		}
+	}
 }
 
-// TestQuiescenceDifferentialRecovery drives the deadlock-recovery and
-// hard-fault machinery (probes, activations, reroutes) under both
+// TestKernelDifferentialRecovery drives the deadlock-recovery and
+// hard-fault machinery (probes, activations, reroutes) under all three
 // kernels: the protocol state machines must be cycle-identical too.
-func TestQuiescenceDifferentialRecovery(t *testing.T) {
+func TestKernelDifferentialRecovery(t *testing.T) {
 	cfg := diffConfig(routing.MinimalAdaptive, link.HBH, 1e-3, 3)
 	cfg.InjectionRate = 0.30
 	cfg.Faults.RT = 5e-4
 	cfg.Faults.SA = 5e-4
 	cfg.Faults.VA = 5e-4
-	naiveCfg := cfg
-	naiveCfg.NaiveKernel = true
-	naiveChk := attachChecker(&naiveCfg)
-	quiesChk := attachChecker(&cfg)
-	want := comparable(New(naiveCfg).Run())
-	got := comparable(New(cfg).Run())
-	if !reflect.DeepEqual(want, got) {
-		t.Fatalf("recovery run diverged:\nnaive:     %+v\nquiescent: %+v", want, got)
+	want, _ := runKernel(t, cfg, kernel.Naive)
+	for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+		got, _ := runKernel(t, cfg, k)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("recovery run diverged under %v:\nnaive: %+v\n%v:    %+v", k, want, k, got)
+		}
 	}
-	assertClean(t, "naive", naiveChk)
-	assertClean(t, "quiescent", quiesChk)
 }

@@ -54,6 +54,13 @@ type Config struct {
 	// Cthres is the blocked-cycle threshold before probing (Rule 1).
 	// Zero selects DefaultCthres.
 	Cthres uint64
+	// Sparse enables the live-VC bitmask fast path: allocator and
+	// deadlock scans visit only VCs that might hold or expect traffic,
+	// instead of walking every (port, VC) pair each cycle. Results are
+	// identical — the differential grids prove it — but the naive oracle
+	// keeps the exhaustive dense walks, so the two implementations check
+	// each other. Ignored (dense walks) when ports x VCs exceeds 64.
+	Sparse bool
 
 	// Fault injectors; nil disables a class.
 	RTFault   *fault.LogicInjector

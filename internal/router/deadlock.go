@@ -37,36 +37,50 @@ func (r *Router) deadlock(cycle uint64) {
 		r.recoveryStep(cycle)
 		return
 	}
-	// Rule 1: probe for every VC blocked past the threshold. Re-probe
-	// only after a cool-down, in case the previous probe was lost or its
-	// activation path diverged.
+	// Rule 1: probe for every VC blocked past the threshold. A blocked VC
+	// is non-idle, hence live, so the sparse path scans the live list
+	// (ascending, matching the dense flat order).
+	if r.sparse {
+		for _, i := range r.liveList {
+			r.probeRule1(cycle, r.flatVCs[i])
+		}
+		return
+	}
 	for i, n := 0, r.inputVCCount(); i < n; i++ {
-		ivc := r.inputVCAt(i)
-		if ivc == nil || ivc.state == vcIdle {
-			continue
+		if ivc := r.inputVCAt(i); ivc != nil {
+			r.probeRule1(cycle, ivc)
 		}
-		if ivc.blockedFor(cycle) < r.cfg.Cthres {
-			continue
-		}
-		if ivc.probeSentAt != 0 && cycle-ivc.probeSentAt < reprobeInterval {
-			continue
-		}
-		if r.sendSignal(cycle, flit.Probe, ivc, probeMsg{
-			Origin:     r.id,
-			OriginPort: ivc.port,
-			OriginVC:   uint8(ivc.idx),
-		}) {
-			// Note: sending a probe does NOT make this VC a deadlock
-			// member — it is merely a suspect. Membership comes from the
-			// probe's loop completing (ownProbeReturned) or from sitting
-			// on another probe's dependency chain (forwardSignal); a
-			// packet blocked behind a deadlock, rather than inside one,
-			// never sees its probe again and must not be allowed to eat
-			// the recovery slack.
-			ivc.probeOutstanding = true
-			ivc.probeSentAt = cycle
-			r.probesSent++
-		}
+	}
+}
+
+// probeRule1 applies Rule 1 to one input VC: probe if it has been blocked
+// past the threshold. Re-probe only after a cool-down, in case the
+// previous probe was lost or its activation path diverged.
+func (r *Router) probeRule1(cycle uint64, ivc *inputVC) {
+	if ivc.state == vcIdle {
+		return
+	}
+	if ivc.blockedFor(cycle) < r.cfg.Cthres {
+		return
+	}
+	if ivc.probeSentAt != 0 && cycle-ivc.probeSentAt < reprobeInterval {
+		return
+	}
+	if r.sendSignal(cycle, flit.Probe, ivc, probeMsg{
+		Origin:     r.id,
+		OriginPort: ivc.port,
+		OriginVC:   uint8(ivc.idx),
+	}) {
+		// Note: sending a probe does NOT make this VC a deadlock
+		// member — it is merely a suspect. Membership comes from the
+		// probe's loop completing (ownProbeReturned) or from sitting
+		// on another probe's dependency chain (forwardSignal); a
+		// packet blocked behind a deadlock, rather than inside one,
+		// never sees its probe again and must not be allowed to eat
+		// the recovery slack.
+		ivc.probeOutstanding = true
+		ivc.probeSentAt = cycle
+		r.probesSent++
 	}
 }
 

@@ -2,6 +2,8 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 
 	"ftnoc/internal/ac"
 	"ftnoc/internal/ecc"
@@ -55,6 +57,35 @@ type Router struct {
 	// a divmod per probe; nil entries are unattached ports.
 	flatVCs []*inputVC
 
+	// arena backs the attached input VCs contiguously (struct-of-arrays
+	// locality: one router's whole VC state shares cache lines); fifos
+	// backs their buffers the same way. flatVCs/in[p].vcs point into it.
+	arena []inputVC
+	fifos []link.FIFO
+
+	// Sparse fast path (Config.Sparse, <=64 input VCs): liveVCs is a
+	// conservative superset of the VCs that are not (idle AND empty).
+	// The ONLY dead->live transition is a flit arrival (ingestData), the
+	// single place a bit is set; bits are cleared lazily when a scan
+	// visits a dead VC. liveList materialises the set bits ascending once
+	// per tick (after ingest), so the allocator phases iterate live VCs
+	// instead of scanning ports x VCs.
+	sparse      bool
+	liveVCs     uint64
+	liveList    []int
+	bufCapTotal int
+	bufCapKnown bool
+	shCapTotal  int
+	shCapKnown  bool
+
+	// saCand buckets the live, vcActive input VCs by bound output port,
+	// rebuilt once per allocateSA pass (sparse mode only). Each port's
+	// arbitration then rotates over its own few requesters instead of
+	// re-scanning every live VC per port — the flat-index order inside a
+	// bucket is ascending, so the rotated split reproduces the dense
+	// walk's (saRR+j)%n requester sequence exactly.
+	saCand [topology.NumPorts][]int
+
 	// routeCache memoises the routing function per destination: routes
 	// are pure in (cur, dst) — link health is filtered later, in
 	// legalCandidates — so one computation serves the whole run.
@@ -84,11 +115,16 @@ type inPort struct {
 func New(cfg Config) *Router {
 	cfg.validate()
 	np := int(topology.NumPorts)
+	n := np * cfg.VCs
 	return &Router{
 		cfg:           cfg,
 		id:            cfg.ID,
 		probeSeen:     make(map[probeKey]uint64),
-		flatVCs:       make([]*inputVC, np*cfg.VCs),
+		flatVCs:       make([]*inputVC, n),
+		arena:         make([]inputVC, n),
+		fifos:         link.NewFIFOs(n, cfg.BufDepth),
+		sparse:        cfg.Sparse && n <= 64,
+		liveList:      make([]int, 0, n),
 		routeCache:    make([][]topology.Port, cfg.Topo.Nodes()),
 		scratchLegal:  make([]topology.Port, 0, np),
 		scratchBind:   make([]ac.Binding, 0, np*cfg.VCs),
@@ -103,12 +139,16 @@ func New(cfg Config) *Router {
 func (r *Router) ID() flit.NodeID { return r.id }
 
 // AttachInput connects the receiving side of a channel to port p and
-// creates the port's input VC buffers.
+// creates the port's input VC buffers (slots in the router's contiguous
+// VC arena).
 func (r *Router) AttachInput(p topology.Port, rx *link.Receiver) {
 	vcs := make([]*inputVC, r.cfg.VCs)
 	for i := range vcs {
-		vcs[i] = &inputVC{port: p, idx: i, buf: link.NewFIFO(r.cfg.BufDepth)}
-		r.flatVCs[int(p)*r.cfg.VCs+i] = vcs[i]
+		slot := int(p)*r.cfg.VCs + i
+		ivc := &r.arena[slot]
+		*ivc = inputVC{port: p, idx: i, flat: slot, buf: &r.fifos[slot]}
+		vcs[i] = ivc
+		r.flatVCs[slot] = ivc
 	}
 	r.in[p] = &inPort{port: p, rx: rx, vcs: vcs}
 }
@@ -128,10 +168,40 @@ func (r *Router) Tick(cycle uint64) {
 	r.nextExpected = cycle + 1
 	r.beginOutputs(cycle)
 	r.ingest(cycle)
+	if r.sparse {
+		// The live set is fixed for the rest of the tick: ingest is the
+		// only phase that can revive a dead VC (see liveVCs). Build the
+		// ascending index list the allocator phases iterate.
+		r.buildLive()
+	}
 	r.advance(cycle)
 	r.allocateVA(cycle)
 	r.allocateSA(cycle)
 	r.deadlock(cycle)
+}
+
+// markLive flags a VC as possibly non-idle/non-empty in the sparse mask.
+func (r *Router) markLive(ivc *inputVC) {
+	r.liveVCs |= 1 << uint(ivc.flat)
+}
+
+// buildLive refreshes liveList from the mask, lazily clearing bits whose
+// VC has gone back to (idle AND empty) — the only scan that shrinks the
+// live set, so membership is a stable superset within a tick.
+func (r *Router) buildLive() {
+	list := r.liveList[:0]
+	m := r.liveVCs
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		ivc := r.flatVCs[i]
+		if ivc == nil || (ivc.state == vcIdle && ivc.occupied() == 0) {
+			r.liveVCs &^= 1 << uint(i)
+			continue
+		}
+		list = append(list, i)
+	}
+	r.liveList = list
 }
 
 // catchUp replays the per-cycle mutations a quiescent-eligible router
@@ -163,26 +233,49 @@ func (r *Router) CatchUpTo(target uint64) {
 }
 
 // Quiescent implements sim.Quiescer: the router may be skipped when every
-// input VC is idle and empty, no output port is replaying or holding
-// flits inside their NACK window, no deadlock machinery is live, and the
-// probe-memory table is empty (pruning it is clock-driven, so a non-empty
-// table keeps the router ticking until it drains). Credits and NACKs may
-// still arrive while asleep: they accumulate on their wires and are
-// drained by beginOutputs at the wake cycle, before any decision reads
-// them. Flit arrivals wake the router via the channel's delivery
-// callback.
+// input VC is idle and empty, no output port is replaying, no deadlock
+// machinery is live, and the probe-memory table is empty (pruning it is
+// clock-driven, so a non-empty table keeps the router ticking until it
+// drains). Credits and NACKs may still arrive while asleep: they
+// accumulate on their wires and are drained by beginOutputs at the wake
+// cycle, before any decision reads them. Flit arrivals wake the router
+// via the channel's delivery callback.
+//
+// Occupied retransmission shifters do NOT keep the router awake: no entry
+// can expire — and no link-error NACK for one can become visible — before
+// the oldest entry's expiry cycle, which the router declares as its timed
+// wake. The two NACK kinds that can arrive sooner (a neighbour's misroute
+// report, or recovery on/off) wake it through the channels' NACK-pipe
+// delivery callbacks, so every handshake is still processed on its exact
+// visibility cycle. While asleep nothing captures into the shifters, so
+// the declared expiry stays the earliest.
 func (r *Router) Quiescent(cycle uint64) (bool, uint64) {
 	if r.inRecovery || len(r.probeSeen) > 0 {
 		return false, 0
 	}
-	for _, ivc := range r.flatVCs {
-		if ivc == nil {
-			continue
-		}
-		if ivc.state != vcIdle || ivc.occupied() != 0 {
+	if r.sparse {
+		m := r.liveVCs
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			ivc := r.flatVCs[i]
+			if ivc == nil || (ivc.state == vcIdle && ivc.occupied() == 0) {
+				r.liveVCs &^= 1 << uint(i)
+				continue
+			}
 			return false, 0
 		}
+	} else {
+		for _, ivc := range r.flatVCs {
+			if ivc == nil {
+				continue
+			}
+			if ivc.state != vcIdle || ivc.occupied() != 0 {
+				return false, 0
+			}
+		}
 	}
+	var wake uint64
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		op := r.out[p]
 		if op == nil {
@@ -191,11 +284,11 @@ func (r *Router) Quiescent(cycle uint64) (bool, uint64) {
 		if op.tx.HasReplay() {
 			return false, 0
 		}
-		if occ, _ := op.tx.ShifterOccupancy(); occ != 0 {
-			return false, 0
+		if exp, ok := op.tx.EarliestExpiry(); ok && (wake == 0 || exp < wake) {
+			wake = exp
 		}
 	}
-	return true, 0
+	return true, wake
 }
 
 // beginOutputs ingests handshakes on every output channel and services
@@ -306,6 +399,12 @@ func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
 		ivc.lastProgress = cycle
 	}
 	ivc.buf.Push(f)
+	if r.sparse {
+		// The single dead->live site: every other mutation that keeps a VC
+		// live (VA/SA state changes, recovery parking, misroute recall)
+		// operates on a VC that already holds flits or a wormhole.
+		r.markLive(ivc)
+	}
 	r.cfg.Events.BufWrites++
 	if r.cfg.Bus.Enabled() {
 		r.cfg.Bus.Emit(trace.Event{
@@ -318,50 +417,64 @@ func (r *Router) ingestData(cycle uint64, ip *inPort, f flit.Flit) {
 
 // advance starts the pipeline for newly headed packets: an idle VC with a
 // Head flit at its buffer front computes its route (the RT stage; folded
-// into arrival by look-ahead for depths <= 3) and enters VA wait.
+// into arrival by look-ahead for depths <= 3) and enters VA wait. Only a
+// live VC can satisfy the idle-with-front condition, so the sparse path
+// visits the live list (same ascending port-major order as the dense
+// walk).
 func (r *Router) advance(cycle uint64) {
+	if r.sparse {
+		for _, i := range r.liveList {
+			ivc := r.flatVCs[i]
+			r.advanceVC(cycle, r.in[ivc.port], ivc)
+		}
+		return
+	}
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		ip := r.in[p]
 		if ip == nil {
 			continue
 		}
 		for _, ivc := range ip.vcs {
-			if ivc.state != vcIdle {
-				continue
-			}
-			f, ok := ivc.front()
-			if !ok {
-				continue
-			}
-			if f.Type != flit.Head {
-				// Stray flit with no wormhole: only possible when an
-				// unprotected fault broke packet framing. Drop it.
-				dropped, fromBuf := ivc.popFront()
-				if fromBuf {
-					ip.rx.ReturnCredit(ivc.idx)
-				}
-				r.strayFlits++
-				r.wormholeViolations++
-				if r.cfg.Bus.Enabled() {
-					aux := trace.DequeuedStray
-					if fromBuf {
-						aux |= trace.DequeuedFromBuffer
-					}
-					r.cfg.Bus.Emit(trace.Event{
-						Cycle: cycle, Kind: trace.FlitDequeued,
-						Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
-						PID: uint64(dropped.PID), Seq: dropped.Seq, Aux: aux,
-					})
-				}
-				r.emitDrop(cycle, ivc.port, ivc.idx, dropped, trace.DropStray)
-				continue
-			}
-			ivc.dst = flit.DecodeHeader(f.Word).Dst
-			ivc.candidates = r.computeRoute(cycle, ivc)
-			ivc.state = vcVAWait
-			ivc.earliestVA = cycle + vaOffset(r.cfg.PipelineDepth)
+			r.advanceVC(cycle, ip, ivc)
 		}
 	}
+}
+
+func (r *Router) advanceVC(cycle uint64, ip *inPort, ivc *inputVC) {
+	if ivc.state != vcIdle {
+		return
+	}
+	f, ok := ivc.front()
+	if !ok {
+		return
+	}
+	if f.Type != flit.Head {
+		// Stray flit with no wormhole: only possible when an
+		// unprotected fault broke packet framing. Drop it.
+		dropped, fromBuf := ivc.popFront()
+		if fromBuf {
+			ip.rx.ReturnCredit(ivc.idx)
+		}
+		r.strayFlits++
+		r.wormholeViolations++
+		if r.cfg.Bus.Enabled() {
+			aux := trace.DequeuedStray
+			if fromBuf {
+				aux |= trace.DequeuedFromBuffer
+			}
+			r.cfg.Bus.Emit(trace.Event{
+				Cycle: cycle, Kind: trace.FlitDequeued,
+				Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
+				PID: uint64(dropped.PID), Seq: dropped.Seq, Aux: aux,
+			})
+		}
+		r.emitDrop(cycle, ivc.port, ivc.idx, dropped, trace.DropStray)
+		return
+	}
+	ivc.dst = flit.DecodeHeader(f.Word).Dst
+	ivc.candidates = r.computeRoute(cycle, ivc)
+	ivc.state = vcVAWait
+	ivc.earliestVA = cycle + vaOffset(r.cfg.PipelineDepth)
 }
 
 // computeRoute runs the routing function for the packet resident in ivc,
@@ -477,112 +590,132 @@ func (r *Router) existingBindings() []ac.Binding {
 
 // allocateVA runs the VC allocator: each waiting header arbitrates for a
 // free output VC on one of its candidate ports. Fresh allocations are
-// screened by the Allocation Comparator (§4.1).
+// screened by the Allocation Comparator (§4.1). A VA-waiting VC is never
+// dead (its wormhole keeps it non-idle), so the sparse path visits the
+// live list rotated at the same round-robin origin as the dense walk —
+// identical visit order over the VCs that can request, hence identical
+// grants, event counts, and fault-injector draws.
 func (r *Router) allocateVA(cycle uint64) {
 	n := r.inputVCCount()
-	for i := 0; i < n; i++ {
-		ivc := r.inputVCAt((r.vaRR + i) % n)
-		if ivc == nil || ivc.state != vcVAWait || cycle < ivc.earliestVA {
-			continue
+	if r.sparse {
+		split := sort.SearchInts(r.liveList, r.vaRR%n)
+		for _, i := range r.liveList[split:] {
+			r.tryVA(cycle, r.flatVCs[i])
 		}
-		if r.inRecovery && ivc.port == topology.Local {
-			// A recovering node admits no new traffic from its own PE
-			// (§3.2.1): injected packets would consume the recovery slack.
-			continue
+		for _, i := range r.liveList[:split] {
+			r.tryVA(cycle, r.flatVCs[i])
 		}
-		if _, ok := ivc.front(); !ok {
-			continue
-		}
-		r.cfg.Events.VAAllocs++
-
-		legal := r.legalCandidates(ivc)
-		if len(legal) == 0 {
-			// Every candidate is blocked, missing, or physically
-			// impossible: the VA state info has caught a misdirection
-			// (§4.2). Re-route with a one-cycle penalty.
-			r.cfg.Counters.AddCorrected(fault.RTLogic)
-			ivc.candidates = r.computeRoute(cycle, ivc)
-			ivc.earliestVA = cycle + 1
-			continue
-		}
-
-		grantPort, grantVC := topology.Port(0), -1
-		for _, p := range legal {
-			if r.out[p].downstreamRecovering && !ivc.member && ivc.blockedFor(cycle) < 4*r.cfg.Cthres {
-				// §3.2.1: "no new packets are allowed to enter the
-				// transmission buffers that are involved in the deadlock
-				// recovery." Deadlock members — packets the detection
-				// probes ran through — must still advance (their advance
-				// IS the recovery), but fresh traffic would consume the
-				// slack the recovery created.
-				continue
+	} else {
+		for i := 0; i < n; i++ {
+			if ivc := r.inputVCAt((r.vaRR + i) % n); ivc != nil {
+				r.tryVA(cycle, ivc)
 			}
-			if v := r.out[p].freeVC(r.vaRR); v >= 0 {
-				grantPort, grantVC = p, v
-				break
-			}
-		}
-		if grantVC < 0 {
-			continue // all candidate VCs reserved; retry next cycle
-		}
-
-		b := ac.Binding{InPort: ivc.port, InVC: ivc.idx, OutPort: grantPort, OutVC: grantVC}
-		corrupted := false
-		if r.cfg.VAFault.Upset() {
-			r.cfg.Counters.AddInjected(fault.VALogic)
-			b = r.corruptBinding(b)
-			corrupted = true
-		}
-
-		if r.cfg.ACEnabled {
-			r.cfg.Events.ACChecks++
-			if v := ac.CheckVA(b, ivc.candidates, r.cfg.VCs, int(topology.NumPorts), r.existingBindings()); v != ac.None {
-				// Invalidate the previous allocation and redo it: one
-				// cycle of latency (§4.1). In routers of depth <= 2 the
-				// speculative transmission must also be squashed with an
-				// ignore-NACK to the neighbors.
-				r.cfg.Counters.AddCorrected(fault.VALogic)
-				if r.cfg.PipelineDepth <= 2 {
-					r.cfg.Events.NACKs++
-				}
-				if r.cfg.Bus.Enabled() {
-					r.cfg.Bus.Emit(trace.Event{
-						Cycle: cycle, Kind: trace.ACMismatch,
-						Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
-						Aux: trace.AuxVA,
-					})
-				}
-				ivc.earliestVA = cycle + 1
-				continue
-			}
-		}
-
-		// Commit (possibly corrupt, if the AC is disabled).
-		ivc.state = vcActive
-		ivc.outPort, ivc.outVC = b.OutPort, b.OutVC
-		if int(b.OutPort) < int(topology.NumPorts) && r.out[b.OutPort] != nil && b.OutVC >= 0 && b.OutVC < r.cfg.VCs {
-			r.out[b.OutPort].vcs[b.OutVC] = outputVC{busy: true, inPort: ivc.port, inVC: ivc.idx, corrupt: corrupted}
-		}
-		if saAfterVA(r.cfg.PipelineDepth) {
-			ivc.earliestSA = cycle + 1
-		} else {
-			ivc.earliestSA = cycle
-		}
-		if corrupted {
-			r.cfg.Counters.AddUndetected(fault.VALogic)
-		}
-		if r.cfg.Bus.Enabled() {
-			var pid uint64
-			if f, ok := ivc.front(); ok {
-				pid = uint64(f.PID)
-			}
-			r.cfg.Bus.Emit(trace.Event{
-				Cycle: cycle, Kind: trace.VCAllocated,
-				Node: int32(r.id), Port: int8(b.OutPort), VC: int8(b.OutVC), PID: pid,
-			})
 		}
 	}
 	r.vaRR++
+}
+
+// tryVA considers one input VC for VC allocation this cycle.
+func (r *Router) tryVA(cycle uint64, ivc *inputVC) {
+	if ivc.state != vcVAWait || cycle < ivc.earliestVA {
+		return
+	}
+	if r.inRecovery && ivc.port == topology.Local {
+		// A recovering node admits no new traffic from its own PE
+		// (§3.2.1): injected packets would consume the recovery slack.
+		return
+	}
+	if _, ok := ivc.front(); !ok {
+		return
+	}
+	r.cfg.Events.VAAllocs++
+
+	legal := r.legalCandidates(ivc)
+	if len(legal) == 0 {
+		// Every candidate is blocked, missing, or physically
+		// impossible: the VA state info has caught a misdirection
+		// (§4.2). Re-route with a one-cycle penalty.
+		r.cfg.Counters.AddCorrected(fault.RTLogic)
+		ivc.candidates = r.computeRoute(cycle, ivc)
+		ivc.earliestVA = cycle + 1
+		return
+	}
+
+	grantPort, grantVC := topology.Port(0), -1
+	for _, p := range legal {
+		if r.out[p].downstreamRecovering && !ivc.member && ivc.blockedFor(cycle) < 4*r.cfg.Cthres {
+			// §3.2.1: "no new packets are allowed to enter the
+			// transmission buffers that are involved in the deadlock
+			// recovery." Deadlock members — packets the detection
+			// probes ran through — must still advance (their advance
+			// IS the recovery), but fresh traffic would consume the
+			// slack the recovery created.
+			continue
+		}
+		if v := r.out[p].freeVC(r.vaRR); v >= 0 {
+			grantPort, grantVC = p, v
+			break
+		}
+	}
+	if grantVC < 0 {
+		return // all candidate VCs reserved; retry next cycle
+	}
+
+	b := ac.Binding{InPort: ivc.port, InVC: ivc.idx, OutPort: grantPort, OutVC: grantVC}
+	corrupted := false
+	if r.cfg.VAFault.Upset() {
+		r.cfg.Counters.AddInjected(fault.VALogic)
+		b = r.corruptBinding(b)
+		corrupted = true
+	}
+
+	if r.cfg.ACEnabled {
+		r.cfg.Events.ACChecks++
+		if v := ac.CheckVA(b, ivc.candidates, r.cfg.VCs, int(topology.NumPorts), r.existingBindings()); v != ac.None {
+			// Invalidate the previous allocation and redo it: one
+			// cycle of latency (§4.1). In routers of depth <= 2 the
+			// speculative transmission must also be squashed with an
+			// ignore-NACK to the neighbors.
+			r.cfg.Counters.AddCorrected(fault.VALogic)
+			if r.cfg.PipelineDepth <= 2 {
+				r.cfg.Events.NACKs++
+			}
+			if r.cfg.Bus.Enabled() {
+				r.cfg.Bus.Emit(trace.Event{
+					Cycle: cycle, Kind: trace.ACMismatch,
+					Node: int32(r.id), Port: int8(ivc.port), VC: int8(ivc.idx),
+					Aux: trace.AuxVA,
+				})
+			}
+			ivc.earliestVA = cycle + 1
+			return
+		}
+	}
+
+	// Commit (possibly corrupt, if the AC is disabled).
+	ivc.state = vcActive
+	ivc.outPort, ivc.outVC = b.OutPort, b.OutVC
+	if int(b.OutPort) < int(topology.NumPorts) && r.out[b.OutPort] != nil && b.OutVC >= 0 && b.OutVC < r.cfg.VCs {
+		r.out[b.OutPort].vcs[b.OutVC] = outputVC{busy: true, inPort: ivc.port, inVC: ivc.idx, corrupt: corrupted}
+	}
+	if saAfterVA(r.cfg.PipelineDepth) {
+		ivc.earliestSA = cycle + 1
+	} else {
+		ivc.earliestSA = cycle
+	}
+	if corrupted {
+		r.cfg.Counters.AddUndetected(fault.VALogic)
+	}
+	if r.cfg.Bus.Enabled() {
+		var pid uint64
+		if f, ok := ivc.front(); ok {
+			pid = uint64(f.PID)
+		}
+		r.cfg.Bus.Emit(trace.Event{
+			Cycle: cycle, Kind: trace.VCAllocated,
+			Node: int32(r.id), Port: int8(b.OutPort), VC: int8(b.OutVC), PID: pid,
+		})
+	}
 }
 
 // corruptBinding damages a fresh VA allocation the way a single-event
@@ -611,6 +744,27 @@ type saRequest struct {
 	upset bool
 }
 
+// saRequestFor registers one eligible SA requester: it counts the
+// allocation attempt, draws the fault injector, and returns the updated
+// (winner, won) pair. Losing requesters hit by an upset are the benign
+// case (a) of §4.3 — the fault denied them nothing.
+func (r *Router) saRequestFor(ivc *inputVC, winner saRequest, won bool) (saRequest, bool) {
+	r.cfg.Events.SAAllocs++
+	req := saRequest{ivc: ivc}
+	if r.cfg.SAFault.Upset() {
+		r.cfg.Counters.AddInjected(fault.SALogic)
+		req.upset = true
+	}
+	if !won {
+		return req, true
+	}
+	if req.upset {
+		r.cfg.Counters.AddUndetected(fault.SALogic)
+	}
+	// Non-winning clean requesters simply retry next cycle.
+	return winner, won
+}
+
 // allocateSA arbitrates the crossbar per output port, screens the grant
 // vector with the Allocation Comparator (§4.3), and performs switch +
 // link traversal for the winners.
@@ -618,6 +772,22 @@ func (r *Router) allocateSA(cycle uint64) {
 	grantedInput := [topology.NumPorts]bool{}
 	grants := r.scratchGrants[:0]
 	grantReqs := r.scratchReqs[:0]
+
+	if r.sparse {
+		// One pass over the live list buckets the active VCs by output
+		// port; VA ran earlier this tick, so bindings are settled, and
+		// grants execute only after every port is arbitrated, so no
+		// state moves under the buckets mid-pass.
+		for p := range r.saCand {
+			r.saCand[p] = r.saCand[p][:0]
+		}
+		for _, fi := range r.liveList {
+			ivc := r.flatVCs[fi]
+			if ivc.state == vcActive && ivc.outPort >= 0 && ivc.outPort < topology.NumPorts {
+				r.saCand[ivc.outPort] = append(r.saCand[ivc.outPort], fi)
+			}
+		}
+	}
 
 	for i := 0; i < int(topology.NumPorts); i++ {
 		p := topology.Port((r.outRR + i) % int(topology.NumPorts))
@@ -631,30 +801,34 @@ func (r *Router) allocateSA(cycle uint64) {
 			continue
 		}
 		// The winner is held by value: taking a loop-local request's
-		// address would heap-allocate it every allocation round.
+		// address would heap-allocate it every allocation round. An
+		// SA-eligible VC is vcActive, hence live, so the sparse path
+		// rotates over the live list at the port's round-robin origin —
+		// the same requester sequence as the dense walk.
 		var winner saRequest
 		won := false
 		n := r.inputVCCount()
-		for j := 0; j < n; j++ {
-			ivc := r.inputVCAt((op.saRR + j) % n)
-			if ivc == nil || !r.eligibleForSA(ivc, p, cycle) || grantedInput[ivc.port] {
-				continue
+		if r.sparse {
+			cand := r.saCand[p]
+			split := sort.SearchInts(cand, op.saRR%n)
+			for _, fi := range cand[split:] {
+				if ivc := r.flatVCs[fi]; r.eligibleForSA(ivc, p, cycle) && !grantedInput[ivc.port] {
+					winner, won = r.saRequestFor(ivc, winner, won)
+				}
 			}
-			r.cfg.Events.SAAllocs++
-			req := saRequest{ivc: ivc}
-			if r.cfg.SAFault.Upset() {
-				r.cfg.Counters.AddInjected(fault.SALogic)
-				req.upset = true
+			for _, fi := range cand[:split] {
+				if ivc := r.flatVCs[fi]; r.eligibleForSA(ivc, p, cycle) && !grantedInput[ivc.port] {
+					winner, won = r.saRequestFor(ivc, winner, won)
+				}
 			}
-			if !won {
-				winner = req
-				won = true
-			} else if req.upset {
-				// A losing requester hit by an upset: the fault denied it
-				// nothing (it had already lost) — the benign case (a).
-				r.cfg.Counters.AddUndetected(fault.SALogic)
+		} else {
+			for j := 0; j < n; j++ {
+				ivc := r.inputVCAt((op.saRR + j) % n)
+				if ivc == nil || !r.eligibleForSA(ivc, p, cycle) || grantedInput[ivc.port] {
+					continue
+				}
+				winner, won = r.saRequestFor(ivc, winner, won)
 			}
-			// Non-winning clean requesters simply retry next cycle.
 		}
 		if !won {
 			continue
@@ -864,15 +1038,34 @@ func (r *Router) inputVCCount() int { return int(topology.NumPorts) * r.cfg.VCs 
 func (r *Router) inputVCAt(i int) *inputVC { return r.flatVCs[i] }
 
 // BufferOccupancy sums input VC buffer occupancy and capacity (the
-// transmission-buffer utilization metric of Fig. 8).
+// transmission-buffer utilization metric of Fig. 8). Capacity is fixed at
+// attachment time and cached; a dead VC holds nothing, so the sparse path
+// sums occupancy over the live mask only.
 func (r *Router) BufferOccupancy() (occupied, capacity int) {
+	if !r.bufCapKnown {
+		for p := topology.Port(0); p < topology.NumPorts; p++ {
+			if r.in[p] == nil {
+				continue
+			}
+			for _, ivc := range r.in[p].vcs {
+				r.bufCapTotal += ivc.buf.Cap()
+			}
+		}
+		r.bufCapKnown = true
+	}
+	capacity = r.bufCapTotal
+	if r.sparse {
+		for m := r.liveVCs; m != 0; m &= m - 1 {
+			occupied += r.flatVCs[bits.TrailingZeros64(m)].buf.Len()
+		}
+		return occupied, capacity
+	}
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		if r.in[p] == nil {
 			continue
 		}
 		for _, ivc := range r.in[p].vcs {
 			occupied += ivc.buf.Len()
-			capacity += ivc.buf.Cap()
 		}
 	}
 	return occupied, capacity
@@ -881,14 +1074,31 @@ func (r *Router) BufferOccupancy() (occupied, capacity int) {
 // ShifterOccupancy sums retransmission-buffer occupancy and capacity (the
 // metric of Fig. 9). Flits parked during deadlock recovery conceptually
 // occupy the shifters (that is the resource-sharing point of §3.2), so
-// pending queues count as occupancy.
+// pending queues count as occupancy; a parked queue keeps its VC live, so
+// the sparse path scans the live mask for them.
 func (r *Router) ShifterOccupancy() (occupied, capacity int) {
+	if !r.shCapKnown {
+		for p := topology.Port(0); p < topology.NumPorts; p++ {
+			if r.out[p] != nil {
+				_, c := r.out[p].tx.ShifterOccupancy()
+				r.shCapTotal += c
+			}
+		}
+		r.shCapKnown = true
+	}
+	capacity = r.shCapTotal
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		if r.out[p] != nil {
-			o, c := r.out[p].tx.ShifterOccupancy()
-			occupied += o
-			capacity += c
+			occupied += r.out[p].tx.ShifterOccupied()
 		}
+	}
+	if r.sparse {
+		for m := r.liveVCs; m != 0; m &= m - 1 {
+			occupied += len(r.flatVCs[bits.TrailingZeros64(m)].pending)
+		}
+		return occupied, capacity
+	}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		if r.in[p] != nil {
 			for _, ivc := range r.in[p].vcs {
 				occupied += len(ivc.pending)

@@ -26,6 +26,9 @@ const (
 type inputVC struct {
 	port topology.Port
 	idx  int
+	// flat is this VC's index in the router's flattened (port, vc) order,
+	// precomputed for the sparse live-set bitmask.
+	flat int
 	buf  *link.FIFO
 
 	state      vcState

@@ -36,6 +36,9 @@ type serverObs struct {
 	runDuration  *obs.Histogram
 	sseSubs      *obs.Gauge
 	workersBusy  *obs.Gauge
+	simCycles    *obs.Counter
+	simTicks     *obs.CounterVec // ticked, skipped
+	simEvents    *obs.Counter
 
 	jobsByState map[State]*obs.Gauge
 
@@ -76,6 +79,14 @@ func newServerObs() *serverObs {
 			"Live SSE progress subscriptions."),
 		workersBusy: reg.Gauge("nocd_workers_busy",
 			"Workers currently executing a campaign."),
+		simCycles: reg.Counter("nocd_sim_cycles_total",
+			"Simulated network cycles across every completed replicate."),
+		simTicks: reg.CounterVec("nocd_sim_actor_ticks_total",
+			"Scheduler-level actor ticks across completed replicates, by outcome: "+
+				"ticked (executed) or skipped (elided relative to the naive schedule).",
+			"outcome"),
+		simEvents: reg.Counter("nocd_sim_events_dispatched_total",
+			"Calendar-queue events dispatched across completed replicates (event kernel only)."),
 	}
 
 	// State-derived families: closures over the per-scrape snapshot.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ftnoc/internal/campaign"
+	"ftnoc/internal/kernel"
 	"ftnoc/internal/trace"
 )
 
@@ -199,6 +200,9 @@ func (s *Server) runJob(j *job) {
 		"job", j.id, "points", j.points, "reps_total", j.repsTotal,
 		"queue_wait_ms", float64(wait.Microseconds())/1000)
 	report, err := s.run(j.ctx, j.spec)
+	if report != nil {
+		s.recordKernelTelemetry(j, report)
+	}
 	switch {
 	case err != nil:
 		j.finish(StateFailed, nil, false, err)
@@ -218,4 +222,39 @@ func (s *Server) runJob(j *job) {
 		s.cache.put(j.hash, result)
 		j.finish(StateDone, result, false, nil)
 	}
+}
+
+// recordKernelTelemetry aggregates the report's scheduler counters into
+// the /metrics families and the job log. The counters describe the
+// simulator, not the simulated network — they stay out of the rendered
+// (and cached) result tables, which must be byte-identical for equal
+// spec hashes regardless of the kernel that produced them.
+func (s *Server) recordKernelTelemetry(j *job, report *campaign.Report) {
+	var cycles, ticked, skipped, events uint64
+	for i := range report.Points {
+		for _, rr := range report.Points[i].Reps {
+			if rr.Err != nil || rr.Seed == 0 {
+				continue
+			}
+			cycles += rr.Results.Cycles
+			ticked += rr.KernelTicked
+			skipped += rr.KernelSkipped
+			events += rr.KernelEvents
+		}
+	}
+	if ticked+skipped == 0 {
+		return // nothing completed (canceled before the first replicate)
+	}
+	s.obs.simCycles.Add(float64(cycles))
+	s.obs.simTicks.With("ticked").Add(float64(ticked))
+	s.obs.simTicks.With("skipped").Add(float64(skipped))
+	s.obs.simEvents.Add(float64(events))
+	kind := j.spec.Base.Kernel
+	if kind == 0 {
+		kind = kernel.Event // the applyDefaults choice inside network.New
+	}
+	s.log.Info("job kernel telemetry",
+		"job", j.id, "kernel", kind.String(),
+		"sim_cycles", cycles, "actor_ticks", ticked, "ticks_skipped", skipped,
+		"events_dispatched", events)
 }

@@ -28,10 +28,29 @@
 //   - its self-declared timed wake cycle arrives (for purely clock-driven
 //     work such as a traffic source's next injection slot).
 //
-// SetNaive(true) disables actor skipping entirely, restoring the historical
-// tick-everyone kernel for differential testing. Latch skipping stays on in
-// both modes: an empty pipe's latch is the identity, so eliding it is exact.
+// # Scheduling modes
+//
+// SetMode selects among three schedulers that share the actor/latch model
+// and produce identical simulations:
+//
+//   - ModeNaive ticks every actor every cycle — the historical exhaustive
+//     schedule, kept as the differential oracle.
+//   - ModeQuiescent (the zero value) walks the actor list each cycle but
+//     skips sleeping actors.
+//   - ModeEvent is a calendar-queue discrete-event scheduler: each actor
+//     carries a pending-tick cycle, due handles are drained from a
+//     256-bucket ring (plus an overflow min-heap for far-future wakes),
+//     and cost scales with dispatched events rather than cycles x actors.
+//     Busy actors simply reschedule themselves for the next cycle, so a
+//     fully-active network degenerates gracefully to the per-cycle walk.
+//
+// Latch skipping stays on in all modes: an empty pipe's latch is the
+// identity, so eliding it is exact. Due handles are dispatched in
+// ascending registration order in every mode, keeping intra-cycle trace
+// order identical across schedulers.
 package sim
+
+import "slices"
 
 // Actor is a component evaluated once per simulated clock cycle.
 type Actor interface {
@@ -68,6 +87,32 @@ type Quiescer interface {
 // Handle identifies a registered actor, for wake wiring.
 type Handle int
 
+// Mode selects the kernel's scheduling strategy. All modes simulate the
+// same network identically; they differ only in which cycles an actor's
+// Tick is physically invoked on (skipped ticks are provably no-ops).
+type Mode uint8
+
+const (
+	// ModeQuiescent walks all actors each cycle, skipping sleepers. The
+	// zero value, for compatibility with kernels built before ModeEvent.
+	ModeQuiescent Mode = iota
+	// ModeNaive ticks every actor every cycle (differential oracle).
+	ModeNaive
+	// ModeEvent dispatches only due actors from a calendar queue.
+	ModeEvent
+)
+
+// Stats is the kernel's cumulative scheduling telemetry. Ticked counts
+// actor ticks executed; Skipped counts actor ticks elided (relative to
+// the naive every-actor-every-cycle schedule, in all modes, so the skip
+// ratio is comparable across schedulers); Events counts calendar-queue
+// dispatches and is zero outside ModeEvent.
+type Stats struct {
+	Ticked  uint64
+	Skipped uint64
+	Events  uint64
+}
+
 // activeLatch is implemented by delay lines; the kernel advances armed
 // ones after all actors have ticked. latch reports whether the line still
 // holds values and must remain armed.
@@ -75,11 +120,26 @@ type activeLatch interface {
 	latch() bool
 }
 
-// wakeEntry is one scheduled timed wake in the kernel's min-heap.
+// wakeEntry is one scheduled timed wake in a min-heap (the quiescent
+// mode's timed-wake heap, or the event mode's far-future overflow heap).
 type wakeEntry struct {
 	at uint64
 	h  Handle
 }
+
+const (
+	// numBuckets sizes the calendar-queue ring. Wakes due within the next
+	// numBuckets-1 cycles go in the ring (O(1) insert/drain); anything
+	// further — rare: retention sweeps, low-rate sources — overflows to
+	// the heap. Power of two so the bucket index is a mask, and larger
+	// than every latency constant in the model (pipe depths, NACK window,
+	// reprobe interval) so steady-state scheduling never touches the heap.
+	numBuckets = 256
+	bucketMask = numBuckets - 1
+
+	// noPending marks an actor with no scheduled tick.
+	noPending = ^uint64(0)
+)
 
 // Kernel drives a set of actors and delay lines through simulated time.
 // The zero value is ready to use.
@@ -91,15 +151,30 @@ type Kernel struct {
 	asleep    []bool
 	// wakeAt[i] is the pending timed-wake cycle for a sleeping actor
 	// (0 = none); heap entries not matching it are stale and ignored.
+	// Used by ModeQuiescent only.
 	wakeAt []uint64
-	heap   []wakeEntry
+	// heap holds timed wakes (ModeQuiescent) or far-future scheduled
+	// ticks (ModeEvent); the two uses never coexist.
+	heap []wakeEntry
 	// active holds the armed delay lines; pipes arm themselves on Push
 	// and disarm by returning false from latch.
 	active []activeLatch
 
-	naive   bool
+	// Calendar queue (ModeEvent). pendingAt[i] is the cycle actor i is
+	// scheduled to tick on (noPending = none); ring buckets hold handles
+	// due within numBuckets cycles, keyed by cycle & bucketMask. Entries
+	// whose pendingAt no longer matches the drain cycle are stale —
+	// superseded by an earlier wake — and skipped, so duplicates are
+	// harmless.
+	pendingAt []uint64
+	buckets   [numBuckets][]Handle
+	due       []Handle
+	evInit    bool
+
+	mode    Mode
 	ticked  uint64
 	skipped uint64
+	events  uint64
 }
 
 // Register adds actors to the kernel. Actors tick in registration order,
@@ -123,6 +198,10 @@ func (k *Kernel) RegisterActor(a Actor) Handle {
 	k.quiescers = append(k.quiescers, nil)
 	k.asleep = append(k.asleep, false)
 	k.wakeAt = append(k.wakeAt, 0)
+	k.pendingAt = append(k.pendingAt, noPending)
+	if k.evInit {
+		k.scheduleTick(h, k.cycle+1)
+	}
 	return h
 }
 
@@ -140,6 +219,11 @@ func (k *Kernel) EnableQuiescence(h Handle) {
 // actors (no-op) and repeatedly.
 func (k *Kernel) Waker(h Handle) func() {
 	return func() {
+		if k.mode == ModeEvent {
+			k.asleep[h] = false
+			k.scheduleTick(h, k.cycle+1)
+			return
+		}
 		if k.asleep[h] {
 			k.asleep[h] = false
 			k.wakeAt[h] = 0
@@ -148,63 +232,102 @@ func (k *Kernel) Waker(h Handle) func() {
 }
 
 // Asleep reports whether the actor is currently suspended as quiescent.
+// In ModeEvent an actor merely awaiting its next-cycle tick is not
+// asleep; only one that declared itself quiet is.
 func (k *Kernel) Asleep(h Handle) bool { return k.asleep[h] }
 
-// SetNaive toggles the tick-every-actor fallback kernel (quiescence
-// skipping disabled). Must be set before stepping; it exists so the
-// quiescence machinery can be differentially tested against the
-// historical exhaustive schedule.
-func (k *Kernel) SetNaive(naive bool) { k.naive = naive }
+// SetMode selects the scheduler. Must be set before stepping.
+func (k *Kernel) SetMode(m Mode) { k.mode = m }
+
+// Mode returns the selected scheduler.
+func (k *Kernel) Mode() Mode { return k.mode }
+
+// SetNaive toggles the tick-every-actor fallback kernel, equivalent to
+// SetMode(ModeNaive) / SetMode(ModeQuiescent). Kept for callers predating
+// the mode API.
+func (k *Kernel) SetNaive(naive bool) {
+	if naive {
+		k.mode = ModeNaive
+	} else {
+		k.mode = ModeQuiescent
+	}
+}
 
 // Naive reports whether actor skipping is disabled.
-func (k *Kernel) Naive() bool { return k.naive }
+func (k *Kernel) Naive() bool { return k.mode == ModeNaive }
 
-// Stats returns the cumulative number of actor ticks executed and actor
-// ticks skipped through quiescence.
-func (k *Kernel) Stats() (ticked, skipped uint64) { return k.ticked, k.skipped }
+// Stats returns the kernel's cumulative scheduling telemetry.
+func (k *Kernel) Stats() Stats {
+	return Stats{Ticked: k.ticked, Skipped: k.skipped, Events: k.events}
+}
 
 // arm adds a delay line to the active-latch list (called by Pipe.Push).
 func (k *Kernel) arm(l activeLatch) {
 	k.active = append(k.active, l)
 }
 
-// pushWake schedules a timed wake on the min-heap.
-func (k *Kernel) pushWake(at uint64, h Handle) {
-	k.heap = append(k.heap, wakeEntry{at: at, h: h})
-	i := len(k.heap) - 1
+// heapPush schedules an entry on a min-heap ordered by at.
+func heapPush(heap *[]wakeEntry, e wakeEntry) {
+	h := append(*heap, e)
+	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if k.heap[parent].at <= k.heap[i].at {
+		if h[parent].at <= h[i].at {
 			break
 		}
-		k.heap[parent], k.heap[i] = k.heap[i], k.heap[parent]
+		h[parent], h[i] = h[i], h[parent]
 		i = parent
 	}
+	*heap = h
 }
 
-// popWake removes and returns the earliest timed wake.
-func (k *Kernel) popWake() wakeEntry {
-	top := k.heap[0]
-	last := len(k.heap) - 1
-	k.heap[0] = k.heap[last]
-	k.heap = k.heap[:last]
+// heapPop removes and returns the earliest entry.
+func heapPop(heap *[]wakeEntry) wakeEntry {
+	h := *heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < len(k.heap) && k.heap[l].at < k.heap[small].at {
+		if l < len(h) && h[l].at < h[small].at {
 			small = l
 		}
-		if r < len(k.heap) && k.heap[r].at < k.heap[small].at {
+		if r < len(h) && h[r].at < h[small].at {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		k.heap[i], k.heap[small] = k.heap[small], k.heap[i]
+		h[i], h[small] = h[small], h[i]
 		i = small
 	}
+	*heap = h
 	return top
+}
+
+// scheduleTick (ModeEvent) records that actor h must tick at cycle at,
+// unless an earlier tick is already pending. Near wakes go in the ring
+// bucket for their cycle — an entry lands in bucket at&bucketMask only
+// when at is the next cycle with that residue, so every entry in a
+// drained bucket is due exactly then; far wakes overflow to the heap.
+// Superseded entries are left in place and filtered at drain time.
+func (k *Kernel) scheduleTick(h Handle, at uint64) {
+	if at <= k.cycle {
+		at = k.cycle + 1
+	}
+	if k.pendingAt[h] <= at {
+		return
+	}
+	k.pendingAt[h] = at
+	if at-k.cycle < numBuckets {
+		b := &k.buckets[at&bucketMask]
+		*b = append(*b, h)
+	} else {
+		heapPush(&k.heap, wakeEntry{at: at, h: h})
+	}
 }
 
 // Cycle returns the number of completed cycles.
@@ -212,19 +335,24 @@ func (k *Kernel) Cycle() uint64 { return k.cycle }
 
 // Step advances simulated time by one cycle.
 func (k *Kernel) Step() {
+	if k.mode == ModeEvent {
+		k.stepEvent()
+		return
+	}
 	c := k.cycle
 
 	// Fire timed wakes due this cycle. Stale heap entries (the actor was
 	// woken earlier by a delivery, or re-slept with a different deadline)
 	// are recognised by wakeAt disagreeing with the entry.
 	for len(k.heap) > 0 && k.heap[0].at <= c {
-		e := k.popWake()
+		e := heapPop(&k.heap)
 		if k.asleep[e.h] && k.wakeAt[e.h] == e.at {
 			k.asleep[e.h] = false
 			k.wakeAt[e.h] = 0
 		}
 	}
 
+	naive := k.mode == ModeNaive
 	for i, a := range k.actors {
 		if k.asleep[i] {
 			k.skipped++
@@ -232,12 +360,12 @@ func (k *Kernel) Step() {
 		}
 		a.Tick(c)
 		k.ticked++
-		if q := k.quiescers[i]; q != nil && !k.naive {
+		if q := k.quiescers[i]; q != nil && !naive {
 			if quiet, at := q.Quiescent(c); quiet {
 				k.asleep[i] = true
 				if at > c {
 					k.wakeAt[i] = at
-					k.pushWake(at, Handle(i))
+					heapPush(&k.heap, wakeEntry{at: at, h: Handle(i)})
 				} else {
 					k.wakeAt[i] = 0
 				}
@@ -245,11 +373,75 @@ func (k *Kernel) Step() {
 		}
 	}
 
-	// Advance armed delay lines, compacting out the ones that emptied.
-	// Latch-order equals arm-order, which may differ from historical
-	// registration order — sound because latches are independent: each
-	// pipe only rotates its own ring. Wake callbacks fired here return
-	// consumers to the active set for cycle c+1.
+	k.latchAndAdvance()
+}
+
+// stepEvent advances one cycle under the calendar-queue scheduler: drain
+// this cycle's ring bucket plus any due overflow-heap entries, dispatch
+// the surviving handles in registration order, and let each actor either
+// reschedule for the next cycle (busy), sleep until a delivery (quiet),
+// or sleep with a timed wake (quiet with a deadline).
+func (k *Kernel) stepEvent() {
+	c := k.cycle
+	if !k.evInit {
+		// First event-mode step: every registered actor starts due now.
+		k.evInit = true
+		b := &k.buckets[c&bucketMask]
+		for h := range k.actors {
+			k.pendingAt[h] = c
+			*b = append(*b, Handle(h))
+		}
+	}
+
+	// Collect due handles. The bucket is copied then truncated in place:
+	// reschedules during dispatch target later cycles, so they can never
+	// land back in this cycle's bucket (at == c+numBuckets overflows to
+	// the heap rather than aliasing the ring).
+	due := k.due[:0]
+	b := &k.buckets[c&bucketMask]
+	due = append(due, (*b)...)
+	*b = (*b)[:0]
+	for len(k.heap) > 0 && k.heap[0].at <= c {
+		due = append(due, heapPop(&k.heap).h)
+	}
+	// Registration order = tick order, matching the other schedulers'
+	// intra-cycle trace order exactly.
+	slices.Sort(due)
+
+	ticked := 0
+	for _, h := range due {
+		if k.pendingAt[h] != c {
+			continue // superseded by an earlier wake, or a duplicate
+		}
+		k.pendingAt[h] = noPending
+		k.asleep[h] = false
+		k.actors[h].Tick(c)
+		ticked++
+		k.events++
+		if q := k.quiescers[h]; q != nil {
+			if quiet, at := q.Quiescent(c); quiet {
+				k.asleep[h] = true
+				if at > c {
+					k.scheduleTick(h, at)
+				}
+				continue
+			}
+		}
+		k.scheduleTick(h, c+1)
+	}
+	k.due = due[:0]
+	k.ticked += uint64(ticked)
+	k.skipped += uint64(len(k.actors) - ticked)
+
+	k.latchAndAdvance()
+}
+
+// latchAndAdvance runs the cycle's latch phase and advances the clock.
+// Latch-order equals arm-order, which may differ from historical
+// registration order — sound because latches are independent: each
+// pipe only rotates its own ring. Wake callbacks fired here return
+// consumers to the active set for the next cycle.
+func (k *Kernel) latchAndAdvance() {
 	n := 0
 	for _, l := range k.active {
 		if l.latch() {
@@ -258,7 +450,6 @@ func (k *Kernel) Step() {
 		}
 	}
 	k.active = k.active[:n]
-
 	k.cycle++
 }
 

@@ -312,3 +312,192 @@ func TestPipeLatencyAccessor(t *testing.T) {
 		t.Fatal("Latency() wrong")
 	}
 }
+
+// sleeper is a Quiescer that sleeps after every tick with a fixed timed
+// wake offset (0 = sleep until delivery), recording its tick cycles and
+// draining its input pipe, if any.
+type sleeper struct {
+	ticks  []uint64
+	offset uint64
+	in     *Pipe[int]
+}
+
+func (s *sleeper) Tick(c uint64) {
+	s.ticks = append(s.ticks, c)
+	if s.in != nil {
+		s.in.PopAll()
+	}
+}
+func (s *sleeper) Quiescent(c uint64) (bool, uint64) {
+	if s.offset == 0 {
+		return true, 0
+	}
+	return true, c + s.offset
+}
+
+func TestEventKernelTicksNonQuiescersEveryCycle(t *testing.T) {
+	var k Kernel
+	k.SetMode(ModeEvent)
+	var got []uint64
+	k.Register(ActorFunc(func(c uint64) { got = append(got, c) }))
+	k.Run(5)
+	if len(got) != 5 {
+		t.Fatalf("non-quiescer ticked %d times in 5 cycles, want 5", len(got))
+	}
+	for i, c := range got {
+		if c != uint64(i) {
+			t.Fatalf("tick %d saw cycle %d", i, c)
+		}
+	}
+}
+
+func TestEventKernelTimedWake(t *testing.T) {
+	var k Kernel
+	k.SetMode(ModeEvent)
+	s := &sleeper{offset: 7}
+	h := k.RegisterActor(s)
+	k.EnableQuiescence(h)
+	k.Run(22)
+	want := []uint64{0, 7, 14, 21}
+	if len(s.ticks) != len(want) {
+		t.Fatalf("sleeper ticks = %v, want %v", s.ticks, want)
+	}
+	for i := range want {
+		if s.ticks[i] != want[i] {
+			t.Fatalf("sleeper ticks = %v, want %v", s.ticks, want)
+		}
+	}
+	if !k.Asleep(h) {
+		t.Fatal("sleeper not asleep between timed wakes")
+	}
+	st := k.Stats()
+	if st.Events != uint64(len(want)) {
+		t.Fatalf("Events = %d, want %d", st.Events, len(want))
+	}
+	if st.Ticked != uint64(len(want)) || st.Ticked+st.Skipped != 22 {
+		t.Fatalf("Stats = %+v, want ticked %d and ticked+skipped 22", st, len(want))
+	}
+}
+
+// TestEventKernelFarWake exercises the overflow heap: a timed wake beyond
+// the calendar ring must still fire on the exact cycle.
+func TestEventKernelFarWake(t *testing.T) {
+	var k Kernel
+	k.SetMode(ModeEvent)
+	s := &sleeper{offset: 1000}
+	h := k.RegisterActor(s)
+	k.EnableQuiescence(h)
+	k.Run(1001)
+	want := []uint64{0, 1000}
+	if len(s.ticks) != 2 || s.ticks[0] != want[0] || s.ticks[1] != want[1] {
+		t.Fatalf("far-wake ticks = %v, want %v", s.ticks, want)
+	}
+}
+
+// TestEventKernelDeliveryWakeSupersedesTimer: a pipe delivery must wake a
+// sleeping actor before its timed deadline, and the stale calendar entry
+// must not cause a duplicate tick when its cycle comes around.
+func TestEventKernelDeliveryWakeSupersedesTimer(t *testing.T) {
+	var k Kernel
+	k.SetMode(ModeEvent)
+	s := &sleeper{offset: 50}
+	h := k.RegisterActor(s)
+	k.EnableQuiescence(h)
+	p := NewPipe[int](&k, 1)
+	s.in = p
+	p.SetWake(k.Waker(h))
+	k.Run(3) // sleeper ticks at 0, sleeps until 50
+	p.Push(1)
+	k.Run(60)
+	// Delivery visible after the cycle-3 latch wakes it for cycle 4; it
+	// then re-sleeps until 54. The stale entry at 50 must not tick it.
+	want := []uint64{0, 4, 54}
+	if len(s.ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", s.ticks, want)
+	}
+	for i := range want {
+		if s.ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", s.ticks, want)
+		}
+	}
+}
+
+// TestEventKernelRegistrationOrder: actors due on the same cycle dispatch
+// in registration order regardless of how their wakes were scheduled.
+func TestEventKernelRegistrationOrder(t *testing.T) {
+	var k Kernel
+	k.SetMode(ModeEvent)
+	var order []int
+	mk := func(id int, offset uint64) Handle {
+		s := &orderSleeper{id: id, offset: offset, order: &order}
+		h := k.RegisterActor(s)
+		k.EnableQuiescence(h)
+		return h
+	}
+	// Different offsets that all coincide at cycle 12.
+	mk(0, 12)
+	mk(1, 6)
+	mk(2, 4)
+	mk(3, 3)
+	k.Run(13)
+	// At cycle 12 all four are due; the tail of order must be 0,1,2,3.
+	tail := order[len(order)-4:]
+	for i, id := range tail {
+		if id != i {
+			t.Fatalf("cycle-12 dispatch order = %v, want [0 1 2 3]", tail)
+		}
+	}
+}
+
+type orderSleeper struct {
+	id     int
+	offset uint64
+	order  *[]int
+}
+
+func (s *orderSleeper) Tick(uint64) { *s.order = append(*s.order, s.id) }
+func (s *orderSleeper) Quiescent(c uint64) (bool, uint64) {
+	next := (c/s.offset + 1) * s.offset
+	return true, next
+}
+
+// TestEventKernelMatchesQuiescent runs a randomized mix of sleepers and
+// always-on actors under both schedulers and requires identical tick
+// traces — the unit-level version of the network differential grids.
+func TestEventKernelMatchesQuiescent(t *testing.T) {
+	build := func(mode Mode) []*sleeper {
+		var k Kernel
+		k.SetMode(mode)
+		actors := []*sleeper{
+			{offset: 0}, {offset: 3}, {offset: 1}, {offset: 17}, {offset: 300},
+		}
+		pipes := make([]*Pipe[int], len(actors))
+		for _, s := range actors {
+			h := k.RegisterActor(s)
+			k.EnableQuiescence(h)
+			p := NewPipe[int](&k, 1)
+			s.in = p
+			p.SetWake(k.Waker(h))
+			pipes[h] = p
+		}
+		for i := 0; i < 500; i++ {
+			if i%41 == 0 {
+				pipes[0].Push(i) // wake the delivery-only sleeper
+			}
+			k.Step()
+		}
+		return actors
+	}
+	want := build(ModeQuiescent)
+	got := build(ModeEvent)
+	for i := range want {
+		if len(want[i].ticks) != len(got[i].ticks) {
+			t.Fatalf("actor %d: quiescent ticked %d, event ticked %d", i, len(want[i].ticks), len(got[i].ticks))
+		}
+		for j := range want[i].ticks {
+			if want[i].ticks[j] != got[i].ticks[j] {
+				t.Fatalf("actor %d tick %d: quiescent at %d, event at %d", i, j, want[i].ticks[j], got[i].ticks[j])
+			}
+		}
+	}
+}
