@@ -4,6 +4,16 @@
 //
 //	nocd -addr :8080 -workers 2 -queue 32 -cache-mb 128
 //
+// The -role flag scales it out:
+//
+//	nocd -role coordinator -addr :8080
+//	nocd -role worker -coordinator http://host:8080 -addr :0
+//
+// A coordinator serves the same public API but executes campaigns by
+// sharding them across registered workers (see internal/fabric); a
+// worker serves shards and heartbeats to its coordinator. The default
+// role, single, simulates in-process.
+//
 // API:
 //
 //	POST   /v1/campaigns             submit a campaign spec (JSON); 202
@@ -35,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"ftnoc/internal/fabric"
 	"ftnoc/internal/serve"
 )
 
@@ -50,6 +61,14 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	role := flag.String("role", "single", "daemon role: single (simulate in-process), coordinator (dispatch to workers), worker (execute shards)")
+	coordinator := flag.String("coordinator", "", "coordinator base URL (worker role; required)")
+	name := flag.String("name", "", "worker name (worker role; default <hostname>-<pid>)")
+	slots := flag.Int("slots", 1, "concurrent shards this worker advertises (worker role)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (worker role; default derived from the bound address)")
+	shardPoints := flag.Int("shard-points", 8, "grid points per dispatched shard (coordinator role)")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "worker liveness window (coordinator role)")
+	tenantTokens := flag.Int("tenant-tokens", 0, "max in-flight shards per tenant (coordinator role; 0 = uncapped)")
 	flag.Parse()
 
 	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
@@ -57,14 +76,57 @@ func main() {
 		fatal(err)
 	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: *cacheMB << 20,
 		RetryAfter: *retryAfter,
 		MaxJobs:    *maxJobs,
 		Logger:     logger,
-	})
+	}
+	var coord *fabric.Coordinator
+	var worker *fabric.Worker
+	switch *role {
+	case "single":
+	case "coordinator":
+		coord = fabric.NewCoordinator(fabric.CoordinatorOptions{
+			ShardPoints:  *shardPoints,
+			HeartbeatTTL: *heartbeatTTL,
+			TenantTokens: *tenantTokens,
+			Logger:       logger,
+		})
+		opts.Runner = coord.Run
+		opts.Fabric = coord.Handler()
+		opts.ExtraMetrics = coord.Metrics()
+	case "worker":
+		if *coordinator == "" {
+			fatal(errors.New("-role worker requires -coordinator"))
+		}
+		wname := *name
+		if wname == "" {
+			host, _ := os.Hostname()
+			wname = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		worker = fabric.NewWorker(fabric.WorkerOptions{
+			Name:        wname,
+			Coordinator: *coordinator,
+			Slots:       *slots,
+			Logger:      logger,
+		})
+		opts.Fabric = worker.Handler()
+		opts.ExtraMetrics = worker.Metrics()
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want single, coordinator or worker)", *role))
+	}
+
+	srv := serve.New(opts)
+	if coord != nil {
+		// The server's content-addressed cache doubles as the fabric's
+		// cache-peer store: shard results and whole-campaign results
+		// share one byte budget.
+		coord.SetCache(srv)
+		defer coord.Close()
+	}
 
 	// pprof stays off the service mux: profiling endpoints never share a
 	// port with the public API, so exposing one cannot expose the other.
@@ -91,12 +153,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "nocd: listening on %s (%d workers, queue %d, cache %d MiB)\n",
-		ln.Addr(), *workers, *queue, *cacheMB)
+	fmt.Fprintf(os.Stderr, "nocd: %s listening on %s (%d workers, queue %d, cache %d MiB)\n",
+		*role, ln.Addr(), *workers, *queue, *cacheMB)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+
+	// A worker announces itself once it is actually reachable, and keeps
+	// heartbeating until shutdown.
+	if worker != nil {
+		self := *advertise
+		if self == "" {
+			self = "http://" + reachableHostPort(ln.Addr().String())
+		}
+		regCtx, regCancel := context.WithCancel(context.Background())
+		defer regCancel()
+		go worker.RegisterLoop(regCtx, self)
 	}
 
 	hs := &http.Server{Handler: srv}
@@ -134,6 +208,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nocd:", err)
 	}
 	fmt.Fprintln(os.Stderr, "nocd: bye")
+}
+
+// reachableHostPort turns a bound listen address into one another
+// process can dial: wildcard hosts become loopback. Multi-host fleets
+// should pass -advertise instead.
+func reachableHostPort(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }
 
 // newLogger builds the daemon's slog.Logger from the -log-level and

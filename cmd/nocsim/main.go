@@ -54,7 +54,6 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "stream sampled per-router metrics to an NDJSON file")
 	metricsEvery := flag.Uint64("metrics-every", 100, "metrics sampling interval in cycles")
 	kernelName := flag.String("kernel", "event", "simulation scheduler: naive, quiescent or event; results are identical, only speed differs")
-	simNaive := flag.Bool("sim-naive", false, "deprecated alias for -kernel naive")
 	check := flag.Bool("check", false, "run the runtime invariant checker alongside the simulation; exit non-zero on any violation")
 	checkEvery := flag.Uint64("check-every", 1, "with -check, audit network state every N cycles (1 = every cycle)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -192,9 +191,6 @@ func main() {
 	// invariant checker is likewise an observability attachment.
 	if cfg.Kernel, err = ftnoc.ParseKernel(*kernelName); err != nil {
 		fatal(err)
-	}
-	if *simNaive {
-		cfg.Kernel = ftnoc.KernelNaive
 	}
 	var chk *ftnoc.InvariantChecker
 	if *check {

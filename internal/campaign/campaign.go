@@ -172,6 +172,14 @@ type Report struct {
 	// Aborted reports that the campaign's context was cancelled before
 	// the grid completed; unstarted replicates have zero RepResults.
 	Aborted bool
+	// Rows, when non-nil, is the report's pre-flattened row form and
+	// takes precedence over Points in every table export. A distributed
+	// coordinator assembles its report from rows streamed back by
+	// workers — the full PointResult (raw network.Results per replicate)
+	// never crosses the wire, only the row form clients see — so a
+	// row-level report renders byte-identically to the single-node
+	// engine's without reconstructing simulator internals.
+	Rows []PointRow
 }
 
 // Points expands the spec's grid in deterministic order (axes nest
@@ -260,13 +268,38 @@ func DeriveSeed(base uint64, point, rep int) uint64 {
 // their PointResult. Cancelling ctx stops dispatch and aborts in-flight
 // simulations; the report still contains everything that completed.
 func Run(ctx context.Context, spec Spec) (*Report, error) {
-	if spec.Workers < 0 {
-		return nil, fmt.Errorf("campaign: %w: Workers must be >= 0 (0 means GOMAXPROCS), have %d",
-			network.ErrInvalidConfig, spec.Workers)
-	}
 	points := spec.Points()
 	if len(points) == 0 {
 		return nil, fmt.Errorf("campaign: empty grid")
+	}
+	return run(ctx, spec, points, nil)
+}
+
+// RunRange executes only the grid points with global index in [lo, hi) —
+// the shard primitive of the distributed fabric. Every replicate derives
+// its seed from the point's *global* grid index, so a range run produces
+// exactly the rows the same points would produce inside a full Run, and
+// re-running a range is idempotent. When emit is non-nil it receives each
+// point's finished row as soon as its last replicate retires (completion
+// order, serialised), which is what lets a worker stream partial results
+// while the rest of the shard is still simulating. The returned report
+// contains only the range's points, with their global indices preserved.
+func RunRange(ctx context.Context, spec Spec, lo, hi int, emit func(PointRow)) (*Report, error) {
+	points := spec.Points()
+	if lo < 0 || hi > len(points) || lo >= hi {
+		return nil, fmt.Errorf("campaign: %w: point range [%d,%d) outside grid of %d points",
+			network.ErrInvalidConfig, lo, hi, len(points))
+	}
+	return run(ctx, spec, points[lo:hi], emit)
+}
+
+// run is the shared engine core behind Run (full grid, no streaming) and
+// RunRange (a shard with per-point row emission). points carries global
+// indices in Point.Index; report slots are local.
+func run(ctx context.Context, spec Spec, points []Point, emit func(PointRow)) (*Report, error) {
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("campaign: %w: Workers must be >= 0 (0 means GOMAXPROCS), have %d",
+			network.ErrInvalidConfig, spec.Workers)
 	}
 	reps := spec.Seeds
 	if reps <= 0 {
@@ -277,8 +310,23 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	start := time.Now()
 	progress := newLockedSink(spec.Progress)
 
+	// emitRow serialises streaming emissions: workers finish points
+	// concurrently, but the consumer (typically an NDJSON writer on an
+	// HTTP response) sees one row at a time.
+	var emitMu sync.Mutex
+	emitRow := func(local int) {
+		if emit == nil {
+			return
+		}
+		row := PointRowOf(&report.Points[local])
+		emitMu.Lock()
+		emit(row)
+		emitMu.Unlock()
+	}
+
 	// Validation happens up front, once per point: an invalid point is
-	// recorded and dispatches no replicates.
+	// recorded, dispatches no replicates, and streams its (error) row
+	// immediately.
 	type job struct{ point, rep int }
 	var jobs []job
 	for i := range points {
@@ -286,6 +334,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		report.Points[i].Reps = make([]RepResult, reps)
 		if err := points[i].Config.Validate(); err != nil {
 			report.Points[i].Err = err
+			emitRow(i)
 			continue
 		}
 		for r := 0; r < reps; r++ {
@@ -293,7 +342,14 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		}
 	}
 
-	spans := newSpanTracker(progress, start, len(points), reps)
+	spans := newSpanTracker(progress, start, points, reps)
+	// A point's row is final the moment its last replicate retires: the
+	// tracker's mutex hand-off ordered every replicate write before this
+	// callback, so finalizing and streaming here races with nothing.
+	spans.onPoint = func(local int) {
+		finalizePoint(&report.Points[local])
+		emitRow(local)
+	}
 	spans.campaignBegin(len(points), len(jobs))
 
 	jobc := make(chan job)
@@ -303,12 +359,13 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		go func(worker int) {
 			defer wg.Done()
 			for j := range jobc {
+				global := points[j.point].Index
 				cfg := points[j.point].Config
-				cfg.Seed = DeriveSeed(spec.Base.Seed, j.point, j.rep)
+				cfg.Seed = DeriveSeed(spec.Base.Seed, global, j.rep)
 				spans.repBegin(worker, j.point, j.rep, cfg.Seed)
 				progress.emit(trace.Event{
 					Kind: trace.CampaignPointStart, Node: -1, Port: -1, VC: -1,
-					Aux: uint64(j.point), PID: uint64(j.rep),
+					Aux: uint64(global), PID: uint64(j.rep),
 				})
 				repStart := time.Now()
 				rr := runReplicate(ctx, cfg, spec.Invariants)
@@ -318,7 +375,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 				progress.emit(trace.Event{
 					Kind: trace.CampaignPointDone, Cycle: rr.Results.Cycles,
 					Node: -1, Port: -1, VC: -1,
-					Aux: uint64(j.point), PID: uint64(j.rep),
+					Aux: uint64(global), PID: uint64(j.rep),
 				})
 				spans.repEnd(worker, j.point, j.rep, rr)
 			}
@@ -359,7 +416,14 @@ dispatch:
 type spanTracker struct {
 	sink  *lockedSink
 	start time.Time
-	reps  int // replicates per point
+	reps  int   // replicates per point
+	grid  []Point // local slot → Point (Index carries the global id)
+
+	// onPoint, when non-nil, fires once per point right after its last
+	// replicate retires (outside the tracker lock, but ordered after
+	// every replicate write by the lock hand-off) — the streaming-row
+	// hook of RunRange.
+	onPoint func(local int)
 
 	mu     sync.Mutex
 	points []pointSpan
@@ -371,9 +435,12 @@ type pointSpan struct {
 	first, last           time.Time
 }
 
-func newSpanTracker(sink *lockedSink, start time.Time, points, reps int) *spanTracker {
-	return &spanTracker{sink: sink, start: start, reps: reps, points: make([]pointSpan, points)}
+func newSpanTracker(sink *lockedSink, start time.Time, grid []Point, reps int) *spanTracker {
+	return &spanTracker{sink: sink, start: start, reps: reps, grid: grid, points: make([]pointSpan, len(grid))}
 }
+
+// global maps a local report slot to its global grid index.
+func (t *spanTracker) global(local int) uint64 { return uint64(t.grid[local].Index) }
 
 // wall is the event timestamp: microseconds of wall clock since Run
 // started (the Chrome exporter's 1 tick = 1 µs).
@@ -407,13 +474,13 @@ func (t *spanTracker) repBegin(worker, point, rep int, seed uint64) {
 		ps.first = time.Now()
 		t.sink.emit(trace.Event{
 			Kind: trace.CampaignPointBegin, Cycle: now, Node: -1, Port: -1, VC: -1,
-			Aux: uint64(point),
+			Aux: t.global(point),
 		})
 	}
 	t.mu.Unlock()
 	t.sink.emit(trace.Event{
 		Kind: trace.CampaignRepBegin, Cycle: now, Node: int32(worker), Port: -1, VC: -1,
-		Aux: uint64(point), PID: uint64(rep), Aux2: seed,
+		Aux: t.global(point), PID: uint64(rep), Aux2: seed,
 	})
 }
 
@@ -437,14 +504,18 @@ func (t *spanTracker) repEnd(worker, point, rep int, rr RepResult) {
 		ps.failed++
 	}
 	ps.last = time.Now()
-	if ps.done == t.reps && !ps.ended {
+	completed := ps.done == t.reps && !ps.ended
+	if completed {
 		ps.ended = true
 		t.sink.emit(trace.Event{
 			Kind: trace.CampaignPointEnd, Cycle: now, Node: -1, Port: -1, VC: -1,
-			Aux: uint64(point), Aux2: uint64(ps.failed),
+			Aux: t.global(point), Aux2: uint64(ps.failed),
 		})
 	}
 	t.mu.Unlock()
+	if completed && t.onPoint != nil {
+		t.onPoint(point)
+	}
 }
 
 // flush closes the point spans an aborted dispatch left open and copies
@@ -461,7 +532,7 @@ func (t *spanTracker) flush(report *Report) {
 			ps.ended = true
 			t.sink.emit(trace.Event{
 				Kind: trace.CampaignPointEnd, Cycle: t.wall(), Node: -1, Port: -1, VC: -1,
-				Aux: uint64(i), Aux2: uint64(ps.failed),
+				Aux: t.global(i), Aux2: uint64(ps.failed),
 			})
 		}
 		report.Points[i].Wall = ps.last.Sub(ps.first)
@@ -514,11 +585,15 @@ func runReplicate(ctx context.Context, cfg network.Config, check bool) (rr RepRe
 }
 
 // finalizePoint computes the aggregate and promotes an all-replicates
-// failure to the point error.
+// failure to the point error. Idempotent: the streaming path finalizes a
+// point the moment its last replicate retires, and the end-of-run sweep
+// finalizes every point again — the recomputation starts from a zero
+// aggregate and identical replicates, so both calls agree.
 func finalizePoint(p *PointResult) {
 	if p.Err != nil {
 		return // invalid config: no replicates ran
 	}
+	p.Agg = Aggregate{}
 	var lat, p95, thr, energy, delivered []float64
 	var firstErr error
 	for _, rr := range p.Reps {

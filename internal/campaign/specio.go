@@ -39,8 +39,13 @@ type specWire struct {
 	Kernel         string          `json:"kernel"`
 }
 
-// wireSize accepts either {"width":8,"height":8} or the string "8x8".
+// wireSize accepts either {"width":8,"height":8} or the string "8x8";
+// it always marshals as the string form.
 type wireSize struct{ Size }
+
+func (w wireSize) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fmt.Sprintf("%dx%d", w.Width, w.Height))
+}
 
 func (w *wireSize) UnmarshalJSON(data []byte) error {
 	if len(data) > 0 && data[0] == '"' {
@@ -135,6 +140,43 @@ func ParseSpec(data []byte) (Spec, error) {
 	return spec, nil
 }
 
+// WireJSON renders the spec in its ParseSpec wire form — the document a
+// distributed coordinator ships to workers. The round trip preserves
+// everything that determines results (ParseSpec(WireJSON(s)) has the
+// same CanonicalHash as s): the base config travels as its canonical
+// JSON, axes as their CLI names. Workers is deliberately dropped (each
+// worker sizes its own pool — results are scheduling-independent), and
+// the hash-excluded Kernel preference stays local too.
+func (s Spec) WireJSON() ([]byte, error) {
+	base, err := s.Base.CanonicalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: wire spec base: %w", err)
+	}
+	w := specWire{
+		Base:           base,
+		LinkErrorRates: s.LinkErrorRates,
+		InjectionRates: s.InjectionRates,
+		Seeds:          s.Seeds,
+		Invariants:     s.Invariants,
+	}
+	for _, sz := range s.Sizes {
+		w.Sizes = append(w.Sizes, wireSize{sz})
+	}
+	for _, t := range s.Topologies {
+		w.Topologies = append(w.Topologies, t.String())
+	}
+	for _, r := range s.Routings {
+		w.Routings = append(w.Routings, r.String())
+	}
+	for _, p := range s.Protections {
+		w.Protections = append(w.Protections, p.String())
+	}
+	for _, p := range s.Patterns {
+		w.Patterns = append(w.Patterns, p.String())
+	}
+	return json.Marshal(w)
+}
+
 // CanonicalHash content-addresses the campaign's results: a hex SHA-256
 // over the replicate count and every expanded point's validated
 // canonical Config. Runs are deterministic and scheduling-independent,
@@ -160,6 +202,42 @@ func (s Spec) CanonicalHash() (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("campaign: point %d: %w", i, err)
 		}
+		h.Write(cj)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// RangeHash content-addresses one shard's results: the rows RunRange
+// would produce for the grid points in [lo, hi). Beyond each point's
+// canonical Config (which embeds the base seed, the root of replicate
+// seed derivation) the hash covers the point's *global* grid index,
+// because both the row's point number and its derived seeds depend on
+// where the point sits in the full grid — identical configs at different
+// grid positions produce different rows. It is the key of the fabric's
+// cache-peer protocol: a worker consults the coordinator's cache under
+// this hash before simulating a shard.
+func (s Spec) RangeHash(lo, hi int) (string, error) {
+	points := s.Points()
+	if lo < 0 || hi > len(points) || lo >= hi {
+		return "", fmt.Errorf("campaign: %w: point range [%d,%d) outside grid of %d points",
+			network.ErrInvalidConfig, lo, hi, len(points))
+	}
+	reps := s.Seeds
+	if reps <= 0 {
+		reps = 1
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ftnoc-shard-v1 reps=%d range=%d:%d\n", reps, lo, hi)
+	for i := lo; i < hi; i++ {
+		if err := points[i].Config.Validate(); err != nil {
+			return "", fmt.Errorf("campaign: point %d: %w", i, err)
+		}
+		cj, err := points[i].Config.CanonicalJSON()
+		if err != nil {
+			return "", fmt.Errorf("campaign: point %d: %w", i, err)
+		}
+		fmt.Fprintf(h, "%d ", points[i].Index)
 		h.Write(cj)
 		h.Write([]byte{'\n'})
 	}

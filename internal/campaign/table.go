@@ -2,10 +2,12 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"strconv"
 )
 
@@ -27,13 +29,56 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return WriteRowsCSV(w, r.rows())
 }
 
-// rows flattens the report's points into their external row form.
+// rows flattens the report's points into their external row form (or
+// returns the pre-flattened Rows of a coordinator-assembled report).
 func (r *Report) rows() []PointRow {
+	if r.Rows != nil {
+		return r.Rows
+	}
 	rows := make([]PointRow, len(r.Points))
 	for i := range r.Points {
 		rows[i] = PointRowOf(&r.Points[i])
 	}
 	return rows
+}
+
+// PointRows returns the report's external row form — the rows WriteCSV
+// and WriteNDJSON render. Distributed differential tests compare these
+// directly against a single-node run's.
+func (r *Report) PointRows() []PointRow { return r.rows() }
+
+// MergeRows assembles the row sets returned by distributed shards into
+// one grid-ordered table over a grid of total points. Duplicate rows for
+// a point are tolerated when identical (redispatch can recompute a point
+// another worker already streamed — determinism makes the copies equal)
+// and rejected otherwise; missing lists the points no shard covered, so
+// a resuming coordinator knows exactly what to re-dispatch.
+func MergeRows(total int, parts ...[]PointRow) (rows []PointRow, missing []int, err error) {
+	seen := make([]*PointRow, total)
+	for _, part := range parts {
+		for i := range part {
+			row := &part[i]
+			if row.Point < 0 || row.Point >= total {
+				return nil, nil, fmt.Errorf("campaign: merged row for point %d outside grid of %d points", row.Point, total)
+			}
+			if prev := seen[row.Point]; prev != nil {
+				if !reflect.DeepEqual(*prev, *row) {
+					return nil, nil, fmt.Errorf("campaign: conflicting rows for point %d", row.Point)
+				}
+				continue
+			}
+			seen[row.Point] = row
+		}
+	}
+	rows = make([]PointRow, 0, total)
+	for i, row := range seen {
+		if row == nil {
+			missing = append(missing, i)
+			continue
+		}
+		rows = append(rows, *row)
+	}
+	return rows, missing, nil
 }
 
 // WriteRowsCSV renders already-flattened rows in the WriteCSV table
@@ -182,28 +227,45 @@ func WriteRowsNDJSON(w io.Writer, rows []PointRow) error {
 	return nil
 }
 
+// maxNDJSONRow bounds one table line; a longer line means the stream is
+// not one of our tables.
+const maxNDJSONRow = 16 << 20
+
 // ReadNDJSON parses a WriteNDJSON table back into its rows, in file
 // order. Together with ReadCSV it guards the export formats: a report
 // written and read back must reconstruct every row.
+//
+// Every writer newline-terminates every row, so a final line without its
+// newline is a truncated stream (a writer that died mid-row) and is
+// reported as an error even when the fragment happens to parse as JSON —
+// the resume path must never mistake a partial table for a complete one.
 func ReadNDJSON(r io.Reader) ([]PointRow, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
 	var rows []PointRow
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("campaign: reading NDJSON: %w", err)
 		}
-		var row PointRow
-		if err := json.Unmarshal(line, &row); err != nil {
-			return nil, fmt.Errorf("campaign: parsing NDJSON row %d: %w", len(rows), err)
+		terminated := err == nil
+		if len(line) > maxNDJSONRow {
+			return nil, fmt.Errorf("campaign: NDJSON row %d exceeds %d bytes", len(rows), maxNDJSONRow)
 		}
-		rows = append(rows, row)
+		line = bytes.TrimSuffix(line, []byte{'\n'})
+		if len(line) > 0 {
+			if !terminated {
+				return nil, fmt.Errorf("campaign: truncated NDJSON: row %d is missing its terminating newline (partial write from a dead producer?)", len(rows))
+			}
+			var row PointRow
+			if uerr := json.Unmarshal(line, &row); uerr != nil {
+				return nil, fmt.Errorf("campaign: parsing NDJSON row %d: %w", len(rows), uerr)
+			}
+			rows = append(rows, row)
+		}
+		if !terminated {
+			return rows, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: reading NDJSON: %w", err)
-	}
-	return rows, nil
 }
 
 // ReadCSV parses a WriteCSV table back into its rows. CSV carries no

@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// renderedTable produces a real two-point NDJSON table and its CSV twin
+// for the truncation tests.
+func renderedTable(t *testing.T) (ndjson, csv []byte, rows int) {
+	t.Helper()
+	spec := Spec{
+		Base:           tinyBase(),
+		InjectionRates: []float64{0.1, 0.2},
+		Seeds:          1,
+		Workers:        1,
+	}
+	report, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb, cb bytes.Buffer
+	if err := report.WriteNDJSON(&nb); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return nb.Bytes(), cb.Bytes(), len(report.Points)
+}
+
+// TestReadNDJSONTruncated covers partial row streams — the shape a
+// crashed producer (dead worker, killed daemon) leaves behind. A final
+// line missing its newline must error cleanly even when the fragment
+// happens to parse as JSON, because there is no way to know the row was
+// complete.
+func TestReadNDJSONTruncated(t *testing.T) {
+	table, _, n := renderedTable(t)
+
+	full, err := ReadNDJSON(bytes.NewReader(table))
+	if err != nil {
+		t.Fatalf("intact table: %v", err)
+	}
+	if len(full) != n {
+		t.Fatalf("intact table: %d rows, want %d", len(full), n)
+	}
+
+	// Chop the trailing newline only: the last row is byte-complete,
+	// valid JSON, and still must be rejected.
+	noNewline := bytes.TrimSuffix(table, []byte{'\n'})
+	if _, err := ReadNDJSON(bytes.NewReader(noNewline)); err == nil {
+		t.Fatal("complete JSON row without terminating newline was accepted")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncation error, got: %v", err)
+	}
+
+	// Chop mid-row: both the missing newline and the broken JSON make
+	// this invalid; the reader must say truncated, not panic or accept.
+	cut := table[:len(table)-len(table)/4]
+	if cut[len(cut)-1] == '\n' {
+		cut = cut[:len(cut)-1]
+	}
+	if _, err := ReadNDJSON(bytes.NewReader(cut)); err == nil {
+		t.Fatal("mid-row truncation was accepted")
+	}
+
+	// A clean prefix of whole lines is a valid (shorter) table: partial
+	// results from an aborted run stay readable.
+	firstLine := bytes.IndexByte(table, '\n') + 1
+	prefix, err := ReadNDJSON(bytes.NewReader(table[:firstLine]))
+	if err != nil {
+		t.Fatalf("whole-line prefix: %v", err)
+	}
+	if len(prefix) != 1 {
+		t.Fatalf("whole-line prefix: %d rows, want 1", len(prefix))
+	}
+
+	if rows, err := ReadNDJSON(bytes.NewReader(nil)); err != nil || len(rows) != 0 {
+		t.Fatalf("empty input: rows=%d err=%v", len(rows), err)
+	}
+}
+
+// TestReadCSVTruncated: a record cut mid-line loses columns (or breaks a
+// quoted field) and must be rejected, while a whole-record prefix parses.
+func TestReadCSVTruncated(t *testing.T) {
+	_, table, n := renderedTable(t)
+
+	full, err := ReadCSV(bytes.NewReader(table))
+	if err != nil {
+		t.Fatalf("intact table: %v", err)
+	}
+	if len(full) != n {
+		t.Fatalf("intact table: %d rows, want %d", len(full), n)
+	}
+
+	cut := bytes.TrimRight(table[:len(table)-len(table)/4], "\n")
+	if _, err := ReadCSV(bytes.NewReader(cut)); err == nil {
+		t.Fatal("mid-record truncation was accepted")
+	}
+
+	lines := bytes.SplitAfter(table, []byte{'\n'})
+	prefix := append(append([]byte(nil), lines[0]...), lines[1]...)
+	rows, err := ReadCSV(bytes.NewReader(prefix))
+	if err != nil {
+		t.Fatalf("whole-record prefix: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("whole-record prefix: %d rows, want 1", len(rows))
+	}
+}
+
+func TestMergeRows(t *testing.T) {
+	table, _, n := renderedTable(t)
+	rows, err := ReadNDJSON(bytes.NewReader(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shards arrive out of order, with an idempotent duplicate.
+	merged, missing, err := MergeRows(n, []PointRow{rows[1]}, []PointRow{rows[0]}, []PointRow{rows[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 || len(merged) != n {
+		t.Fatalf("merged=%d missing=%v", len(merged), missing)
+	}
+	for i := range merged {
+		if merged[i].Point != i {
+			t.Fatalf("merged[%d].Point = %d", i, merged[i].Point)
+		}
+	}
+
+	_, missing, err = MergeRows(n, []PointRow{rows[1]})
+	if err != nil || len(missing) != 1 || missing[0] != 0 {
+		t.Fatalf("partial merge: missing=%v err=%v", missing, err)
+	}
+
+	conflict := rows[1]
+	conflict.Completed++
+	if _, _, err := MergeRows(n, []PointRow{rows[1]}, []PointRow{conflict}); err == nil {
+		t.Fatal("conflicting duplicate was accepted")
+	}
+
+	bad := rows[0]
+	bad.Point = n + 3
+	if _, _, err := MergeRows(n, []PointRow{bad}); err == nil {
+		t.Fatal("out-of-range row was accepted")
+	}
+}

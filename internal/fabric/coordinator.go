@@ -1,0 +1,765 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftnoc/internal/campaign"
+	"ftnoc/internal/serve"
+	"ftnoc/internal/trace"
+)
+
+// CacheStore is the content-addressed byte store behind the coordinator's
+// cache-peer endpoint. *serve.Server satisfies it with the same LRU cache
+// that serves whole-campaign results, so shard entries and report entries
+// share one byte budget and one hit/miss ledger.
+type CacheStore interface {
+	CacheGet(key string) ([]byte, bool)
+	CachePut(key string, val []byte)
+}
+
+// CoordinatorOptions tunes the dispatch scheduler. The zero value is
+// usable; every field has a default chosen for small fleets.
+type CoordinatorOptions struct {
+	// ShardPoints is the maximum grid points per dispatched shard
+	// (default 8). Smaller shards spread better and lose less work when
+	// a worker dies; larger ones amortise per-request overhead.
+	ShardPoints int
+	// HeartbeatTTL is how stale a worker's last heartbeat may be before
+	// the dispatcher considers it dead (default 15s). Workers are told
+	// to heartbeat at a third of this.
+	HeartbeatTTL time.Duration
+	// ShardTimeout bounds one shard dispatch end to end (default 10m);
+	// a worker that accepts a shard and hangs forfeits it to redispatch.
+	ShardTimeout time.Duration
+	// RetryBaseDelay seeds the exponential backoff applied before a
+	// failed shard is redispatched (default 250ms, doubling per attempt
+	// up to RetryMaxDelay, default 5s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// MaxAttempts bounds redispatches of one shard lineage before the
+	// whole campaign is failed (default 8). Zero capacity is not an
+	// attempt: a shard waiting for any live worker waits indefinitely.
+	MaxAttempts int
+	// BreakerThreshold opens a worker's circuit breaker after that many
+	// consecutive shard failures (default 3): the worker receives no
+	// dispatches for BreakerCooldown (default 10s), then gets another
+	// chance. Heartbeats alone never close an open breaker — only the
+	// cooldown does.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// TenantWeights maps tenant names to weighted-fair-queueing weights
+	// (default 1.0 each). A tenant with weight 2 accrues virtual time at
+	// half rate and thus receives twice the dispatch share under load.
+	TenantWeights map[string]float64
+	// TenantTokens caps one tenant's in-flight shards (default 0 = no
+	// cap). With a cap of k, a tenant can occupy at most k worker slots
+	// no matter how much it has queued — hard isolation on top of WFQ's
+	// proportional sharing.
+	TenantTokens int
+	// Cache backs the cache-peer endpoint. Nil disables it (workers
+	// always simulate). SetCache may install it after construction.
+	Cache CacheStore
+	// Client issues shard requests (default http.DefaultClient).
+	Client *http.Client
+	// Logger receives dispatch lifecycle records. Nil discards.
+	Logger *slog.Logger
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.ShardPoints <= 0 {
+		o.ShardPoints = 8
+	}
+	if o.HeartbeatTTL <= 0 {
+		o.HeartbeatTTL = 15 * time.Second
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 10 * time.Minute
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 250 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Coordinator owns the worker fleet and the dispatch scheduler. Its Run
+// method is a drop-in serve.Options.Runner: it produces a Report whose
+// rendered rows are byte-identical to the single-node engine's, so the
+// daemon's queue, cache and SSE layers work unchanged above it.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	log    *slog.Logger
+	client *http.Client
+	met    *coordMetrics
+	runSeq atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cache   CacheStore
+	workers map[string]*workerState
+	tenants map[string]*tenantState
+	vclock  float64
+	closed  bool
+}
+
+// workerState is one registered worker: its capacity, its liveness, and
+// its circuit breaker.
+type workerState struct {
+	name     string
+	url      string
+	slots    int
+	busy     int
+	lastSeen time.Time
+	// fails counts consecutive shard failures; reaching BreakerThreshold
+	// opens the breaker until openUntil.
+	fails     int
+	openUntil time.Time
+}
+
+// tenantState is one client's WFQ position: a FIFO of queued shards, the
+// virtual time its service has accrued, and its in-flight count.
+type tenantState struct {
+	name     string
+	vtime    float64
+	inflight int
+	queue    []*task
+}
+
+// task is one dispatchable shard of one campaign run.
+type task struct {
+	run       *campaignRun
+	lo, hi    int
+	attempt   int
+	notBefore time.Time
+	cost      float64 // points × replicates, the WFQ service quantum
+	key       string  // cache-peer key, empty if unhashable
+}
+
+// campaignRun is one Run invocation's assembly state: rows keyed by
+// global point index, filled as workers stream them back (online — the
+// first copy of each row is merged the moment it arrives, duplicates
+// from redispatch are dropped; determinism makes them equal anyway).
+type campaignRun struct {
+	c      *Coordinator
+	id     string
+	ctx    context.Context
+	cancel context.CancelFunc
+	spec   campaign.Spec
+	wire   []byte
+	tenant string
+	reps   int
+
+	mu      sync.Mutex
+	rows    []*campaign.PointRow
+	got     int
+	pending int // tasks queued or in flight
+	err     error
+
+	once sync.Once
+	done chan struct{}
+	// idle closes when pending reaches zero: every task retired, no
+	// streams in flight. Run waits for it so shard telemetry (done
+	// lines, completion counters) is fully accounted before the report
+	// is returned.
+	idleOnce sync.Once
+	idle     chan struct{}
+}
+
+// ended reports that the run needs no further dispatching: it resolved
+// (done closed) or its context died. Queued tasks of ended runs are
+// purged instead of dispatched.
+func (r *campaignRun) ended() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return r.ctx.Err() != nil
+	}
+}
+
+// NewCoordinator builds a coordinator and starts its dispatcher.
+// Close releases it.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:    opts,
+		log:     opts.Logger,
+		client:  opts.Client,
+		cache:   opts.Cache,
+		workers: make(map[string]*workerState),
+		tenants: make(map[string]*tenantState),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.met = newCoordMetrics(c)
+	go c.dispatcher()
+	return c
+}
+
+// SetCache installs the cache-peer store after construction — the daemon
+// builds its serve.Server with the coordinator's Run as Runner, then
+// hands the server back here as the store.
+func (c *Coordinator) SetCache(store CacheStore) {
+	c.mu.Lock()
+	c.cache = store
+	c.mu.Unlock()
+}
+
+// Close stops the dispatcher. Queued shards are abandoned; callers
+// blocked in Run return when their contexts cancel.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+func (c *Coordinator) broadcast() { c.cond.Broadcast() }
+
+// Run executes the campaign across the fleet and assembles the report
+// from streamed rows. It is shaped exactly like campaign.Run: the only
+// top-level errors are an empty/unshippable grid or exhausted
+// redispatch; cancellation returns the partial rows with Aborted set.
+func (c *Coordinator) Run(ctx context.Context, spec campaign.Spec) (*campaign.Report, error) {
+	points := spec.Points()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("campaign: empty grid")
+	}
+	wire, err := spec.WireJSON()
+	if err != nil {
+		return nil, err
+	}
+	tenant := serve.TenantFrom(ctx)
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	reps := spec.Seeds
+	if reps <= 0 {
+		reps = 1
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	run := &campaignRun{
+		c:      c,
+		id:     fmt.Sprintf("run-%d", c.runSeq.Add(1)),
+		ctx:    runCtx,
+		cancel: cancel,
+		spec:   spec,
+		wire:   wire,
+		tenant: tenant,
+		reps:   reps,
+		rows:   make([]*campaign.PointRow, len(points)),
+		done:   make(chan struct{}),
+		idle:   make(chan struct{}),
+	}
+
+	var tasks []*task
+	for lo := 0; lo < len(points); lo += c.opts.ShardPoints {
+		hi := min(lo+c.opts.ShardPoints, len(points))
+		tasks = append(tasks, &task{
+			run: run, lo: lo, hi: hi,
+			cost: float64((hi - lo) * reps),
+			key:  c.shardKey(spec, lo, hi),
+		})
+	}
+	run.pending = len(tasks)
+	start := time.Now()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("fabric: coordinator closed")
+	}
+	tn := c.tenantLocked(tenant)
+	tn.queue = append(tn.queue, tasks...)
+	c.noteTenantLocked(tn)
+	workersNow := c.aliveWorkersLocked(time.Now())
+	c.mu.Unlock()
+	c.broadcast()
+	c.log.Info("campaign dispatched to fabric",
+		"run", run.id, "tenant", tenant, "points", len(points),
+		"shards", len(tasks), "workers_alive", workersNow)
+
+	select {
+	case <-run.done:
+	case <-ctx.Done():
+		run.finish(context.Cause(ctx))
+	}
+	// Wait for every task to settle — queued ones purge on the next
+	// dispatcher wake, in-flight streams drain (or abort, if the run
+	// failed) — so counters and the report are final when we return.
+	<-run.idle
+
+	run.mu.Lock()
+	got, runErr := run.got, run.err
+	ordered := make([]campaign.PointRow, 0, got)
+	for _, row := range run.rows {
+		if row != nil {
+			ordered = append(ordered, *row)
+		}
+	}
+	run.mu.Unlock()
+
+	report := &campaign.Report{
+		Rows:    ordered,
+		Workers: workersNow,
+		Elapsed: time.Since(start),
+	}
+	switch {
+	case got == len(points):
+		// Complete — even if the context raced cancellation in.
+		return report, nil
+	case ctx.Err() != nil:
+		report.Aborted = true
+		return report, nil
+	default:
+		if runErr == nil {
+			runErr = errors.New("fabric: run ended incomplete")
+		}
+		return nil, runErr
+	}
+}
+
+// shardKey derives the cache-peer content address for points [lo, hi).
+// An unhashable shard (it contains an invalid point) gets no key: the
+// worker will simulate it and stream the validation-error rows, exactly
+// as the single-node engine records them.
+func (c *Coordinator) shardKey(spec campaign.Spec, lo, hi int) string {
+	h, err := spec.RangeHash(lo, hi)
+	if err != nil {
+		return ""
+	}
+	return "shard:" + h
+}
+
+// tenantLocked interns the tenant's WFQ state. A tenant that was idle
+// (or new) starts at the global virtual clock so its backlog competes
+// fairly from now on instead of replaying virtual time it never used —
+// this is what lets a fresh interactive tenant overtake a long-queued
+// sweep immediately.
+func (c *Coordinator) tenantLocked(name string) *tenantState {
+	tn := c.tenants[name]
+	if tn == nil {
+		tn = &tenantState{name: name}
+		c.tenants[name] = tn
+	}
+	if tn.vtime < c.vclock {
+		tn.vtime = c.vclock
+	}
+	return tn
+}
+
+func (c *Coordinator) weight(tenant string) float64 {
+	if w, ok := c.opts.TenantWeights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// dispatcher is the scheduler loop: one goroutine that repeatedly picks
+// the (tenant, shard, worker) triple allowed by WFQ order, token quotas,
+// worker capacity and circuit breakers, and hands the shard to an
+// executor goroutine. All waiting happens on the condition variable;
+// time-gated events (backoff expiry, breaker cooldown) broadcast through
+// time.AfterFunc rather than polling.
+func (c *Coordinator) dispatcher() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// On Close, settle whatever is still queued so blocked Runs can
+	// observe their fate instead of waiting on a dispatcher that is gone.
+	defer func() {
+		for _, tn := range c.tenants {
+			for _, t := range tn.queue {
+				t.run.settle(0)
+			}
+			tn.queue = nil
+			c.noteTenantLocked(tn)
+		}
+	}()
+	for !c.closed {
+		now := time.Now()
+		t, tn, w := c.pickLocked(now)
+		if t == nil {
+			c.cond.Wait()
+			continue
+		}
+		// WFQ accounting: the tenant pays for the shard in virtual time
+		// scaled by its weight; the global clock follows the served
+		// tenant so newly active tenants join at the current position.
+		if tn.vtime < c.vclock {
+			tn.vtime = c.vclock
+		}
+		c.vclock = tn.vtime
+		tn.vtime += t.cost / c.weight(tn.name)
+		tn.inflight++
+		w.busy++
+		c.noteTenantLocked(tn)
+		c.met.dispatched.Inc()
+		go c.execute(t, tn, w)
+	}
+}
+
+// pickLocked chooses the next dispatch: the eligible shard of the
+// minimum-virtual-time tenant, paired with the least-loaded live worker.
+// It returns nils when nothing can be dispatched right now. Shards whose
+// runs have finished (canceled, or completed through duplicates) are
+// purged here.
+func (c *Coordinator) pickLocked(now time.Time) (*task, *tenantState, *workerState) {
+	c.purgeLocked()
+	w := c.freeWorkerLocked(now)
+	if w == nil {
+		return nil, nil, nil
+	}
+	var bestT *tenantState
+	var bestIdx int
+	for _, tn := range c.tenants {
+		if c.opts.TenantTokens > 0 && tn.inflight >= c.opts.TenantTokens {
+			continue
+		}
+		idx := -1
+		for i, t := range tn.queue {
+			if !t.notBefore.After(now) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if bestT == nil || tn.vtime < bestT.vtime ||
+			(tn.vtime == bestT.vtime && tn.name < bestT.name) {
+			bestT, bestIdx = tn, idx
+		}
+	}
+	if bestT == nil {
+		return nil, nil, nil
+	}
+	t := bestT.queue[bestIdx]
+	bestT.queue = append(bestT.queue[:bestIdx], bestT.queue[bestIdx+1:]...)
+	return t, bestT, w
+}
+
+// purgeLocked drops queued shards of ended runs (resolved, canceled, or
+// completed through redispatch duplicates), settling each so its run's
+// idle accounting closes. It runs on every dispatcher wake — even when
+// no worker is free — so ended runs never wait on capacity to drain.
+func (c *Coordinator) purgeLocked() {
+	for _, tn := range c.tenants {
+		live := tn.queue[:0]
+		for _, t := range tn.queue {
+			if t.run.ended() {
+				t.run.settle(0)
+			} else {
+				live = append(live, t)
+			}
+		}
+		if len(live) != len(tn.queue) {
+			tn.queue = live
+			c.noteTenantLocked(tn)
+		}
+	}
+}
+
+// freeWorkerLocked returns the live, breaker-closed worker with the most
+// spare capacity (ties by name, for deterministic tests), or nil.
+func (c *Coordinator) freeWorkerLocked(now time.Time) *workerState {
+	var best *workerState
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.opts.HeartbeatTTL {
+			continue
+		}
+		if w.busy >= w.slots || w.openUntil.After(now) {
+			continue
+		}
+		if best == nil || w.busy < best.busy || (w.busy == best.busy && w.name < best.name) {
+			best = w
+		}
+	}
+	return best
+}
+
+func (c *Coordinator) aliveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.opts.HeartbeatTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// execute runs one dispatched shard to its conclusion: stream the rows,
+// then either retire the task or carve the undelivered remainder into
+// fresh backoff-delayed tasks. It owns the worker's failure accounting.
+func (c *Coordinator) execute(t *task, tn *tenantState, w *workerState) {
+	delivered := make([]bool, t.hi-t.lo)
+	err := c.streamShard(t, w, delivered)
+
+	canceled := t.run.ctx.Err() != nil
+	c.mu.Lock()
+	w.busy--
+	tn.inflight--
+	c.noteTenantLocked(tn)
+	if err != nil && !canceled {
+		// A stream cut by the run finishing (completion through a
+		// duplicate, or client cancel) says nothing about the worker.
+		c.met.failures.Inc()
+		w.fails++
+		if w.fails >= c.opts.BreakerThreshold {
+			w.fails = 0
+			w.openUntil = time.Now().Add(c.opts.BreakerCooldown)
+			c.met.breakerOpens.Inc()
+			c.log.Warn("worker circuit breaker opened",
+				"worker", w.name, "cooldown", c.opts.BreakerCooldown)
+			time.AfterFunc(c.opts.BreakerCooldown, c.broadcast)
+		}
+	} else if err == nil {
+		w.fails = 0
+	}
+	c.mu.Unlock()
+
+	if err != nil && !canceled {
+		c.log.Warn("shard dispatch failed",
+			"run", t.run.id, "worker", w.name, "lo", t.lo, "hi", t.hi,
+			"attempt", t.attempt, "err", err)
+	}
+	// Redispatch exactly what did not arrive. Rows that made it before
+	// the failure are merged and stay merged — a killed worker costs its
+	// unfinished points, not its shard. Full coverage counts as
+	// completion even when the run finishing mid-stream cut the
+	// connection out from under the trailing done line.
+	missing := undeliveredRanges(t.lo, delivered)
+	if len(missing) == 0 {
+		c.met.completed.Inc()
+		t.run.settle(0)
+		c.broadcast()
+		return
+	}
+	if canceled {
+		t.run.settle(0)
+		c.broadcast()
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("fabric: worker %s reported done but %d ranges missing", w.name, len(missing))
+	}
+	if t.attempt+1 >= c.opts.MaxAttempts {
+		t.run.finish(fmt.Errorf("fabric: shard [%d,%d) failed after %d attempts: %w",
+			t.lo, t.hi, t.attempt+1, err))
+		t.run.settle(0)
+		c.broadcast()
+		return
+	}
+	delay := backoff(c.opts.RetryBaseDelay, c.opts.RetryMaxDelay, t.attempt)
+	notBefore := time.Now().Add(delay)
+	retries := make([]*task, 0, len(missing))
+	for _, r := range missing {
+		retries = append(retries, &task{
+			run: t.run, lo: r[0], hi: r[1],
+			attempt: t.attempt + 1, notBefore: notBefore,
+			cost: float64((r[1] - r[0]) * t.run.reps),
+			key:  c.shardKey(t.run.spec, r[0], r[1]),
+		})
+	}
+	c.mu.Lock()
+	tn.queue = append(tn.queue, retries...)
+	c.noteTenantLocked(tn)
+	c.mu.Unlock()
+	c.met.retries.Add(float64(len(retries)))
+	t.run.settle(len(retries))
+	time.AfterFunc(delay, c.broadcast)
+}
+
+// streamShard performs the HTTP dispatch and merges rows as they arrive,
+// marking this task's coverage in delivered. It returns nil only after a
+// Done line; a stream that ends any other way is a failure whose
+// undelivered remainder the caller redispatches.
+func (c *Coordinator) streamShard(t *task, w *workerState, delivered []bool) error {
+	ctx, cancel := context.WithTimeout(t.run.ctx, c.opts.ShardTimeout)
+	defer cancel()
+	body, err := json.Marshal(ShardRequest{
+		Job: t.run.id, Spec: t.run.wire, Lo: t.lo, Hi: t.hi, CacheKey: t.key,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+PathShards, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fabric: worker %s: %s: %s", w.name, resp.Status, bytes.TrimSpace(b))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line ShardLine
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("fabric: worker %s: shard stream ended without done line", w.name)
+			}
+			return fmt.Errorf("fabric: worker %s: shard stream: %w", w.name, err)
+		}
+		switch {
+		case line.Row != nil:
+			if line.Row.Point >= t.lo && line.Row.Point < t.hi {
+				delivered[line.Row.Point-t.lo] = true
+			}
+			c.met.rows.Inc()
+			t.run.deliver(*line.Row)
+		case line.Done != nil:
+			c.met.simCycles.Add(float64(line.Done.SimCycles))
+			if line.Done.CacheHit {
+				c.met.cacheHitShards.Inc()
+			}
+			return nil
+		case line.Error != "":
+			return fmt.Errorf("fabric: worker %s: %s", w.name, line.Error)
+		default:
+			return fmt.Errorf("fabric: worker %s: empty shard line", w.name)
+		}
+	}
+}
+
+// deliver merges one streamed row (first copy wins; redispatch
+// duplicates are identical by determinism and dropped) and re-emits the
+// campaign progress events the single-node engine would have produced,
+// so SSE subscribers see per-point progress from a distributed run too.
+func (r *campaignRun) deliver(row campaign.PointRow) {
+	r.mu.Lock()
+	if row.Point < 0 || row.Point >= len(r.rows) || r.rows[row.Point] != nil {
+		r.mu.Unlock()
+		return
+	}
+	r.rows[row.Point] = &row
+	r.got++
+	complete := r.got == len(r.rows)
+	r.mu.Unlock()
+
+	if sink := r.spec.Progress; sink != nil {
+		for i, rep := range row.Replicates {
+			sink.Emit(trace.Event{Kind: trace.CampaignPointStart,
+				Aux: uint64(row.Point), PID: uint64(i)})
+			sink.Emit(trace.Event{Kind: trace.CampaignPointDone,
+				Aux: uint64(row.Point), PID: uint64(i), Cycle: rep.Cycles})
+		}
+	}
+	if complete {
+		r.finish(nil)
+	}
+}
+
+// settle retires one outstanding task and enqueues extra replacements
+// (0 when the task is done for good). When the last task retires with
+// rows still missing, the run cannot ever complete — surface that
+// instead of hanging. The last settle also releases Run's idle wait.
+func (r *campaignRun) settle(replacements int) {
+	r.mu.Lock()
+	r.pending += replacements - 1
+	drained := r.pending == 0
+	starved := drained && r.got < len(r.rows)
+	r.mu.Unlock()
+	if starved {
+		r.finish(errors.New("fabric: all shards retired with rows missing"))
+	}
+	if drained {
+		r.idleOnce.Do(func() { close(r.idle) })
+	}
+}
+
+// finish resolves the run exactly once. A nil err is completion: the
+// in-flight streams are left to drain naturally (their next line is the
+// done trailer, so this is cheap) and queued leftovers purge on the next
+// dispatcher wake. Any other cause (cancellation, exhausted redispatch)
+// additionally aborts every in-flight shard via the run context.
+func (r *campaignRun) finish(err error) {
+	r.once.Do(func() {
+		r.mu.Lock()
+		r.err = err
+		r.mu.Unlock()
+		close(r.done)
+		if err != nil {
+			r.cancel()
+		}
+		r.c.broadcast()
+	})
+}
+
+// undeliveredRanges lists the contiguous [lo, hi) subranges of the
+// shard not covered by delivered rows.
+func undeliveredRanges(lo int, delivered []bool) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(delivered); {
+		if delivered[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(delivered) && !delivered[j] {
+			j++
+		}
+		out = append(out, [2]int{lo + i, lo + j})
+		i = j
+	}
+	return out
+}
+
+func backoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if d > max || d <= 0 {
+		return max
+	}
+	return d
+}
+
+// WorkerList snapshots the fleet for the GET PathWorkers listing, sorted
+// by name.
+func (c *Coordinator) WorkerList() []WorkerInfo {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			Name: w.name, URL: w.url, Slots: w.slots, Busy: w.busy,
+			Alive:       now.Sub(w.lastSeen) <= c.opts.HeartbeatTTL,
+			LastSeenAgo: now.Sub(w.lastSeen).Seconds(),
+			BreakerOpen: w.openUntil.After(now),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,335 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ftnoc/internal/campaign"
+	"ftnoc/internal/network"
+	"ftnoc/internal/routing"
+)
+
+// tinyBase is a 4x4 platform small enough that a grid of points runs in
+// well under a second per point.
+func tinyBase() network.Config {
+	cfg := network.NewConfig()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.WarmupMessages = 50
+	cfg.TotalMessages = 300
+	cfg.MaxCycles = 100_000
+	cfg.StallCycles = 30_000
+	return cfg
+}
+
+// tinySpec is a 4-point grid (2 routings × 2 error rates), 2 replicates.
+func tinySpec() campaign.Spec {
+	return campaign.Spec{
+		Base:           tinyBase(),
+		Routings:       []routing.Algorithm{routing.XY, routing.WestFirst},
+		LinkErrorRates: []float64{0, 1e-3},
+		InjectionRates: []float64{0.1},
+		Seeds:          2,
+	}
+}
+
+// memCache is a test-local CacheStore.
+type memCache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemCache() *memCache { return &memCache{m: make(map[string][]byte)} }
+
+func (s *memCache) CacheGet(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+func (s *memCache) CachePut(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), val...)
+}
+
+// registerWorker announces a worker to the coordinator over its real
+// registration endpoint.
+func registerWorker(t *testing.T, coordURL, name, workerURL string, slots int) {
+	t.Helper()
+	body, _ := json.Marshal(RegisterRequest{Name: name, URL: workerURL, Slots: slots})
+	resp, err := http.Post(coordURL+PathWorkers, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: %s", name, resp.Status)
+	}
+}
+
+// renderNDJSON is the differential oracle's serialisation: the exact
+// bytes nocd would cache and serve for the report.
+func renderNDJSON(t *testing.T, r *campaign.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteNDJSON(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func singleNodeNDJSON(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	report, err := campaign.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("single-node run: %v", err)
+	}
+	return renderNDJSON(t, report)
+}
+
+// TestCoordinatorDifferential is the fabric's core law: a campaign run
+// across three workers renders byte-identical NDJSON to the single-node
+// engine.
+func TestCoordinatorDifferential(t *testing.T) {
+	spec := tinySpec()
+	want := singleNodeNDJSON(t, spec)
+
+	coord := NewCoordinator(CoordinatorOptions{
+		ShardPoints:  1,
+		HeartbeatTTL: time.Minute,
+		Cache:        newMemCache(),
+	})
+	defer coord.Close()
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	for i := 0; i < 3; i++ {
+		w := NewWorker(WorkerOptions{Name: fmt.Sprintf("w%d", i), Coordinator: coordSrv.URL, SimWorkers: 1})
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		registerWorker(t, coordSrv.URL, fmt.Sprintf("w%d", i), srv.URL, 1)
+	}
+
+	report, err := coord.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fabric run: %v", err)
+	}
+	got := renderNDJSON(t, report)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed rows differ from single-node:\n--- fabric ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if v := coord.met.completed.Value(); v != 4 {
+		t.Fatalf("completed shards = %v, want 4", v)
+	}
+}
+
+// killingHandler emulates a worker SIGKILLed mid-shard: after `limit`
+// streamed lines it severs the TCP connection, and every request after
+// that is severed immediately — the process is gone.
+type killingHandler struct {
+	h     http.Handler
+	limit int
+	dead  atomic.Bool
+	kills atomic.Int64
+}
+
+func (k *killingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		k.sever(w)
+		return
+	}
+	k.h.ServeHTTP(&killingWriter{ResponseWriter: w, k: k}, r)
+}
+
+func (k *killingHandler) sever(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			k.kills.Add(1)
+		}
+	}
+}
+
+type killingWriter struct {
+	http.ResponseWriter
+	k     *killingHandler
+	lines int
+}
+
+func (w *killingWriter) Write(p []byte) (int, error) {
+	if w.k.dead.Load() {
+		return 0, fmt.Errorf("worker is dead")
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.lines += bytes.Count(p[:n], []byte{'\n'})
+	return n, err
+}
+
+// Flush lets a completed line reach the wire, then kills the connection
+// once the limit is hit — the coordinator really receives the rows
+// streamed before the death, which is the partial-delivery path under
+// test.
+func (w *killingWriter) Flush() {
+	if w.k.dead.Load() {
+		return
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	if w.lines >= w.k.limit {
+		w.k.dead.Store(true)
+		w.k.sever(w.ResponseWriter)
+	}
+}
+
+// TestCoordinatorSurvivesWorkerDeath kills one of three workers after
+// its first streamed row: the campaign must still complete, its rows
+// still byte-identical to single-node, with the dead worker's
+// unfinished points redispatched to the survivors.
+func TestCoordinatorSurvivesWorkerDeath(t *testing.T) {
+	spec := tinySpec()
+	want := singleNodeNDJSON(t, spec)
+
+	coord := NewCoordinator(CoordinatorOptions{
+		ShardPoints:      2, // 2 shards of 2 points: the victim gets one, dies after 1 row
+		HeartbeatTTL:     time.Minute,
+		RetryBaseDelay:   5 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute, // dead worker stays benched for the whole test
+	})
+	defer coord.Close()
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	// Name order makes the dispatcher offer the first shard to the
+	// victim ("a-victim" sorts before the healthy workers).
+	victim := NewWorker(WorkerOptions{Name: "a-victim", SimWorkers: 1})
+	killer := &killingHandler{h: victim.Handler(), limit: 1}
+	victimSrv := httptest.NewServer(killer)
+	defer victimSrv.Close()
+	registerWorker(t, coordSrv.URL, "a-victim", victimSrv.URL, 1)
+	for _, name := range []string{"b-ok", "c-ok"} {
+		w := NewWorker(WorkerOptions{Name: name, SimWorkers: 1})
+		srv := httptest.NewServer(w.Handler())
+		defer srv.Close()
+		registerWorker(t, coordSrv.URL, name, srv.URL, 1)
+	}
+
+	report, err := coord.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fabric run with dying worker: %v", err)
+	}
+	got := renderNDJSON(t, report)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rows after worker death differ from single-node:\n--- fabric ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if killer.kills.Load() == 0 {
+		t.Fatal("victim worker was never killed mid-stream; the test exercised nothing")
+	}
+	if v := coord.met.failures.Value(); v < 1 {
+		t.Fatalf("failures = %v, want >= 1", v)
+	}
+	if v := coord.met.breakerOpens.Value(); v < 1 {
+		t.Fatalf("breaker opens = %v, want >= 1", v)
+	}
+}
+
+// TestCachePeerReplay resubmits a completed spec: every shard must be
+// served from the coordinator's cache, byte-identical, with no worker
+// simulating anything (sim-cycle counters unchanged).
+func TestCachePeerReplay(t *testing.T) {
+	spec := tinySpec()
+	coord := NewCoordinator(CoordinatorOptions{
+		ShardPoints:  2,
+		HeartbeatTTL: time.Minute,
+		Cache:        newMemCache(),
+	})
+	defer coord.Close()
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	workers := make([]*Worker, 2)
+	for i := range workers {
+		workers[i] = NewWorker(WorkerOptions{
+			Name: fmt.Sprintf("w%d", i), Coordinator: coordSrv.URL, SimWorkers: 1,
+		})
+		srv := httptest.NewServer(workers[i].Handler())
+		defer srv.Close()
+		registerWorker(t, coordSrv.URL, fmt.Sprintf("w%d", i), srv.URL, 1)
+	}
+	cyclesSum := func() uint64 {
+		var n uint64
+		for _, w := range workers {
+			n += w.SimCycles()
+		}
+		return n
+	}
+
+	first, err := coord.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	baseline := cyclesSum()
+	if baseline == 0 {
+		t.Fatal("first run simulated zero cycles; nothing to replay")
+	}
+
+	second, err := coord.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if got, want := renderNDJSON(t, second), renderNDJSON(t, first); !bytes.Equal(got, want) {
+		t.Fatalf("replayed rows differ from original:\n--- replay ---\n%s\n--- first ---\n%s", got, want)
+	}
+	if after := cyclesSum(); after != baseline {
+		t.Fatalf("replay simulated: sim cycles %d -> %d, want unchanged", baseline, after)
+	}
+	if v := coord.met.cacheHitShards.Value(); v != 2 {
+		t.Fatalf("cache-hit shards = %v, want 2 (every replay shard)", v)
+	}
+}
+
+// TestUndeliveredRanges covers the redispatch carve-up.
+func TestUndeliveredRanges(t *testing.T) {
+	cases := []struct {
+		lo        int
+		delivered []bool
+		want      [][2]int
+	}{
+		{0, []bool{true, true}, nil},
+		{4, []bool{false, false}, [][2]int{{4, 6}}},
+		{2, []bool{true, false, false, true, false}, [][2]int{{3, 5}, {6, 7}}},
+		{0, []bool{false, true, false}, [][2]int{{0, 1}, {2, 3}}},
+	}
+	for i, tc := range cases {
+		got := undeliveredRanges(tc.lo, tc.delivered)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	base, ceil := 100*time.Millisecond, time.Second
+	if d := backoff(base, ceil, 0); d != base {
+		t.Fatalf("attempt 0: %v", d)
+	}
+	if d := backoff(base, ceil, 2); d != 400*time.Millisecond {
+		t.Fatalf("attempt 2: %v", d)
+	}
+	if d := backoff(base, ceil, 10); d != ceil {
+		t.Fatalf("attempt 10: %v", d)
+	}
+	if d := backoff(base, ceil, 200); d != ceil {
+		t.Fatalf("overflow attempt: %v", d)
+	}
+}

@@ -1,0 +1,115 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxCacheEntryBytes bounds one cache-peer PUT body. Shard row tables
+// are small (kilobytes per point); anything near this limit is a bug or
+// abuse, not a result.
+const maxCacheEntryBytes = 64 << 20
+
+// Handler serves the coordinator's fabric surface: worker registration
+// and heartbeats, the fleet listing, and the cache-peer store. The
+// daemon mounts it under /fabric/ via serve.Options.Fabric.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathWorkers, c.handleRegister)
+	mux.HandleFunc("GET "+PathWorkers, c.handleWorkers)
+	mux.HandleFunc("GET "+PathCache+"{key}", c.handleCacheGet)
+	mux.HandleFunc("PUT "+PathCache+"{key}", c.handleCachePut)
+	return mux
+}
+
+// handleRegister upserts a worker by name and refreshes its liveness.
+// Registration and heartbeat are the same request: idempotent, cheap,
+// and self-healing — a coordinator restart loses the fleet map, and the
+// next round of heartbeats rebuilds it.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad register request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Name == "" || req.URL == "" {
+		http.Error(w, "register: name and url are required", http.StatusBadRequest)
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	c.mu.Lock()
+	ws := c.workers[req.Name]
+	fresh := ws == nil
+	if fresh {
+		ws = &workerState{name: req.Name}
+		c.workers[req.Name] = ws
+	}
+	ws.url = req.URL
+	ws.slots = req.Slots
+	ws.lastSeen = time.Now()
+	c.mu.Unlock()
+	c.broadcast()
+	if fresh {
+		c.log.Info("worker registered", "worker", req.Name, "url", req.URL, "slots", req.Slots)
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		HeartbeatSeconds: (c.opts.HeartbeatTTL / 3).Seconds(),
+	})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.WorkerList())
+}
+
+func (c *Coordinator) cacheStore() CacheStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache
+}
+
+func (c *Coordinator) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	store := c.cacheStore()
+	if store == nil {
+		http.Error(w, "cache-peer disabled", http.StatusNotFound)
+		return
+	}
+	val, ok := store.CacheGet(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "cache miss", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = w.Write(val)
+}
+
+func (c *Coordinator) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	store := c.cacheStore()
+	if store == nil {
+		http.Error(w, "cache-peer disabled", http.StatusNotFound)
+		return
+	}
+	val, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCacheEntryBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cache put: %v", err), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if len(val) == 0 {
+		http.Error(w, "cache put: empty body", http.StatusBadRequest)
+		return
+	}
+	store.CachePut(r.PathValue("key"), val)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegisterLoopAndLiveness runs the real heartbeat loop against a
+// coordinator with a short TTL: the worker must show up alive, then go
+// stale once its loop stops.
+func TestRegisterLoopAndLiveness(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{HeartbeatTTL: 300 * time.Millisecond})
+	defer coord.Close()
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	w := NewWorker(WorkerOptions{Name: "hb", Coordinator: coordSrv.URL, Slots: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		w.RegisterLoop(ctx, "http://worker.invalid:0")
+	}()
+
+	waitFor(t, func() bool {
+		list := coord.WorkerList()
+		return len(list) == 1 && list[0].Alive && list[0].Slots == 2
+	})
+
+	// The fleet listing is also served over HTTP.
+	resp, err := http.Get(coordSrv.URL + PathWorkers)
+	if err != nil {
+		t.Fatalf("list workers: %v", err)
+	}
+	var listed []WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatalf("decode worker list: %v", err)
+	}
+	resp.Body.Close()
+	if len(listed) != 1 || listed[0].Name != "hb" || !listed[0].Alive {
+		t.Fatalf("listing = %+v", listed)
+	}
+
+	cancel()
+	<-loopDone
+	waitFor(t, func() bool { return !coord.WorkerList()[0].Alive })
+}
+
+func TestRegisterValidation(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	for name, body := range map[string]string{
+		"missing name": `{"url":"http://x","slots":1}`,
+		"missing url":  `{"name":"w"}`,
+		"not json":     `{{`,
+	} {
+		resp, err := http.Post(srv.URL+PathWorkers, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestCachePeerEndpoints exercises the coordinator's cache store over
+// HTTP: miss, put, hit, and the disabled (no store) path.
+func TestCachePeerEndpoints(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	get := func(key string) (int, []byte) {
+		resp, err := http.Get(srv.URL + PathCache + key)
+		if err != nil {
+			t.Fatalf("cache get: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	put := func(key string, val []byte) int {
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+PathCache+key, bytes.NewReader(val))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("cache put: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// No store installed: both verbs report not-found.
+	if code, _ := get("shard:abc"); code != http.StatusNotFound {
+		t.Fatalf("get with cache disabled: %d", code)
+	}
+	if code := put("shard:abc", []byte("x")); code != http.StatusNotFound {
+		t.Fatalf("put with cache disabled: %d", code)
+	}
+
+	coord.SetCache(newMemCache())
+	if code, _ := get("shard:abc"); code != http.StatusNotFound {
+		t.Fatalf("miss: %d", code)
+	}
+	if code := put("shard:abc", []byte(`{"point":0}`+"\n")); code != http.StatusNoContent {
+		t.Fatalf("put: %d", code)
+	}
+	if code := put("shard:empty", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty put: %d", code)
+	}
+	code, body := get("shard:abc")
+	if code != http.StatusOK || string(body) != `{"point":0}`+"\n" {
+		t.Fatalf("hit: %d %q", code, body)
+	}
+}
+
+// TestWorkerShardErrors drives the worker's protocol-error paths: bad
+// request bodies are plain HTTP errors, a bad range is an in-stream
+// error line.
+func TestWorkerShardErrors(t *testing.T) {
+	w := NewWorker(WorkerOptions{Name: "w", SimWorkers: 1})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+PathShards, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		return resp
+	}
+
+	resp := post(`not json`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", resp.StatusCode)
+	}
+
+	resp = post(`{"job":"j","spec":{"sizes":["notasize"]},"lo":0,"hi":1}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d", resp.StatusCode)
+	}
+
+	wire, err := tinySpec().WireJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(ShardRequest{Job: "j", Spec: wire, Lo: 0, Hi: 99})
+	resp = post(string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("out-of-range shard: status %d, want streamed error line", resp.StatusCode)
+	}
+	var line ShardLine
+	if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+		t.Fatalf("decode error line: %v", err)
+	}
+	if line.Error == "" {
+		t.Fatalf("want error line, got %+v", line)
+	}
+}

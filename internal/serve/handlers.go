@@ -30,6 +30,9 @@ func (s *Server) routes() {
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
+	if s.opts.Fabric != nil {
+		s.mux.HandleFunc("/fabric/", s.instrument("/fabric/", s.opts.Fabric.ServeHTTP))
+	}
 }
 
 // submitResponse is the POST /v1/campaigns reply envelope.
@@ -46,17 +49,37 @@ type submitResponse struct {
 	Reps      int  `json:"reps_total"`
 }
 
+// backpressureResponse is the 429 body: enough context — how deep the
+// queue is, how long the wait is likely to be — for a retrying client
+// (the fabric's backoff, or a human) to make an informed decision
+// instead of blindly hammering the Retry-After interval.
+type backpressureResponse struct {
+	Error                string  `json:"error"`
+	QueueDepth           int     `json:"queue_depth"`
+	QueueCapacity        int     `json:"queue_capacity"`
+	RetryAfterSeconds    int     `json:"retry_after_seconds"`
+	EstimatedWaitSeconds float64 `json:"estimated_wait_seconds"`
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 		return
 	}
-	j, queued, err := s.submit(body)
+	j, queued, err := s.submit(body, r.Header.Get("X-Tenant"))
 	switch {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, err)
+		retry := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		st := s.Stats()
+		writeJSON(w, http.StatusTooManyRequests, backpressureResponse{
+			Error:                err.Error(),
+			QueueDepth:           st.QueueDepth,
+			QueueCapacity:        st.QueueCapacity,
+			RetryAfterSeconds:    retry,
+			EstimatedWaitSeconds: s.estimatedWait(st),
+		})
 		return
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -72,7 +95,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Points:    j.points, Reps: j.repsTotal,
 	}
 	reqLog(r.Context()).Info("campaign submitted",
-		"job", j.id, "hash", j.hash, "queued", queued,
+		"job", j.id, "tenant", j.tenant, "hash", j.hash, "queued", queued,
 		"cached", snap.Cached, "coalesced", resp.Coalesced,
 		"points", j.points, "reps_total", j.repsTotal)
 	status := http.StatusAccepted
@@ -247,6 +270,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.obs.refresh(s.Stats())
 	w.Header().Set("Content-Type", obs.ContentType)
 	_ = s.obs.reg.WriteText(w)
+	if s.opts.ExtraMetrics != nil {
+		_ = s.opts.ExtraMetrics.WriteText(w)
+	}
 }
 
 // splitNDJSON turns rendered result bytes (one JSON object per line)

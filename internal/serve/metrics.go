@@ -237,10 +237,10 @@ var discardLog = slog.New(slog.NewTextHandler(io.Discard, nil))
 // and latency series labelled with the route pattern (never the raw
 // path — ids would explode the cardinality).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	// Scrapes and probes arrive every few seconds forever; keep them out
-	// of Info-level logs.
+	// Scrapes, probes and fabric heartbeats arrive every few seconds
+	// forever; keep them out of Info-level logs.
 	level := slog.LevelInfo
-	if route == "GET /metrics" || route == "GET /healthz" {
+	if route == "GET /metrics" || route == "GET /healthz" || route == "/fabric/" {
 		level = slog.LevelDebug
 	}
 	return func(w http.ResponseWriter, r *http.Request) {

@@ -38,6 +38,7 @@ func (s State) Terminal() bool {
 type job struct {
 	id        string
 	hash      string
+	tenant    string
 	spec      campaign.Spec
 	points    int
 	repsTotal int

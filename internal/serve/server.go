@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ftnoc/internal/campaign"
+	"ftnoc/internal/obs"
 )
 
 // Options configures a Server. The zero value is usable: every field
@@ -57,6 +58,22 @@ type Options struct {
 	// (with request ids), job lifecycle transitions, and replicate
 	// failures surfaced by the campaign engine. Nil discards everything.
 	Logger *slog.Logger
+	// Runner executes submitted campaigns (nil means campaign.Run, the
+	// in-process engine). The distributed coordinator substitutes its
+	// fabric scheduler here: same contract — a Report whose rendered rows
+	// are byte-identical to what campaign.Run would produce — so the
+	// queue, cache and SSE machinery work unchanged above it.
+	Runner func(ctx context.Context, spec campaign.Spec) (*campaign.Report, error)
+	// Fabric, when non-nil, is mounted under /fabric/ on the service mux
+	// (instrumented like every other route): the coordinator's worker
+	// registration/heartbeat/cache-peer endpoints, or the worker's shard
+	// endpoint, depending on the daemon's role.
+	Fabric http.Handler
+	// ExtraMetrics, when non-nil, is appended to every /metrics scrape
+	// after the server's own families — the fabric layer exposes its
+	// nocd_fabric_* families through the same endpoint this way. Family
+	// names must not collide with the server's.
+	ExtraMetrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -106,10 +123,47 @@ type Server struct {
 	finished []string        // finished job ids, oldest first, for retention
 	jobc     chan *job
 	wg       sync.WaitGroup
+	// avgRunSeconds is an EWMA over recent job run durations — the basis
+	// of the estimated-wait hint in 429 backpressure bodies.
+	avgRunSeconds float64
 }
 
-// New returns a ready Server executing campaigns with campaign.Run.
-func New(opts Options) *Server { return newServer(opts, campaign.Run) }
+// tenantKey carries the submitting client's tenant id through a job's
+// context, from the HTTP layer down to the runner.
+type tenantKey struct{}
+
+// WithTenant returns a context carrying the submitting client's tenant
+// id — the identity the fabric coordinator's fair queueing schedules by.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant id carried by ctx, or "" when absent.
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// CacheGet returns the result bytes stored under key in the server's
+// content-addressed cache. Together with CachePut it is the storage side
+// of the fabric's cache-peer protocol: the coordinator daemon serves its
+// cache to workers over /fabric/v1/cache/{key}. Peer lookups share the
+// cache's hit/miss counters with client submissions.
+func (s *Server) CacheGet(key string) ([]byte, bool) { return s.cache.get(key) }
+
+// CachePut stores val under key in the server's content-addressed cache
+// (subject to the usual byte budget and LRU eviction).
+func (s *Server) CachePut(key string, val []byte) { s.cache.put(key, val) }
+
+// New returns a ready Server executing campaigns with Options.Runner
+// (campaign.Run by default).
+func New(opts Options) *Server {
+	run := campaign.Run
+	if opts.Runner != nil {
+		run = opts.Runner
+	}
+	return newServer(opts, run)
+}
 
 func newServer(opts Options, run runner) *Server {
 	opts = opts.withDefaults()
@@ -138,8 +192,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // submit validates and enqueues a campaign, returning the job plus
 // whether it was newly queued (false for cache hits and coalesced
 // submissions). Refusals: errQueueFull (429), errDraining (503), or a
-// validation error (400).
-func (s *Server) submit(body []byte) (j *job, queued bool, err error) {
+// validation error (400). tenant is the submitting client's identity
+// (empty means the anonymous tenant), carried to the runner through the
+// job context.
+func (s *Server) submit(body []byte, tenant string) (j *job, queued bool, err error) {
 	spec, err := campaign.ParseSpec(body)
 	if err != nil {
 		return nil, false, err
@@ -176,7 +232,7 @@ func (s *Server) submit(body []byte) (j *job, queued bool, err error) {
 		return active, false, nil
 	}
 
-	j = s.newJobLocked(hash, spec, len(points), len(points)*reps)
+	j = s.newJobLocked(hash, spec, tenant, len(points), len(points)*reps)
 
 	// Content-addressed hit: the job is born finished with the cached
 	// bytes — byte-identical to the run that produced them.
@@ -201,12 +257,16 @@ func (s *Server) submit(body []byte) (j *job, queued bool, err error) {
 	return j, true, nil
 }
 
-func (s *Server) newJobLocked(hash string, spec campaign.Spec, points, repsTotal int) *job {
+func (s *Server) newJobLocked(hash string, spec campaign.Spec, tenant string, points, repsTotal int) *job {
 	s.nextID++
-	ctx, cancel := context.WithCancelCause(context.Background())
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	ctx, cancel := context.WithCancelCause(WithTenant(context.Background(), tenant))
 	j := &job{
 		id:        fmt.Sprintf("c%08d", s.nextID),
 		hash:      hash,
+		tenant:    tenant,
 		points:    points,
 		repsTotal: repsTotal,
 		submitted: time.Now(),
@@ -250,7 +310,8 @@ func (s *Server) lookup(id string) (*job, bool) {
 func (s *Server) noteFinished(j *job) {
 	snap := j.snapshot()
 	s.obs.jobsFinished.With(string(snap.State)).Inc()
-	if !snap.Started.IsZero() && !snap.Finished.IsZero() {
+	ran := !snap.Started.IsZero() && !snap.Finished.IsZero()
+	if ran {
 		s.obs.runDuration.Observe(snap.Finished.Sub(snap.Started).Seconds())
 	}
 	errText := ""
@@ -258,16 +319,42 @@ func (s *Server) noteFinished(j *job) {
 		errText = snap.Err.Error()
 	}
 	s.log.Info("job finished",
-		"job", j.id, "state", snap.State, "cached", snap.Cached,
+		"job", j.id, "tenant", j.tenant, "state", snap.State, "cached", snap.Cached,
 		"aborted", snap.Aborted, "reps_done", snap.RepsDone,
 		"reps_total", snap.RepsTotal, "error", errText)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ran {
+		// EWMA over recent run durations, feeding the estimated-wait hint
+		// in 429 bodies. α=0.3: responsive to workload shifts, stable
+		// against one outlier.
+		const alpha = 0.3
+		run := snap.Finished.Sub(snap.Started).Seconds()
+		if s.avgRunSeconds == 0 {
+			s.avgRunSeconds = run
+		} else {
+			s.avgRunSeconds = alpha*run + (1-alpha)*s.avgRunSeconds
+		}
+	}
 	if s.byHash[j.hash] == j {
 		delete(s.byHash, j.hash)
 	}
 	s.finished = append(s.finished, j.id)
+}
+
+// estimatedWait predicts how long a submission refused now would have
+// waited before starting: the queued jobs ahead of it, paced by the
+// recent average job duration spread over the worker pool. Before any
+// job has finished the RetryAfter hint is the best available answer.
+func (s *Server) estimatedWait(st Stats) float64 {
+	s.mu.Lock()
+	avg := s.avgRunSeconds
+	s.mu.Unlock()
+	if avg == 0 {
+		return s.opts.RetryAfter.Seconds()
+	}
+	return float64(st.QueueDepth+1) * avg / float64(st.Workers)
 }
 
 // Shutdown gracefully stops the server: submissions are refused
