@@ -1,9 +1,9 @@
 // Command benchkernel is the kernel performance harness behind
 // scripts/bench.sh. It times the Fig 5/6 quick workloads under every
-// scheduler (naive, quiescent, event) and (optionally) a baseline git
-// revision's nocsim binary, runs the kernel microbenchmarks, and writes
-// the combined measurements to BENCH_kernel.json — the file that seeds
-// the repo's perf trajectory.
+// scheduler (naive, quiescent, event, parallel) and (optionally) a
+// baseline git revision's nocsim binary, runs the kernel
+// microbenchmarks, and writes the combined measurements to
+// BENCH_kernel.json — the file that seeds the repo's perf trajectory.
 //
 //	benchkernel -out BENCH_kernel.json            # current tree only
 //	benchkernel -baseline HEAD~1                  # plus speedup vs a ref
@@ -43,7 +43,9 @@ type workload struct {
 // bites: the error-handling machinery is nearly idle and scheduler +
 // allocator overhead dominates. The 0.10-injection variant covers the
 // low-load end of the paper's 0.1–0.4 operating range, where quiescence
-// itself pays the most.
+// itself pays the most. The 16x16 large-mesh row is the parallel
+// kernel's home turf: 512 actors per cycle give the row bands enough
+// work to amortise the per-cycle barrier.
 func workloads() []workload {
 	quick := func() ftnoc.Config {
 		cfg := ftnoc.NewConfig()
@@ -57,11 +59,18 @@ func workloads() []workload {
 	fig6.Pattern = ftnoc.Tornado
 	low := quick()
 	low.InjectionRate = 0.10
+	large := quick()
+	large.Width, large.Height = 16, 16
+	large.WarmupMessages = 4_000
+	large.TotalMessages = 16_000
 	common := []string{"-link-errors", "1e-5", "-messages", "4000", "-warmup", "1000"}
 	return []workload{
 		{"fig5_quick_hbh_err1e-5", fig5, append([]string{"-inj", "0.25"}, common...)},
 		{"fig6_quick_tn_err1e-5", fig6, append([]string{"-inj", "0.25", "-pattern", "TN"}, common...)},
 		{"fig56_quick_lowload_inj0.10", low, append([]string{"-inj", "0.10"}, common...)},
+		{"large_16x16_inj0.25_err1e-5", large, []string{
+			"-width", "16", "-height", "16", "-inj", "0.25",
+			"-link-errors", "1e-5", "-messages", "16000", "-warmup", "4000"}},
 	}
 }
 
@@ -71,6 +80,7 @@ type measurement struct {
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
 	SkippedRatio   float64 `json:"skipped_ratio,omitempty"`
 	Events         uint64  `json:"events_dispatched,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
 	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
 }
 
@@ -92,11 +102,15 @@ type benchResult struct {
 	Metrics map[string]float64 `json:"metrics"` // unit -> value (ns/op, allocs/op, ...)
 }
 
-// report is the BENCH_kernel.json schema.
+// report is the BENCH_kernel.json schema. GOMAXPROCS qualifies every
+// parallel-kernel number: on a 1-CPU host the parallel workers
+// timeshare one core and the speedup column measures barrier overhead,
+// not scaling.
 type report struct {
 	GoVersion   string           `json:"go_version"`
 	GOOS        string           `json:"goos"`
 	GOARCH      string           `json:"goarch"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
 	BaselineRef string           `json:"baseline_ref,omitempty"`
 	Workloads   []workloadResult `json:"workloads"`
 	Microbench  []benchResult    `json:"microbench"`
@@ -107,9 +121,13 @@ func main() {
 	baseline := flag.String("baseline", "", "git ref to build and time as the baseline (empty: skip)")
 	reps := flag.Int("reps", 3, "timed repetitions per workload (best run is reported)")
 	benchtime := flag.String("benchtime", "2s", "go test -benchtime for the microbenchmarks")
+	kernelWorkers := flag.Int("kernel-workers", 0, "parallel-kernel worker goroutines (0 = GOMAXPROCS, clamped to mesh height)")
 	flag.Parse()
 
-	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	rep := report{
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 
 	var baseBin string
 	if *baseline != "" {
@@ -123,12 +141,17 @@ func main() {
 		defer cleanup()
 	}
 
-	kernels := []ftnoc.KernelKind{ftnoc.KernelNaive, ftnoc.KernelQuiescent, ftnoc.KernelEvent}
+	// Every kernel ParseKernel knows about, in canonical order (naive
+	// first, so its entry exists when later kernels compute their
+	// speedup) — a new kernel lands in the report without touching this
+	// harness.
 	for _, w := range workloads() {
 		fmt.Fprintf(os.Stderr, "benchkernel: %s\n", w.name)
 		r := workloadResult{Name: w.name, Kernels: map[string]measurement{}}
-		for _, k := range kernels {
-			m, cycles := timeInProcess(w.cfg, k, *reps)
+		for _, k := range ftnoc.KernelKinds() {
+			cfg := w.cfg
+			cfg.KernelWorkers = *kernelWorkers
+			m, cycles := timeInProcess(cfg, k, *reps)
 			r.Cycles = cycles
 			if naive := r.Kernels[ftnoc.KernelNaive.String()]; naive.WallMS > 0 {
 				m.SpeedupVsNaive = round3(m.CyclesPerSec / naive.CyclesPerSec)
@@ -189,6 +212,7 @@ func timeInProcess(cfg ftnoc.Config, kind ftnoc.KernelKind, reps int) (measureme
 			WallMS:       round3(float64(wall.Microseconds()) / 1e3),
 			CyclesPerSec: round3(float64(res.Cycles) / wall.Seconds()),
 			Events:       ks.Events,
+			Workers:      len(ks.Workers),
 		}
 		if total := ks.Ticked + ks.Skipped; total > 0 {
 			m.SkippedRatio = round3(float64(ks.Skipped) / float64(total))

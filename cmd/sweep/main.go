@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"ftnoc"
 	"ftnoc/internal/campaign"
@@ -37,7 +38,6 @@ func main() {
 	height := flag.Int("height", cfg.Height, "mesh height")
 	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per PC")
 	routingName := flag.String("routing", "xy", "routing algorithm: xy, adaptive, westfirst, oddeven")
-	adaptive := flag.Bool("adaptive", false, "deprecated: same as -routing adaptive")
 	patternName := flag.String("pattern", "NR", "traffic pattern: NR, BC, TN, TP, SH, HS")
 	protName := flag.String("protection", "hbh", "link protection: hbh, e2e, fec")
 	linkErr := flag.Float64("link-errors", 0, "link error rate")
@@ -45,7 +45,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "replicates per point (distinct derived seeds; metrics print mean ± 95% CI)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-	kernelName := flag.String("kernel", "event", "simulation scheduler: naive, quiescent or event; results are identical, only speed differs")
+	kernelName := flag.String("kernel", "event", "simulation scheduler: naive, quiescent, event or parallel; results are identical, only speed differs")
+	kernelWorkers := flag.Int("kernel-workers", 0, "with -kernel parallel, worker goroutines per simulation (0 = GOMAXPROCS, clamped to mesh height)")
 	check := flag.Bool("check", false, "run the invariant checker inside every replicate; violations fail the replicate")
 	csvOut := flag.String("csv", "", "also write the full result table to this CSV file")
 	ndjsonOut := flag.String("ndjson", "", "also write the per-replicate result table to this NDJSON file")
@@ -71,10 +72,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *adaptive {
-		fmt.Fprintln(os.Stderr, "sweep: -adaptive is deprecated, use -routing adaptive")
-		routing = ftnoc.MinimalAdaptive
-	}
 	pattern, err := ftnoc.ParsePattern(*patternName)
 	if err != nil {
 		fatal(err)
@@ -88,6 +85,7 @@ func main() {
 	if cfg.Kernel, err = ftnoc.ParseKernel(*kernelName); err != nil {
 		fatal(err)
 	}
+	cfg.KernelWorkers = *kernelWorkers
 
 	cfg.Width, cfg.Height = *width, *height
 	cfg.VCs = *vcs
@@ -188,6 +186,7 @@ func main() {
 // naive schedule, and calendar events dispatched (event kernel only).
 func kernelSummary(report *campaign.Report) string {
 	var cycles, ticked, skipped, events uint64
+	var workers []ftnoc.KernelWorkerStats
 	for _, p := range report.Points {
 		for _, rr := range p.Reps {
 			if rr.Err != nil || rr.Seed == 0 {
@@ -197,6 +196,14 @@ func kernelSummary(report *campaign.Report) string {
 			ticked += rr.KernelTicked
 			skipped += rr.KernelSkipped
 			events += rr.KernelEvents
+			for i, w := range rr.KernelWorkers {
+				if i >= len(workers) {
+					workers = append(workers, ftnoc.KernelWorkerStats{})
+				}
+				workers[i].Ticked += w.Ticked
+				workers[i].Skipped += w.Skipped
+				workers[i].BarrierWaitNs += w.BarrierWaitNs
+			}
 		}
 	}
 	rate := "n/a"
@@ -210,6 +217,10 @@ func kernelSummary(report *campaign.Report) string {
 		rate, 100*float64(skipped)/float64(ticked+skipped))
 	if events > 0 {
 		s += fmt.Sprintf(", %d events dispatched", events)
+	}
+	for i, w := range workers {
+		s += fmt.Sprintf("\nsweep: kernel: sim worker %d: %d ticked, %d skipped, barrier wait %v",
+			i, w.Ticked, w.Skipped, time.Duration(w.BarrierWaitNs).Round(time.Microsecond))
 	}
 	return s
 }

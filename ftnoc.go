@@ -99,9 +99,10 @@ const (
 )
 
 // KernelKind selects the simulation scheduler (Config.Kernel): the naive
-// tick-everything oracle, the quiescence-skipping kernel, or the
-// calendar-queue event-driven kernel (the default). All three produce
-// byte-identical Results; they differ only in wall-clock speed.
+// tick-everything oracle, the quiescence-skipping kernel, the
+// calendar-queue event-driven kernel (the default), or the
+// mesh-partitioned parallel kernel (see Config.KernelWorkers). All four
+// produce byte-identical Results; they differ only in wall-clock speed.
 type KernelKind = kernel.Kind
 
 // Kernel kinds.
@@ -109,12 +110,23 @@ const (
 	KernelNaive     = kernel.Naive
 	KernelQuiescent = kernel.Quiescent
 	KernelEvent     = kernel.Event
+	KernelParallel  = kernel.Parallel
 )
+
+// KernelKinds returns every kernel kind in its canonical order — the
+// same set ParseKernel accepts, so tools that iterate schedulers
+// (differential tests, benchmark harnesses) never fall behind a newly
+// added kernel.
+func KernelKinds() []KernelKind { return kernel.Kinds() }
 
 // KernelStats is the scheduler's cumulative counter record (actor ticks
 // executed, ticks skipped relative to the naive schedule, calendar events
-// dispatched), returned by Network.KernelStats.
+// dispatched, and — under the parallel kernel — the per-worker breakdown
+// with barrier-wait times), returned by Network.KernelStats.
 type KernelStats = sim.Stats
+
+// KernelWorkerStats is one parallel worker's slice of KernelStats.
+type KernelWorkerStats = sim.WorkerStats
 
 // TopologyKind selects the network shape.
 type TopologyKind = topology.Kind
@@ -261,8 +273,8 @@ func ParseProtection(s string) (Protection, error) { return link.ParseProtection
 // (case-insensitive).
 func ParseTopology(s string) (TopologyKind, error) { return topology.ParseKind(s) }
 
-// ParseKernel parses a CLI kernel name: naive, quiescent, event
-// (case-insensitive).
+// ParseKernel parses a CLI kernel name: naive, quiescent, event,
+// parallel (case-insensitive).
 func ParseKernel(s string) (KernelKind, error) { return kernel.Parse(s) }
 
 // ConfigHash returns the configuration's canonical content hash: a hex

@@ -37,6 +37,7 @@ type specWire struct {
 	Workers        int             `json:"workers"`
 	Invariants     bool            `json:"invariants"`
 	Kernel         string          `json:"kernel"`
+	KernelWorkers  int             `json:"kernel_workers,omitempty"`
 }
 
 // wireSize accepts either {"width":8,"height":8} or the string "8x8";
@@ -106,6 +107,10 @@ func ParseSpec(data []byte) (Spec, error) {
 		}
 		spec.Base.Kernel = k
 	}
+	if w.KernelWorkers < 0 {
+		return Spec{}, fmt.Errorf("campaign: spec kernel_workers must be >= 0, have %d", w.KernelWorkers)
+	}
+	spec.Base.KernelWorkers = w.KernelWorkers
 	for _, s := range w.Sizes {
 		spec.Sizes = append(spec.Sizes, s.Size)
 	}
@@ -146,7 +151,7 @@ func ParseSpec(data []byte) (Spec, error) {
 // same CanonicalHash as s): the base config travels as its canonical
 // JSON, axes as their CLI names. Workers is deliberately dropped (each
 // worker sizes its own pool — results are scheduling-independent), and
-// the hash-excluded Kernel preference stays local too.
+// the hash-excluded Kernel / KernelWorkers preferences stay local too.
 func (s Spec) WireJSON() ([]byte, error) {
 	base, err := s.Base.CanonicalJSON()
 	if err != nil {

@@ -321,6 +321,25 @@ type Counters struct {
 	Observer func(op CounterOp, cl Class) `json:"-"`
 }
 
+// Merge folds o's counts into c. Observers are left untouched. The
+// network keeps one counter shard per actor under the parallel kernel
+// and merges them into a single record when results are read; merging is
+// exact because every count is attributed to exactly one shard.
+func (c *Counters) Merge(o *Counters) {
+	for cl, v := range o.Injected {
+		c.Injected[cl] += v
+	}
+	for cl, v := range o.Corrected {
+		c.Corrected[cl] += v
+	}
+	for cl, v := range o.Undetected {
+		c.Undetected[cl] += v
+	}
+	c.Retransmissions += o.Retransmissions
+	c.NACKs += o.NACKs
+	c.DroppedFlits += o.DroppedFlits
+}
+
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
 	return &Counters{

@@ -6,7 +6,7 @@ import "testing"
 // map to a known kernel; and the kernel's String form parses back to the
 // same kernel (the CLI prints names it must itself accept).
 func FuzzParse(f *testing.F) {
-	for _, s := range []string{"naive", "quiescent", "event", "EVENT", " naive ", "", "fast", "calendar"} {
+	for _, s := range []string{"naive", "quiescent", "event", "parallel", "EVENT", " naive ", "", "fast", "calendar", "Parallel "} {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, s string) {

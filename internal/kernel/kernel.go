@@ -25,6 +25,12 @@ const (
 	// stepped only on cycles where an event is due, and cost scales with
 	// events rather than cycles x actors. The default.
 	Event
+	// Parallel partitions the mesh into contiguous router regions and
+	// steps each region on its own goroutine, synchronising at a
+	// per-cycle barrier. Cross-region traffic is handed off through the
+	// same latched delay lines, applied in (cycle, registration-order)
+	// sequence, so results stay byte-identical to the serial kernels.
+	Parallel
 )
 
 // String returns the canonical lower-case name, the exact form Parse
@@ -37,15 +43,24 @@ func (k Kind) String() string {
 		return "quiescent"
 	case Event:
 		return "event"
+	case Parallel:
+		return "parallel"
 	}
 	return fmt.Sprintf("kernel.Kind(%d)", uint8(k))
 }
 
 // Valid reports whether k names a real kernel.
-func (k Kind) Valid() bool { return k == Naive || k == Quiescent || k == Event }
+func (k Kind) Valid() bool {
+	return k == Naive || k == Quiescent || k == Event || k == Parallel
+}
+
+// Kinds returns every valid kernel kind in declaration order. Tools that
+// enumerate kernels (benchmarks, differential harnesses) iterate this
+// rather than hardcoding the list, so a new kernel cannot be missed.
+func Kinds() []Kind { return []Kind{Naive, Quiescent, Event, Parallel} }
 
 // Parse resolves a kernel name (case-insensitive): naive, quiescent,
-// event.
+// event, parallel.
 func Parse(s string) (Kind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "naive":
@@ -54,6 +69,8 @@ func Parse(s string) (Kind, error) {
 		return Quiescent, nil
 	case "event":
 		return Event, nil
+	case "parallel":
+		return Parallel, nil
 	}
-	return 0, fmt.Errorf("unknown kernel %q (want naive, quiescent or event)", s)
+	return 0, fmt.Errorf("unknown kernel %q (want naive, quiescent, event or parallel)", s)
 }

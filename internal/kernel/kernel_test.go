@@ -6,7 +6,7 @@ import (
 )
 
 func TestParseStringRoundTrip(t *testing.T) {
-	for _, k := range []Kind{Naive, Quiescent, Event} {
+	for _, k := range Kinds() {
 		got, err := Parse(k.String())
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", k.String(), err)
@@ -27,6 +27,8 @@ func TestParseCaseAndSpace(t *testing.T) {
 		"  event  ":  Event,
 		"\tEvEnT\n":  Event,
 		" quiescent": Quiescent,
+		"Parallel":   Parallel,
+		"PARALLEL ":  Parallel,
 	} {
 		got, err := Parse(in)
 		if err != nil {

@@ -143,7 +143,7 @@ func TestRandomizedDifferentialProperty(t *testing.T) {
 		t.Run(hash[:12], func(t *testing.T) {
 			t.Parallel()
 			want, _ := runKernel(t, cfg, kernel.Naive)
-			for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+			for _, k := range diffKernels() {
 				got, _ := runKernel(t, cfg, k)
 				if !reflect.DeepEqual(want, got) {
 					t.Fatalf("%v kernel diverged on %+v:\nnaive: %+v\n%v:    %+v", k, cfg, want, k, got)

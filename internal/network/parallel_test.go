@@ -1,0 +1,204 @@
+package network
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"ftnoc/internal/kernel"
+	"ftnoc/internal/link"
+	"ftnoc/internal/routing"
+	"ftnoc/internal/topology"
+	"ftnoc/internal/trace"
+)
+
+// captureSink records every trace event in emission order, so two runs
+// can be compared event-for-event — a much stronger check than Results
+// equality alone, because it pins down the cycle stamp and the ordering
+// of every boundary crossing, not just the aggregate outcome.
+type captureSink struct{ events []trace.Event }
+
+func (c *captureSink) Emit(e trace.Event) { c.events = append(c.events, e) }
+
+// runCapture executes cfg under the given scheduler with a trace capture
+// attached and returns the comparable results plus the ordered stream.
+func runCapture(t *testing.T, cfg Config, k kernel.Kind) (Results, []trace.Event) {
+	t.Helper()
+	cfg.Kernel = k
+	sink := &captureSink{}
+	cfg.TraceSink = sink
+	res := comparable(New(cfg).Run())
+	return res, sink.events
+}
+
+// vertical reports whether the event is attributed to a row-crossing
+// (North/South) physical channel — under KernelWorkers = Height every
+// row is its own band, so every vertical link is a partition boundary.
+func vertical(e trace.Event) bool {
+	return e.Port == int8(topology.North) || e.Port == int8(topology.South)
+}
+
+// TestParallelBoundaryHandoff is the partition-boundary white-box test.
+// With KernelWorkers = Height each mesh row becomes its own band and
+// every vertical link a cross-region boundary: its flits, credits and
+// NACKs all travel through the staged handoff slots instead of
+// same-worker memory. Under a heavy link error rate the NACK-window
+// machinery fires constantly across those boundaries — receivers open
+// post-NACK drop windows, transmitters replay from their shifters — and
+// the test demands a seed where a boundary retransmission lands in the
+// same cycle as a boundary drop-window discard: a retransmitted flit
+// crossing the region edge exactly while the downstream receiver's
+// NACK window is still swallowing the stale copies it covers. For
+// every seed the parallel stream must match the naive oracle's
+// event-for-event, cycle stamps included.
+func TestParallelBoundaryHandoff(t *testing.T) {
+	t.Parallel()
+	sameCycleCoincidence := false
+	for seed := uint64(1); seed <= 8; seed++ {
+		// Dimension-ordered XY keeps traffic crossing rows on the vertical
+		// links, and hop-by-hop protection is the mode whose NACK window
+		// the test is aimed at.
+		cfg := diffConfig(routing.XY, link.HBH, 2e-2, seed)
+		cfg.TotalMessages = 400
+		want, wantEvents := runCapture(t, cfg, kernel.Naive)
+
+		c := cfg
+		c.KernelWorkers = cfg.Height // one band per row
+		got, gotEvents := runCapture(t, c, kernel.Parallel)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: parallel results diverged from naive:\nnaive:    %+v\nparallel: %+v", seed, want, got)
+		}
+		if !reflect.DeepEqual(wantEvents, gotEvents) {
+			i := 0
+			for i < len(wantEvents) && i < len(gotEvents) && wantEvents[i] == gotEvents[i] {
+				i++
+			}
+			t.Fatalf("seed %d: trace streams diverged at event %d of %d/%d:\nnaive:    %+v\nparallel: %+v",
+				seed, i, len(wantEvents), len(gotEvents), at(wantEvents, i), at(gotEvents, i))
+		}
+
+		// Scan the (now proven identical) stream for the coincidence.
+		windowDropCycles := map[uint64]bool{}
+		for _, e := range wantEvents {
+			if e.Kind == trace.FlitDropped && e.Aux == trace.DropWindow && vertical(e) {
+				windowDropCycles[e.Cycle] = true
+			}
+		}
+		for _, e := range wantEvents {
+			if e.Kind == trace.Retransmit && vertical(e) && windowDropCycles[e.Cycle] {
+				sameCycleCoincidence = true
+			}
+		}
+	}
+	if !sameCycleCoincidence {
+		t.Fatal("no seed produced a boundary retransmit in the same cycle as a boundary drop-window discard — raise the error rate or widen the seed range")
+	}
+}
+
+// at formats stream element i, tolerating an index past either end.
+func at(events []trace.Event, i int) any {
+	if i >= len(events) {
+		return "(stream ended)"
+	}
+	return events[i]
+}
+
+// TestParallelSeedReplay is the randomized replay property: for random
+// operating points, running the parallel kernel twice with the same
+// seed must reproduce byte-identical results and trace streams — the
+// goroutine schedule may differ arbitrarily between the two runs, and
+// none of that nondeterminism may leak into observables. Each point is
+// also checked against the naive oracle, and replayed under a different
+// worker count, which moves every band boundary.
+func TestParallelSeedReplay(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(0xf17b0a7))
+	for i := 0; i < 5; i++ {
+		cfg := NewConfig()
+		cfg.Width = 3 + rng.Intn(3)
+		cfg.Height = 3 + rng.Intn(3)
+		cfg.InjectionRate = 0.1 + 0.2*rng.Float64()
+		cfg.Faults.Link = []float64{0, 1e-3, 1e-2}[rng.Intn(3)]
+		cfg.Seed = rng.Uint64() | 1
+		cfg.WarmupMessages = 50
+		cfg.TotalMessages = 500
+		cfg.MaxCycles = 300_000
+		cfg.TracePIDs = []uint64{1, 2, 3, 5, 8}
+		cfg.KernelWorkers = 1 + rng.Intn(4)
+
+		oracle, oracleEvents := runCapture(t, cfg, kernel.Naive)
+		first, firstEvents := runCapture(t, cfg, kernel.Parallel)
+		replay, replayEvents := runCapture(t, cfg, kernel.Parallel)
+		if !reflect.DeepEqual(first, replay) || !reflect.DeepEqual(firstEvents, replayEvents) {
+			t.Fatalf("point %d (%dx%d w=%d seed=%d): parallel replay diverged from itself",
+				i, cfg.Width, cfg.Height, cfg.KernelWorkers, cfg.Seed)
+		}
+		if !reflect.DeepEqual(oracle, first) || !reflect.DeepEqual(oracleEvents, firstEvents) {
+			t.Fatalf("point %d (%dx%d w=%d seed=%d): parallel diverged from naive",
+				i, cfg.Width, cfg.Height, cfg.KernelWorkers, cfg.Seed)
+		}
+		c := cfg
+		c.KernelWorkers = cfg.KernelWorkers%4 + 1
+		moved, movedEvents := runCapture(t, c, kernel.Parallel)
+		if !reflect.DeepEqual(oracle, moved) || !reflect.DeepEqual(oracleEvents, movedEvents) {
+			t.Fatalf("point %d (%dx%d seed=%d): parallel diverged after moving bands from %d to %d workers",
+				i, cfg.Width, cfg.Height, cfg.Seed, cfg.KernelWorkers, c.KernelWorkers)
+		}
+	}
+}
+
+// TestParallelSpeedup asserts the parallel kernel actually outruns the
+// serial event kernel on its home workload — a 16x16 mesh at the 0.25
+// operating point, where each band carries 64+ actors per cycle. The
+// threshold is deliberately below the ~2x recorded in BENCH_kernel.json
+// so scheduler noise on shared CI runners does not flake the build; a
+// real ordering regression (parallel slower than serial) still fails.
+// On fewer than 4 CPUs the workers timeshare cores and no speedup is
+// physically available, so the assertion is skipped, not weakened.
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup measurement, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	cfg := NewConfig()
+	cfg.Width, cfg.Height = 16, 16
+	cfg.InjectionRate = 0.25
+	cfg.WarmupMessages = 1 << 62
+	cfg.TotalMessages = 1 << 62
+	cfg.MaxCycles = 1 << 62
+
+	const cycles = 4000
+	wall := func(k kernel.Kind, workers int) time.Duration {
+		c := cfg
+		c.Kernel = k
+		c.KernelWorkers = workers
+		n := New(c)
+		defer n.kernel.StopWorkers()
+		for i := 0; i < 2000; i++ { // steady state before timing
+			n.kernel.Step()
+		}
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for i := 0; i < cycles; i++ {
+				n.kernel.Step()
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	event := wall(kernel.Event, 0)
+	parallel := wall(kernel.Parallel, 0)
+	speedup := float64(event) / float64(parallel)
+	t.Logf("event %v, parallel %v: %.2fx over %d cycles on %d CPUs",
+		event, parallel, speedup, cycles, runtime.NumCPU())
+	if speedup < 1.3 {
+		t.Errorf("parallel kernel only %.2fx vs event on %d CPUs (want >= 1.3x)", speedup, runtime.NumCPU())
+	}
+}

@@ -39,6 +39,10 @@ type pe struct {
 	src *traffic.Source
 	tx  *link.Transmitter
 	rx  *link.Receiver
+	// bus is where this PE publishes trace events: the network's shared
+	// bus under the serial kernels, a per-PE replay buffer under the
+	// parallel kernel (see Network.flushTrace).
+	bus *trace.Bus
 
 	// Injection side. queue[qHead:] are the waiting packets, front first;
 	// the head index avoids re-slicing the backing array away on every pop.
@@ -67,7 +71,7 @@ type pe struct {
 	retention map[flit.PacketID]retained
 }
 
-func newPE(n *Network, id flit.NodeID, src *traffic.Source, tx *link.Transmitter, rx *link.Receiver) *pe {
+func newPE(n *Network, id flit.NodeID, src *traffic.Source, tx *link.Transmitter, rx *link.Receiver, bus *trace.Bus) *pe {
 	vcs := n.cfg.VCs
 	return &pe{
 		net:         n,
@@ -75,6 +79,7 @@ func newPE(n *Network, id flit.NodeID, src *traffic.Source, tx *link.Transmitter
 		src:         src,
 		tx:          tx,
 		rx:          rx,
+		bus:         bus,
 		vcFlits:     make([][]flit.Flit, vcs),
 		vcBuf:       make([][]flit.Flit, vcs),
 		sinkPID:     make([]flit.PacketID, vcs),
@@ -193,8 +198,8 @@ func (p *pe) generate(cycle uint64) {
 		Size:       p.net.cfg.PacketSize,
 		InjectedAt: cycle,
 	})
-	if p.net.bus.Enabled() {
-		p.net.bus.Emit(trace.Event{
+	if p.bus.Enabled() {
+		p.bus.Emit(trace.Event{
 			Cycle: cycle, Kind: trace.FlitInjected,
 			Node: int32(p.id), Port: -1, VC: -1,
 			PID: uint64(pid), Aux: uint64(dst),
@@ -303,8 +308,8 @@ func (p *pe) eject(cycle uint64) {
 // conservation audits can account for every packet that will never be
 // cleanly ejected.
 func (p *pe) emitDrop(cycle uint64, vc int, pid flit.PacketID, reason uint64) {
-	if p.net.bus.Enabled() {
-		p.net.bus.Emit(trace.Event{
+	if p.bus.Enabled() {
+		p.bus.Emit(trace.Event{
 			Cycle: cycle, Kind: trace.FlitDropped,
 			Node: int32(p.id), Port: -1, VC: int8(vc),
 			PID: uint64(pid), Aux: reason,
@@ -380,8 +385,8 @@ func (p *pe) consume(cycle uint64, vc int, f flit.Flit) {
 		}
 		return
 	}
-	if p.net.bus.Enabled() {
-		p.net.bus.Emit(trace.Event{
+	if p.bus.Enabled() {
+		p.bus.Emit(trace.Event{
 			Cycle: cycle, Kind: trace.FlitEjected,
 			Node: int32(p.id), Port: -1, VC: int8(vc),
 			PID: uint64(pid), Aux: uint64(src),

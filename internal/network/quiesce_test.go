@@ -78,6 +78,20 @@ func runKernel(t *testing.T, cfg Config, k kernel.Kind) (Results, uint64) {
 	return res, n.KernelStats().Skipped
 }
 
+// diffKernels are the schedulers checked against the naive oracle: every
+// registered kind except the oracle itself. Deriving the list from
+// kernel.Kinds keeps the grids honest — a new kernel cannot be added
+// without entering the differential contract.
+func diffKernels() []kernel.Kind {
+	var ks []kernel.Kind
+	for _, k := range kernel.Kinds() {
+		if k != kernel.Naive {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
 // TestKernelDifferential is the scheduling contract made executable: for
 // every grid point, the quiescent and event kernels must produce
 // Results — counters, latencies, utilizations, and the traced packet
@@ -104,13 +118,24 @@ func TestKernelDifferential(t *testing.T) {
 					if naiveSkipped != 0 {
 						t.Fatalf("naive kernel skipped %d ticks", naiveSkipped)
 					}
-					for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+					for _, k := range diffKernels() {
 						got, skipped := runKernel(t, cfg, k)
 						if !reflect.DeepEqual(want, got) {
 							t.Fatalf("%v kernel diverged from naive:\nnaive: %+v\n%v:    %+v", k, want, k, got)
 						}
 						if skipped == 0 && rate == 0 {
 							t.Errorf("%v kernel never skipped a tick on a fault-free run", k)
+						}
+					}
+					// The parallel kernel must be worker-count blind:
+					// band boundaries move with the worker count, and
+					// every placement must reproduce the oracle exactly.
+					for _, w := range []int{1, 2, 3} {
+						c := cfg
+						c.KernelWorkers = w
+						got, _ := runKernel(t, c, kernel.Parallel)
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("parallel kernel with %d workers diverged from naive:\nnaive:    %+v\nparallel: %+v", w, want, got)
 						}
 					}
 				})
@@ -132,7 +157,7 @@ func TestKernelDifferentialBurst(t *testing.T) {
 	if want.Delivered != 400 {
 		t.Fatalf("burst delivered %d/400", want.Delivered)
 	}
-	for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+	for _, k := range diffKernels() {
 		got, _ := runKernel(t, cfg, k)
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("burst run diverged under %v:\nnaive: %+v\n%v:    %+v", k, want, k, got)
@@ -150,7 +175,7 @@ func TestKernelDifferentialRecovery(t *testing.T) {
 	cfg.Faults.SA = 5e-4
 	cfg.Faults.VA = 5e-4
 	want, _ := runKernel(t, cfg, kernel.Naive)
-	for _, k := range []kernel.Kind{kernel.Quiescent, kernel.Event} {
+	for _, k := range diffKernels() {
 		got, _ := runKernel(t, cfg, k)
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("recovery run diverged under %v:\nnaive: %+v\n%v:    %+v", k, want, k, got)

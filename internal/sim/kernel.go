@@ -50,7 +50,10 @@
 // order identical across schedulers.
 package sim
 
-import "slices"
+import (
+	"slices"
+	"time"
+)
 
 // Actor is a component evaluated once per simulated clock cycle.
 type Actor interface {
@@ -100,17 +103,40 @@ const (
 	ModeNaive
 	// ModeEvent dispatches only due actors from a calendar queue.
 	ModeEvent
+	// ModeParallel partitions the actors into worker-owned groups plus a
+	// serial group (see SetParallel). Each cycle, worker goroutines step
+	// their groups concurrently (quiescent-style, with per-worker timed
+	// wake heaps), a barrier waits for all of them, then the serial group
+	// ticks in registration order and all latches advance. Cross-group
+	// pipe pushes land in staging buffers disjoint from anything the
+	// consumer reads this cycle, so the schedule is observationally
+	// identical to the synchronous loop.
+	ModeParallel
 )
 
 // Stats is the kernel's cumulative scheduling telemetry. Ticked counts
 // actor ticks executed; Skipped counts actor ticks elided (relative to
 // the naive every-actor-every-cycle schedule, in all modes, so the skip
 // ratio is comparable across schedulers); Events counts calendar-queue
-// dispatches and is zero outside ModeEvent.
+// dispatches and is zero outside ModeEvent. Workers is non-empty only
+// under ModeParallel, one entry per region worker; its Ticked/Skipped
+// are already included in the top-level totals.
 type Stats struct {
 	Ticked  uint64
 	Skipped uint64
 	Events  uint64
+	Workers []WorkerStats
+}
+
+// WorkerStats is one parallel region worker's share of the scheduling
+// telemetry. BarrierWaitNs is the cumulative wall-clock time the worker
+// spent idle at the per-cycle barrier waiting for the serial phase and
+// its slower peers — the direct measure of partition imbalance and
+// serial-fraction overhead.
+type WorkerStats struct {
+	Ticked        uint64
+	Skipped       uint64
+	BarrierWaitNs uint64
 }
 
 // activeLatch is implemented by delay lines; the kernel advances armed
@@ -153,12 +179,15 @@ type Kernel struct {
 	// (0 = none); heap entries not matching it are stale and ignored.
 	// Used by ModeQuiescent only.
 	wakeAt []uint64
-	// heap holds timed wakes (ModeQuiescent) or far-future scheduled
-	// ticks (ModeEvent); the two uses never coexist.
+	// heap holds timed wakes (ModeQuiescent, and ModeParallel's serial
+	// group) or far-future scheduled ticks (ModeEvent); the uses never
+	// coexist.
 	heap []wakeEntry
-	// active holds the armed delay lines; pipes arm themselves on Push
-	// and disarm by returning false from latch.
-	active []activeLatch
+	// shards hold the armed delay lines; pipes arm themselves on Push
+	// into their producer's shard and disarm by returning false from
+	// latch. Serial kernels use only shard 0; ModeParallel gives each
+	// worker its own shard so concurrent arms never share a slice.
+	shards [][]activeLatch
 
 	// Calendar queue (ModeEvent). pendingAt[i] is the cycle actor i is
 	// scheduled to tick on (noPending = none); ring buckets hold handles
@@ -170,6 +199,25 @@ type Kernel struct {
 	buckets   [numBuckets][]Handle
 	due       []Handle
 	evInit    bool
+
+	// Parallel scheduling (ModeParallel, see SetParallel). serialH holds
+	// the handles ticked by the coordinator after the barrier; workerH[w]
+	// holds worker w's handles, both in ascending registration order.
+	// wheaps[w] is worker w's private timed-wake heap; wstats[w] its
+	// telemetry, written only between the worker's start-receive and
+	// done-send so the barrier orders every access. lastTick[h] is the
+	// cycle handle h last actually ticked (noPending = never), maintained
+	// only in ModeParallel for mid-cycle observers that need to know
+	// whether an actor has already advanced past an observation point.
+	serialH  []Handle
+	workerH  [][]Handle
+	wheaps   [][]wakeEntry
+	wstats   []WorkerStats
+	lastTick []uint64
+	startCh  []chan uint64
+	doneCh   chan struct{}
+	pRunning bool
+	pStopped bool
 
 	mode    Mode
 	ticked  uint64
@@ -236,8 +284,88 @@ func (k *Kernel) Waker(h Handle) func() {
 // asleep; only one that declared itself quiet is.
 func (k *Kernel) Asleep(h Handle) bool { return k.asleep[h] }
 
-// SetMode selects the scheduler. Must be set before stepping.
+// SetMode selects the scheduler. Must be set before stepping. For
+// ModeParallel use SetParallel, which also supplies the partition.
 func (k *Kernel) SetMode(m Mode) { k.mode = m }
+
+// SetParallel selects ModeParallel and installs the partition: groups[h]
+// assigns registered handle h to region worker groups[h] (0..workers-1),
+// or -1 to the serial group ticked by the coordinator after the barrier.
+// Workers step their groups concurrently each cycle, so two handles may
+// share a group only if ticking them concurrently with every other
+// group is race-free (all cross-group communication through pipes, no
+// shared mutable state). Must be called after all registrations and
+// before the first Step. Worker goroutines start lazily on the first
+// Step and run until StopWorkers.
+func (k *Kernel) SetParallel(groups []int, workers int) {
+	if workers < 1 {
+		panic("sim: SetParallel needs >= 1 worker")
+	}
+	if len(groups) != len(k.actors) {
+		panic("sim: SetParallel groups must cover every registered actor")
+	}
+	k.mode = ModeParallel
+	k.serialH = k.serialH[:0]
+	k.workerH = make([][]Handle, workers)
+	for h, g := range groups {
+		switch {
+		case g < 0:
+			k.serialH = append(k.serialH, Handle(h))
+		case g < workers:
+			k.workerH[g] = append(k.workerH[g], Handle(h))
+		default:
+			panic("sim: SetParallel group out of range")
+		}
+	}
+	k.wheaps = make([][]wakeEntry, workers)
+	k.wstats = make([]WorkerStats, workers)
+	k.lastTick = make([]uint64, len(groups))
+	for h := range k.lastTick {
+		k.lastTick[h] = noPending
+	}
+	k.startCh = make([]chan uint64, workers)
+	for w := range k.startCh {
+		k.startCh[w] = make(chan uint64, 1)
+	}
+	k.doneCh = make(chan struct{}, workers)
+	// Pre-grow the arm shards so no worker ever has to extend the outer
+	// slice concurrently: shard 0 is serial, shard w+1 belongs to worker w.
+	for len(k.shards) <= workers {
+		k.shards = append(k.shards, nil)
+	}
+}
+
+// Workers returns the number of region workers (0 outside ModeParallel).
+func (k *Kernel) Workers() int { return len(k.workerH) }
+
+// LastTicked reports the cycle handle h last actually ticked, and whether
+// it has ever ticked. Maintained only under ModeParallel; callers use it
+// to decide whether an actor has already advanced past a mid-cycle
+// observation point. Call only between phases (e.g. from the serial
+// group's ticks or after Step), never concurrently with the workers.
+func (k *Kernel) LastTicked(h Handle) (uint64, bool) {
+	if k.lastTick == nil || k.lastTick[h] == noPending {
+		return 0, false
+	}
+	return k.lastTick[h], true
+}
+
+// StopWorkers shuts down the parallel region workers, if any are
+// running. Idempotent; safe outside ModeParallel. The kernel must not be
+// stepped afterwards.
+func (k *Kernel) StopWorkers() {
+	if !k.pRunning || k.pStopped {
+		k.pStopped = true
+		return
+	}
+	k.pStopped = true
+	for _, ch := range k.startCh {
+		close(ch)
+	}
+	for range k.startCh {
+		<-k.doneCh
+	}
+}
 
 // Mode returns the selected scheduler.
 func (k *Kernel) Mode() Mode { return k.mode }
@@ -256,14 +384,30 @@ func (k *Kernel) SetNaive(naive bool) {
 // Naive reports whether actor skipping is disabled.
 func (k *Kernel) Naive() bool { return k.mode == ModeNaive }
 
-// Stats returns the kernel's cumulative scheduling telemetry.
+// Stats returns the kernel's cumulative scheduling telemetry. Under
+// ModeParallel the top-level Ticked/Skipped fold in every worker's
+// share and Workers carries the per-worker breakdown. Call only between
+// steps (the barrier makes that race-free), never from inside a tick.
 func (k *Kernel) Stats() Stats {
-	return Stats{Ticked: k.ticked, Skipped: k.skipped, Events: k.events}
+	s := Stats{Ticked: k.ticked, Skipped: k.skipped, Events: k.events}
+	if len(k.wstats) > 0 {
+		s.Workers = append([]WorkerStats(nil), k.wstats...)
+		for _, w := range k.wstats {
+			s.Ticked += w.Ticked
+			s.Skipped += w.Skipped
+		}
+	}
+	return s
 }
 
-// arm adds a delay line to the active-latch list (called by Pipe.Push).
-func (k *Kernel) arm(l activeLatch) {
-	k.active = append(k.active, l)
+// arm adds a delay line to the given arm-shard (called by Pipe.Push).
+// Serial producers use shard 0; parallel worker w's pipes use shard w+1,
+// so no two goroutines ever append to the same slice.
+func (k *Kernel) arm(l activeLatch, shard int) {
+	for len(k.shards) <= shard {
+		k.shards = append(k.shards, nil)
+	}
+	k.shards[shard] = append(k.shards[shard], l)
 }
 
 // heapPush schedules an entry on a min-heap ordered by at.
@@ -337,6 +481,10 @@ func (k *Kernel) Cycle() uint64 { return k.cycle }
 func (k *Kernel) Step() {
 	if k.mode == ModeEvent {
 		k.stepEvent()
+		return
+	}
+	if k.mode == ModeParallel {
+		k.stepParallel()
 		return
 	}
 	c := k.cycle
@@ -436,20 +584,140 @@ func (k *Kernel) stepEvent() {
 	k.latchAndAdvance()
 }
 
+// stepParallel advances one cycle under the partitioned scheduler:
+// start every region worker on this cycle, wait for all of them at the
+// barrier, tick the serial group in registration order, then run the
+// latch phase. Workers only read state latched in earlier cycles and
+// write into staging buffers nothing else reads this cycle, so the
+// result is identical to ticking everything on one goroutine; the
+// barrier plus the start/done channel pairs provide the happens-before
+// edges that make the sharing visible (and -race clean).
+func (k *Kernel) stepParallel() {
+	c := k.cycle
+	if !k.pRunning {
+		if k.pStopped {
+			panic("sim: Step after StopWorkers")
+		}
+		k.pRunning = true
+		for w := range k.workerH {
+			go k.workerLoop(w)
+		}
+	}
+	for _, ch := range k.startCh {
+		ch <- c
+	}
+	for range k.startCh {
+		<-k.doneCh
+	}
+
+	// Serial phase: timed wakes then ticks for the serial group, exactly
+	// the quiescent schedule restricted to serialH. Pipe wake callbacks
+	// fired later in the latch phase also run here on the coordinator.
+	for len(k.heap) > 0 && k.heap[0].at <= c {
+		e := heapPop(&k.heap)
+		if k.asleep[e.h] && k.wakeAt[e.h] == e.at {
+			k.asleep[e.h] = false
+			k.wakeAt[e.h] = 0
+		}
+	}
+	for _, h := range k.serialH {
+		if k.asleep[h] {
+			k.skipped++
+			continue
+		}
+		k.actors[h].Tick(c)
+		k.lastTick[h] = c
+		k.ticked++
+		if q := k.quiescers[h]; q != nil {
+			if quiet, at := q.Quiescent(c); quiet {
+				k.asleep[h] = true
+				if at > c {
+					k.wakeAt[h] = at
+					heapPush(&k.heap, wakeEntry{at: at, h: h})
+				} else {
+					k.wakeAt[h] = 0
+				}
+			}
+		}
+	}
+
+	k.latchAndAdvance()
+}
+
+// workerLoop is one region worker: wait for a start signal, step the
+// region, signal done. The time between signalling done and receiving
+// the next start is the worker's barrier wait — the serial phase plus
+// straggler peers — accumulated into its WorkerStats.
+func (k *Kernel) workerLoop(w int) {
+	var waitFrom time.Time
+	for {
+		c, ok := <-k.startCh[w]
+		if !waitFrom.IsZero() {
+			k.wstats[w].BarrierWaitNs += uint64(time.Since(waitFrom))
+		}
+		if !ok {
+			k.doneCh <- struct{}{}
+			return
+		}
+		k.tickGroup(w, c)
+		k.doneCh <- struct{}{}
+		waitFrom = time.Now()
+	}
+}
+
+// tickGroup steps worker w's handles for one cycle: fire the worker's
+// due timed wakes, then walk the group in ascending registration order
+// skipping sleepers — the quiescent schedule restricted to one region.
+func (k *Kernel) tickGroup(w int, c uint64) {
+	heap := &k.wheaps[w]
+	for len(*heap) > 0 && (*heap)[0].at <= c {
+		e := heapPop(heap)
+		if k.asleep[e.h] && k.wakeAt[e.h] == e.at {
+			k.asleep[e.h] = false
+			k.wakeAt[e.h] = 0
+		}
+	}
+	var ticked, skipped uint64
+	for _, h := range k.workerH[w] {
+		if k.asleep[h] {
+			skipped++
+			continue
+		}
+		k.actors[h].Tick(c)
+		k.lastTick[h] = c
+		ticked++
+		if q := k.quiescers[h]; q != nil {
+			if quiet, at := q.Quiescent(c); quiet {
+				k.asleep[h] = true
+				if at > c {
+					k.wakeAt[h] = at
+					heapPush(heap, wakeEntry{at: at, h: h})
+				} else {
+					k.wakeAt[h] = 0
+				}
+			}
+		}
+	}
+	k.wstats[w].Ticked += ticked
+	k.wstats[w].Skipped += skipped
+}
+
 // latchAndAdvance runs the cycle's latch phase and advances the clock.
 // Latch-order equals arm-order, which may differ from historical
 // registration order — sound because latches are independent: each
 // pipe only rotates its own ring. Wake callbacks fired here return
 // consumers to the active set for the next cycle.
 func (k *Kernel) latchAndAdvance() {
-	n := 0
-	for _, l := range k.active {
-		if l.latch() {
-			k.active[n] = l
-			n++
+	for s, shard := range k.shards {
+		n := 0
+		for _, l := range shard {
+			if l.latch() {
+				shard[n] = l
+				n++
+			}
 		}
+		k.shards[s] = shard[:n]
 	}
-	k.active = k.active[:n]
 	k.cycle++
 }
 

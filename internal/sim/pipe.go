@@ -26,10 +26,23 @@ type Pipe[T any] struct {
 	bufs [][]T
 	vis  int
 	off  int
-	// held counts unconsumed values anywhere in the ring (staged,
-	// in-flight, and visible-but-unpopped).
-	held int
-	// armed mirrors membership in the kernel's active-latch list.
+	// pushed and popped count values ever enqueued and ever consumed;
+	// their difference is the number of unconsumed values anywhere in the
+	// ring (staged, in-flight, and visible-but-unpopped). They are split
+	// rather than kept as one counter because under the parallel kernel a
+	// pipe's producer and consumer may live on different workers within a
+	// cycle: pushed is written only by the producer, popped only by the
+	// consumer, and only the serial latch phase reads both together.
+	pushed, popped int
+	// shard indexes the kernel's arm-shard this pipe joins when it arms:
+	// shard 0 is the serial shard, shard w+1 belongs to worker w. A pipe
+	// arms from its producer's context, so giving each producer its own
+	// shard keeps the active-latch lists race-free under the parallel
+	// kernel (see Kernel.arm).
+	shard int
+	// armed mirrors membership in the kernel's active-latch list. It is
+	// written only by the producer (Push) and the serial latch phase,
+	// which the per-cycle barrier orders.
 	armed bool
 	// wake, when set, runs whenever a latch leaves values visible — the
 	// delivery signal that returns a quiescent consumer to the active set.
@@ -55,17 +68,30 @@ func NewPipe[T any](k *Kernel, latency int) *Pipe[T] {
 // consumer to wake (see Kernel.Waker). At most one callback is supported.
 func (p *Pipe[T]) SetWake(wake func()) { p.wake = wake }
 
+// SetArmShard assigns the kernel arm-shard this pipe arms into. The shard
+// must identify the pipe's single producer: 0 (the default) for pipes
+// pushed from the serial phase, w+1 for pipes pushed by parallel worker
+// w. Serial kernels ignore the distinction — every shard is latched — so
+// wiring shards unconditionally is free.
+func (p *Pipe[T]) SetArmShard(shard int) { p.shard = shard }
+
 // Latency returns the pipe's configured delay in cycles.
 func (p *Pipe[T]) Latency() int { return p.latency }
 
-// Push enqueues v for delivery latency cycles from now.
+// Push enqueues v for delivery latency cycles from now. Under the
+// parallel kernel the staging buffer bufs[(vis+latency)%len] is disjoint
+// from the consumer's visible buffer for every latency >= 1 and vis only
+// moves at the serial latch, so a producer may push across a region
+// boundary while the consumer drains the visible buffer concurrently —
+// the staging buffer is the cycle-stamped boundary queue, ordered by the
+// producer's own deterministic emission order.
 func (p *Pipe[T]) Push(v T) {
 	s := (p.vis + p.latency) % len(p.bufs)
 	p.bufs[s] = append(p.bufs[s], v)
-	p.held++
+	p.pushed++
 	if !p.armed {
 		p.armed = true
-		p.k.arm(p)
+		p.k.arm(p, p.shard)
 	}
 }
 
@@ -78,7 +104,7 @@ func (p *Pipe[T]) Pop() (v T, ok bool) {
 	}
 	v = head[p.off]
 	p.off++
-	p.held--
+	p.popped++
 	return v, true
 }
 
@@ -97,7 +123,7 @@ func (p *Pipe[T]) Peek() (v T, ok bool) {
 func (p *Pipe[T]) PopAll() []T {
 	head := p.bufs[p.vis][p.off:]
 	p.off = len(p.bufs[p.vis])
-	p.held -= len(head)
+	p.popped += len(head)
 	return head
 }
 
@@ -106,8 +132,9 @@ func (p *Pipe[T]) PopAll() []T {
 func (p *Pipe[T]) Empty() bool { return p.off >= len(p.bufs[p.vis]) }
 
 // InFlight reports the total number of values buffered anywhere in the
-// pipe, including those not yet visible and any not yet latched.
-func (p *Pipe[T]) InFlight() int { return p.held }
+// pipe, including those not yet visible and any not yet latched. Valid
+// only outside a parallel step (the counters live on the two endpoints).
+func (p *Pipe[T]) InFlight() int { return p.pushed - p.popped }
 
 // Each visits every value still held by the pipe — visible-but-unpopped,
 // in-flight, and staged this cycle — in no particular order. It is a
@@ -154,6 +181,6 @@ func (p *Pipe[T]) latch() bool {
 	if len(p.bufs[p.vis]) > 0 && p.wake != nil {
 		p.wake()
 	}
-	p.armed = p.held > 0
+	p.armed = p.pushed != p.popped
 	return p.armed
 }

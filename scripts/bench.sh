@@ -2,10 +2,10 @@
 # bench.sh — kernel performance harness.
 #
 # Full mode (default) times the Fig 5/6 quick workloads under every
-# scheduler (naive, quiescent, event), runs the kernel microbenchmarks,
-# and writes BENCH_kernel.json at the repo root — each kernel's entry
-# records speedup_vs_naive. Pass a git ref to also build that
-# revision's nocsim and record the speedup against it:
+# scheduler (naive, quiescent, event, parallel), runs the kernel
+# microbenchmarks, and writes BENCH_kernel.json at the repo root — each
+# kernel's entry records speedup_vs_naive. Pass a git ref to also build
+# that revision's nocsim and record the speedup against it:
 #
 #   scripts/bench.sh                      # current tree only
 #   scripts/bench.sh --baseline HEAD~1    # plus speedup vs a revision
@@ -14,8 +14,8 @@
 # Smoke mode is the CI guard: it runs every kernel benchmark once (so
 # they cannot bit-rot) and fails the build if the steady-state
 # benchmark of any scheduler — event (BenchmarkKernelSteady), naive,
-# quiescent, or the metrics-on variant — reports any allocations per
-# simulated cycle:
+# quiescent, parallel, or the metrics-on variant — reports any
+# allocations per simulated cycle:
 #
 #   scripts/bench.sh --smoke
 set -euo pipefail
@@ -27,13 +27,15 @@ if [[ "${1:-}" == "--smoke" ]]; then
 
     # Allocation guard. 200 measured cycles after each benchmark's own
     # 2000-cycle warm-up is enough for any per-cycle allocation to show
-    # up as allocs/op >= 1 (Go reports the floor of the mean). All three
-    # kernels are guarded — the calendar queue, the quiescence scan and
-    # the naive loop must each stay allocation-free at steady state. The
-    # Metrics variant guards the zero-cost-when-unscraped observability
-    # contract: gauges registered, sampling interval never firing.
+    # up as allocs/op >= 1 (Go reports the floor of the mean). All four
+    # kernels are guarded — the calendar queue, the quiescence scan, the
+    # naive loop and the parallel barrier step must each stay
+    # allocation-free at steady state. The Metrics variant guards the
+    # zero-cost-when-unscraped observability contract: gauges
+    # registered, sampling interval never firing.
     for bench in BenchmarkKernelSteady BenchmarkKernelSteadyNaive \
-                 BenchmarkKernelSteadyQuiescent BenchmarkKernelSteadyMetrics; do
+                 BenchmarkKernelSteadyQuiescent BenchmarkKernelSteadyParallel \
+                 BenchmarkKernelSteadyMetrics; do
         line=$(go test ./internal/network -run '^$' -bench "${bench}\$" \
             -benchtime=200x -benchmem | grep "^${bench}")
         allocs=$(awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' <<<"$line")
