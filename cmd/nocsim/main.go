@@ -34,9 +34,10 @@ func main() {
 	packet := flag.Int("packet", cfg.PacketSize, "flits per message")
 	inj := flag.Float64("inj", cfg.InjectionRate, "injection rate (flits/node/cycle)")
 	pattern := flag.String("pattern", "NR", "traffic pattern: NR, BC, TN, TP, SH, HS")
-	route := flag.String("routing", "xy", "routing: xy, adaptive, west-first, odd-even")
+	route := flag.String("routing", "xy", "routing: xy, adaptive, west-first, odd-even, fault-adaptive")
 	prot := flag.String("protection", "hbh", "link protection: hbh, e2e, fec")
 	linkErr := flag.Float64("link-errors", 0, "link error rate per flit traversal")
+	mortality := flag.String("mortality", "", "hard-fault schedule: link:NODEDIR@CYCLE, router:NODE@CYCLE, hazard:RATE@START-STOP terms (comma-separated)")
 	rtErr := flag.Float64("rt-errors", 0, "routing-unit upset rate per computation")
 	vaErr := flag.Float64("va-errors", 0, "VC-allocator upset rate per allocation")
 	saErr := flag.Float64("sa-errors", 0, "switch-allocator upset rate per arbitration")
@@ -96,6 +97,11 @@ func main() {
 	}
 	if cfg.Routing, err = ftnoc.ParseRouting(*route); err != nil {
 		fatal(err)
+	}
+	if *mortality != "" {
+		if cfg.Faults.Mortality, err = ftnoc.ParseMortality(*mortality); err != nil {
+			fatal(err)
+		}
 	}
 	if cfg.Protection, err = ftnoc.ParseProtection(*prot); err != nil {
 		fatal(err)
@@ -245,6 +251,12 @@ func main() {
 		}
 		fmt.Printf("  %-9v injected %d, corrected %d, undetected %d\n",
 			cl, res.Counters.Injected[cl], res.Counters.Corrected[cl], res.Counters.Undetected[cl])
+	}
+	if res.Undeliverable > 0 || res.DeadLinks > 0 || res.DeadRouters > 0 {
+		fmt.Printf("hard faults:    %d dead links, %d dead routers, %d undeliverable messages\n",
+			res.DeadLinks, res.DeadRouters, res.Undeliverable)
+		fmt.Printf("degradation:    reachable pairs %.4f, post-fault throughput %.4f flits/node/cycle\n",
+			res.ReachablePairFraction, res.PostFaultThroughput)
 	}
 	if res.Recoveries > 0 || res.ProbesSent > 0 {
 		fmt.Printf("deadlock:       %d probes, %d recovery episodes\n", res.ProbesSent, res.Recoveries)

@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ftnoc"
@@ -37,10 +38,11 @@ func main() {
 	width := flag.Int("width", cfg.Width, "mesh width")
 	height := flag.Int("height", cfg.Height, "mesh height")
 	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per PC")
-	routingName := flag.String("routing", "xy", "routing algorithm: xy, adaptive, westfirst, oddeven")
+	routingName := flag.String("routing", "xy", "routing algorithm: xy, adaptive, westfirst, oddeven, fault-adaptive")
 	patternName := flag.String("pattern", "NR", "traffic pattern: NR, BC, TN, TP, SH, HS")
 	protName := flag.String("protection", "hbh", "link protection: hbh, e2e, fec")
 	linkErr := flag.Float64("link-errors", 0, "link error rate")
+	mortalityAxis := flag.String("mortality", "", "hard-fault schedule axis: semicolon-separated schedules (each in link:3E@1000,router:9@4000 / hazard:RATE@START-STOP grammar; 'none' for the fault-free point)")
 	messages := flag.Uint64("messages", 4000, "messages per point (incl. warm-up)")
 	seed := flag.Uint64("seed", 1, "base simulation seed")
 	seeds := flag.Int("seeds", 1, "replicates per point (distinct derived seeds; metrics print mean ± 95% CI)")
@@ -112,6 +114,16 @@ func main() {
 		Workers:        *workers,
 		Invariants:     *check,
 	}
+	if *mortalityAxis != "" {
+		// Schedules use commas internally, so the axis separator is ";".
+		for _, term := range strings.Split(*mortalityAxis, ";") {
+			m, err := ftnoc.ParseMortality(strings.TrimSpace(term))
+			if err != nil {
+				fatal(err)
+			}
+			spec.MortalitySchedules = append(spec.MortalitySchedules, m)
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -152,7 +164,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: interrupted — reporting completed points only")
 	}
 
-	fmt.Printf("%-10s %-18s %-22s %-12s %-10s\n", "offered", "accepted", "avg_latency", "p95_latency", "nJ/msg")
+	degradation := len(spec.MortalitySchedules) > 0
+	if degradation {
+		fmt.Printf("%-10s %-34s %-18s %-22s %-12s %-10s %-8s\n",
+			"offered", "mortality", "accepted", "avg_latency", "p95_latency", "undeliv", "reach")
+	} else {
+		fmt.Printf("%-10s %-18s %-22s %-12s %-10s\n", "offered", "accepted", "avg_latency", "p95_latency", "nJ/msg")
+	}
 	for _, p := range report.Points {
 		if p.Err != nil {
 			fmt.Printf("%-10.3f %s\n", p.InjectionRate, p.Err)
@@ -160,6 +178,14 @@ func main() {
 		}
 		if p.Agg.Completed == 0 {
 			fmt.Printf("%-10.3f (aborted before completion)\n", p.InjectionRate)
+			continue
+		}
+		if degradation {
+			fmt.Printf("%-10.3f %-34s %-18s %-22s %-12.0f %-10.1f %-8.4f\n",
+				p.InjectionRate, p.Mortality.String(),
+				fmt.Sprintf("%.4f", p.Agg.Throughput.Mean)+ci(p.Agg.Throughput.CI95, 4),
+				fmt.Sprintf("%.2f", p.Agg.AvgLatency.Mean)+ci(p.Agg.AvgLatency.CI95, 2),
+				p.Agg.P95Latency.Mean, p.Agg.Undeliverable.Mean, p.Agg.ReachableFrac.Mean)
 			continue
 		}
 		fmt.Printf("%-10.3f %-18s %-22s %-12.0f %-10.4f\n",

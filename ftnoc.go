@@ -77,12 +77,15 @@ const (
 type Routing = routing.Algorithm
 
 // Routing algorithms. XY is the paper's deterministic baseline (DT);
-// MinimalAdaptive is the adaptive one (AD).
+// MinimalAdaptive is the adaptive one (AD). FaultAdaptive is the
+// up*/down* fault-tolerant algorithm that reroutes around dead links
+// and routers (required for graceful degradation under Mortality).
 const (
 	XY              = routing.XY
 	MinimalAdaptive = routing.MinimalAdaptive
 	WestFirst       = routing.WestFirst
 	OddEven         = routing.OddEven
+	FaultAdaptive   = routing.FaultAdaptive
 )
 
 // Pattern selects the traffic destination distribution.
@@ -139,6 +142,12 @@ const (
 
 // LinkID names a directed inter-router link, for hard-fault injection.
 type LinkID = topology.LinkID
+
+// Mortality schedules hard faults that strike mid-run: link and router
+// deaths at fixed cycles plus an optional per-cycle hazard process. Set
+// it on Config.Faults.Mortality; pair with the FaultAdaptive routing
+// algorithm to study graceful degradation.
+type Mortality = fault.Mortality
 
 // Port identifies a router's physical channel.
 type Port = topology.Port
@@ -276,6 +285,11 @@ func ParseTopology(s string) (TopologyKind, error) { return topology.ParseKind(s
 // ParseKernel parses a CLI kernel name: naive, quiescent, event,
 // parallel (case-insensitive).
 func ParseKernel(s string) (KernelKind, error) { return kernel.Parse(s) }
+
+// ParseMortality parses a CLI hard-fault schedule: "none", or a
+// comma-separated list of "link:NODEDIR@CYCLE" / "router:NODE@CYCLE" /
+// "hazard:RATE@START-STOP" terms (e.g. "link:3E@1000,router:9@4000").
+func ParseMortality(s string) (Mortality, error) { return fault.ParseMortality(s) }
 
 // ConfigHash returns the configuration's canonical content hash: a hex
 // SHA-256 over its canonical JSON form. Two configurations with the same

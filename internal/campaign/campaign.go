@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"ftnoc/internal/fault"
 	"ftnoc/internal/invariant"
 	"ftnoc/internal/link"
 	"ftnoc/internal/network"
@@ -58,7 +59,10 @@ type Spec struct {
 	Protections    []link.Protection
 	Patterns       []traffic.Pattern
 	LinkErrorRates []float64
-	InjectionRates []float64
+	// MortalitySchedules sweeps hard-fault schedules (fault.Mortality;
+	// the zero schedule means no deaths) — the degradation-curve axis.
+	MortalitySchedules []fault.Mortality
+	InjectionRates     []float64
 
 	// Seeds is the number of replicates per point (default 1), each with
 	// a distinct derived seed; replicated metrics aggregate to mean ± CI.
@@ -105,6 +109,7 @@ type Point struct {
 	Protection    link.Protection
 	Pattern       traffic.Pattern
 	LinkErrorRate float64
+	Mortality     fault.Mortality
 	InjectionRate float64
 
 	// Config is the point's complete configuration, before per-replicate
@@ -149,6 +154,12 @@ type Aggregate struct {
 	Throughput     stats.Estimate // accepted flits/node/cycle
 	EnergyPerMsgNJ stats.Estimate
 	Delivered      stats.Estimate
+	// Undeliverable and ReachableFrac summarise hard-fault degradation:
+	// the per-replicate undeliverable-verdict count and the end-of-run
+	// reachable-pair fraction. With no mortality schedule they aggregate
+	// the constants 0 and 1.
+	Undeliverable stats.Estimate
+	ReachableFrac stats.Estimate
 }
 
 // PointResult is one point's outcome: its replicates plus the aggregate.
@@ -214,33 +225,40 @@ func (s Spec) Points() []Point {
 	if len(linkErrs) == 0 {
 		linkErrs = []float64{s.Base.Faults.Link}
 	}
+	morts := s.MortalitySchedules
+	if len(morts) == 0 {
+		morts = []fault.Mortality{s.Base.Faults.Mortality}
+	}
 	injs := s.InjectionRates
 	if len(injs) == 0 {
 		injs = []float64{s.Base.InjectionRate}
 	}
 
-	points := make([]Point, 0, len(sizes)*len(topos)*len(routings)*len(prots)*len(patterns)*len(linkErrs)*len(injs))
+	points := make([]Point, 0, len(sizes)*len(topos)*len(routings)*len(prots)*len(patterns)*len(linkErrs)*len(morts)*len(injs))
 	for _, sz := range sizes {
 		for _, tk := range topos {
 			for _, ro := range routings {
 				for _, pr := range prots {
 					for _, pa := range patterns {
 						for _, le := range linkErrs {
-							for _, inj := range injs {
-								cfg := s.Base
-								cfg.Width, cfg.Height = sz.Width, sz.Height
-								cfg.TopologyKind = tk
-								cfg.Routing = ro
-								cfg.Protection = pr
-								cfg.Pattern = pa
-								cfg.Faults.Link = le
-								cfg.InjectionRate = inj
-								points = append(points, Point{
-									Index: len(points), Size: sz, Topology: tk,
-									Routing: ro, Protection: pr, Pattern: pa,
-									LinkErrorRate: le, InjectionRate: inj,
-									Config: cfg,
-								})
+							for _, mo := range morts {
+								for _, inj := range injs {
+									cfg := s.Base
+									cfg.Width, cfg.Height = sz.Width, sz.Height
+									cfg.TopologyKind = tk
+									cfg.Routing = ro
+									cfg.Protection = pr
+									cfg.Pattern = pa
+									cfg.Faults.Link = le
+									cfg.Faults.Mortality = mo
+									cfg.InjectionRate = inj
+									points = append(points, Point{
+										Index: len(points), Size: sz, Topology: tk,
+										Routing: ro, Protection: pr, Pattern: pa,
+										LinkErrorRate: le, Mortality: mo, InjectionRate: inj,
+										Config: cfg,
+									})
+								}
 							}
 						}
 					}
@@ -599,7 +617,7 @@ func finalizePoint(p *PointResult) {
 		return // invalid config: no replicates ran
 	}
 	p.Agg = Aggregate{}
-	var lat, p95, thr, energy, delivered []float64
+	var lat, p95, thr, energy, delivered, undeliv, reach []float64
 	var firstErr error
 	for _, rr := range p.Reps {
 		if rr.Err != nil {
@@ -626,12 +644,16 @@ func finalizePoint(p *PointResult) {
 		thr = append(thr, rr.Results.Throughput.FlitsPerNodePerCycle())
 		energy = append(energy, power.EnergyPerMessage(rr.Results.Events, rr.Results.MeasuredMessages))
 		delivered = append(delivered, float64(rr.Results.Delivered))
+		undeliv = append(undeliv, float64(rr.Results.Undeliverable))
+		reach = append(reach, rr.Results.ReachablePairFraction)
 	}
 	p.Agg.AvgLatency = stats.MeanCI95(lat)
 	p.Agg.P95Latency = stats.MeanCI95(p95)
 	p.Agg.Throughput = stats.MeanCI95(thr)
 	p.Agg.EnergyPerMsgNJ = stats.MeanCI95(energy)
 	p.Agg.Delivered = stats.MeanCI95(delivered)
+	p.Agg.Undeliverable = stats.MeanCI95(undeliv)
+	p.Agg.ReachableFrac = stats.MeanCI95(reach)
 	if p.Agg.Completed == 0 {
 		p.Err = firstErr
 	}

@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"ftnoc/internal/fault"
+	"ftnoc/internal/routing"
+)
+
+func mustMortality(t *testing.T, s string) fault.Mortality {
+	t.Helper()
+	m, err := fault.ParseMortality(s)
+	if err != nil {
+		t.Fatalf("ParseMortality(%q): %v", s, err)
+	}
+	return m
+}
+
+// TestSpecMortalityAxis pins mortality's status as a first-class sweep
+// axis: it multiplies the grid, lands on each point's config, survives
+// the wire round-trip, and contributes to the canonical hash (two
+// schedules are two different experiments, never a cache hit).
+func TestSpecMortalityAxis(t *testing.T) {
+	base := tinyBase()
+	base.Routing = routing.FaultAdaptive
+	spec := Spec{
+		Base:           base,
+		InjectionRates: []float64{0.1, 0.2},
+		MortalitySchedules: []fault.Mortality{
+			{},
+			mustMortality(t, "link:5E@200,router:9@250"),
+		},
+	}
+
+	points := spec.Points()
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 2 schedules x 2 injections = 4", len(points))
+	}
+	// The schedule must land on both the point label and the config the
+	// replicates actually run.
+	sawFaulted := 0
+	for _, p := range points {
+		if p.Mortality.String() != p.Config.Faults.Mortality.String() {
+			t.Fatalf("point label %q disagrees with its config %q",
+				p.Mortality, p.Config.Faults.Mortality)
+		}
+		if p.Mortality.Enabled() {
+			sawFaulted++
+			if len(p.Config.Faults.Mortality.Links) != 1 || len(p.Config.Faults.Mortality.Routers) != 1 {
+				t.Fatalf("faulted point lost schedule entries: %+v", p.Config.Faults.Mortality)
+			}
+		}
+	}
+	if sawFaulted != 2 {
+		t.Fatalf("%d faulted points, want 2", sawFaulted)
+	}
+
+	// Wire round-trip: the JSON body nocd receives must reconstruct the
+	// axis schedule-for-schedule.
+	doc, err := spec.WireJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.MortalitySchedules) != 2 {
+		t.Fatalf("round-trip kept %d schedules, want 2", len(back.MortalitySchedules))
+	}
+	for i := range back.MortalitySchedules {
+		if back.MortalitySchedules[i].String() != spec.MortalitySchedules[i].String() {
+			t.Fatalf("schedule %d round-tripped to %q, want %q",
+				i, back.MortalitySchedules[i], spec.MortalitySchedules[i])
+		}
+	}
+
+	// The hash must separate different schedules and ignore spelling that
+	// parses to the same schedule.
+	h1, err := spec.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.MortalitySchedules = []fault.Mortality{
+		{},
+		mustMortality(t, "link:5E@200,router:9@300"), // later router death
+	}
+	h2, err := other.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("changing a death cycle did not alter the canonical hash")
+	}
+	if hb, _ := back.CanonicalHash(); hb != h1 {
+		t.Fatal("wire round-trip changed the canonical hash")
+	}
+}
+
+// TestCampaignMortalityDegradation runs a real two-point mortality sweep
+// and checks the degradation aggregates nocd serves: the fault-free
+// point keeps full reachability and zero undeliverables, the point that
+// loses a router reports the oracle pair fraction and a positive
+// undeliverable count.
+func TestCampaignMortalityDegradation(t *testing.T) {
+	base := tinyBase()
+	base.Routing = routing.FaultAdaptive
+	spec := Spec{
+		Base:           base,
+		InjectionRates: []float64{0.2},
+		MortalitySchedules: []fault.Mortality{
+			{},
+			mustMortality(t, "router:5@100"),
+		},
+		Seeds: 2,
+	}
+	report, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(report.Points))
+	}
+	healthy, faulted := &report.Points[0], &report.Points[1]
+	if healthy.Mortality.Enabled() {
+		healthy, faulted = faulted, healthy
+	}
+	for _, p := range []*PointResult{healthy, faulted} {
+		if p.Err != nil {
+			t.Fatalf("point %q failed: %v", p.Mortality, p.Err)
+		}
+		if p.Agg.Completed != 2 {
+			t.Fatalf("point %q completed %d of 2 replicates (stalled %d, aborted %d)",
+				p.Mortality, p.Agg.Completed, p.Agg.Stalled, p.Agg.Aborted)
+		}
+	}
+	if healthy.Agg.ReachableFrac.Mean != 1 || healthy.Agg.Undeliverable.Mean != 0 {
+		t.Fatalf("fault-free point degraded: reach %v undeliv %v",
+			healthy.Agg.ReachableFrac.Mean, healthy.Agg.Undeliverable.Mean)
+	}
+	// One dead router in a 4x4 mesh: 15*14 ordered live pairs of 16*15.
+	want := float64(15*14) / float64(16*15)
+	if faulted.Agg.ReachableFrac.Mean != want {
+		t.Fatalf("faulted reachable fraction = %v, want %v", faulted.Agg.ReachableFrac.Mean, want)
+	}
+	if faulted.Agg.Undeliverable.Mean <= 0 {
+		t.Fatal("router death produced no undeliverable messages")
+	}
+	// Degradation must be visible in the serialized row clients consume.
+	row := PointRowOf(faulted)
+	if row.Mortality != "router:5@100" || row.ReachableFrac.Mean != want {
+		t.Fatalf("PointRow lost degradation detail: %+v", row)
+	}
+	if len(row.Replicates) != 2 || row.Replicates[0].ReachableFrac != want {
+		t.Fatalf("replicate rows lost degradation detail: %+v", row.Replicates)
+	}
+}

@@ -79,8 +79,10 @@ func TestCSVRoundTrip(t *testing.T) {
 		want.Replicates = nil
 		want.AvgLatency.N, want.P95Latency.N, want.Throughput.N = 0, 0, 0
 		want.EnergyPerMsgNJ.N, want.Delivered.N = 0, 0
-		// Nor the delivered CI column.
+		want.Undeliverable.N, want.ReachableFrac.N = 0, 0
+		// Nor the mean-only columns' CI.
 		want.Delivered.CI95 = 0
+		want.Undeliverable.CI95, want.ReachableFrac.CI95 = 0, 0
 		if !reflect.DeepEqual(rows[i], want) {
 			t.Fatalf("row %d does not reconstruct the point:\n got %+v\nwant %+v", i, rows[i], want)
 		}

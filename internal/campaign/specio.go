@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"ftnoc/internal/fault"
 	"ftnoc/internal/kernel"
 	"ftnoc/internal/link"
 	"ftnoc/internal/network"
@@ -32,12 +33,15 @@ type specWire struct {
 	Protections    []string        `json:"protections"`
 	Patterns       []string        `json:"patterns"`
 	LinkErrorRates []float64       `json:"link_error_rates"`
-	InjectionRates []float64       `json:"injection_rates"`
-	Seeds          int             `json:"seeds"`
-	Workers        int             `json:"workers"`
-	Invariants     bool            `json:"invariants"`
-	Kernel         string          `json:"kernel"`
-	KernelWorkers  int             `json:"kernel_workers,omitempty"`
+	// Mortalities spells hard-fault schedules in the fault.ParseMortality
+	// grammar ("none", "link:3E@1000,router:9@4000", "hazard:1e-3@500-0").
+	Mortalities    []string  `json:"mortality_schedules"`
+	InjectionRates []float64 `json:"injection_rates"`
+	Seeds          int       `json:"seeds"`
+	Workers        int       `json:"workers"`
+	Invariants     bool      `json:"invariants"`
+	Kernel         string    `json:"kernel"`
+	KernelWorkers  int       `json:"kernel_workers,omitempty"`
 }
 
 // wireSize accepts either {"width":8,"height":8} or the string "8x8";
@@ -142,6 +146,13 @@ func ParseSpec(data []byte) (Spec, error) {
 		}
 		spec.Patterns = append(spec.Patterns, p)
 	}
+	for _, s := range w.Mortalities {
+		m, err := fault.ParseMortality(s)
+		if err != nil {
+			return Spec{}, fmt.Errorf("campaign: spec mortality_schedules: %w", err)
+		}
+		spec.MortalitySchedules = append(spec.MortalitySchedules, m)
+	}
 	return spec, nil
 }
 
@@ -178,6 +189,9 @@ func (s Spec) WireJSON() ([]byte, error) {
 	}
 	for _, p := range s.Patterns {
 		w.Patterns = append(w.Patterns, p.String())
+	}
+	for _, m := range s.MortalitySchedules {
+		w.Mortalities = append(w.Mortalities, m.String())
 	}
 	return json.Marshal(w)
 }

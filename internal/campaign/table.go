@@ -15,8 +15,9 @@ import (
 // WriteNDJSON's flat fields); it is part of the output format.
 var csvHeader = []string{
 	"point", "width", "height", "topology", "routing", "protection", "pattern",
-	"link_error_rate", "injection_rate", "reps", "completed", "stalled", "aborted",
-	"delivered_mean", "avg_latency_mean", "avg_latency_ci95",
+	"link_error_rate", "mortality", "injection_rate", "reps", "completed", "stalled", "aborted",
+	"delivered_mean", "undeliverable_mean", "reachable_frac_mean",
+	"avg_latency_mean", "avg_latency_ci95",
 	"p95_latency_mean", "p95_latency_ci95",
 	"throughput_mean", "throughput_ci95",
 	"energy_nj_mean", "energy_nj_ci95",
@@ -96,10 +97,11 @@ func WriteRowsCSV(w io.Writer, rows []PointRow) error {
 			strconv.Itoa(p.Point),
 			strconv.Itoa(p.Width), strconv.Itoa(p.Height),
 			p.Topology, p.Routing, p.Protection, p.Pattern,
-			formatFloat(p.LinkErrorRate), formatFloat(p.InjectionRate),
+			formatFloat(p.LinkErrorRate), p.Mortality, formatFloat(p.InjectionRate),
 			strconv.Itoa(p.Reps),
 			strconv.Itoa(p.Completed), strconv.Itoa(p.Stalled), strconv.Itoa(p.Aborted),
 			formatFloat(p.Delivered.Mean),
+			formatFloat(p.Undeliverable.Mean), formatFloat(p.ReachableFrac.Mean),
 			formatFloat(p.AvgLatency.Mean), formatFloat(p.AvgLatency.CI95),
 			formatFloat(p.P95Latency.Mean), formatFloat(p.P95Latency.CI95),
 			formatFloat(p.Throughput.Mean), formatFloat(p.Throughput.CI95),
@@ -130,6 +132,9 @@ type PointRow struct {
 	Protection    string  `json:"protection"`
 	Pattern       string  `json:"pattern"`
 	LinkErrorRate float64 `json:"link_error_rate"`
+	// Mortality is the point's hard-fault schedule in ParseMortality
+	// grammar ("none" when the axis is unswept).
+	Mortality     string  `json:"mortality"`
 	InjectionRate float64 `json:"injection_rate"`
 
 	Reps      int    `json:"reps"`
@@ -143,6 +148,8 @@ type PointRow struct {
 	Throughput     EstimateRow `json:"throughput"`
 	EnergyPerMsgNJ EstimateRow `json:"energy_nj"`
 	Delivered      EstimateRow `json:"delivered"`
+	Undeliverable  EstimateRow `json:"undeliverable"`
+	ReachableFrac  EstimateRow `json:"reachable_frac"`
 
 	Replicates []RepRow `json:"replicates,omitempty"`
 }
@@ -156,15 +163,17 @@ type EstimateRow struct {
 
 // RepRow is the external form of one replicate's measurements.
 type RepRow struct {
-	Seed       uint64  `json:"seed"`
-	Delivered  uint64  `json:"delivered"`
-	Cycles     uint64  `json:"cycles"`
-	AvgLatency float64 `json:"avg_latency"`
-	P95Latency float64 `json:"p95_latency"`
-	Throughput float64 `json:"throughput"`
-	Stalled    bool    `json:"stalled,omitempty"`
-	Aborted    bool    `json:"aborted,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	Seed          uint64  `json:"seed"`
+	Delivered     uint64  `json:"delivered"`
+	Undeliverable uint64  `json:"undeliverable,omitempty"`
+	ReachableFrac float64 `json:"reachable_frac"`
+	Cycles        uint64  `json:"cycles"`
+	AvgLatency    float64 `json:"avg_latency"`
+	P95Latency    float64 `json:"p95_latency"`
+	Throughput    float64 `json:"throughput"`
+	Stalled       bool    `json:"stalled,omitempty"`
+	Aborted       bool    `json:"aborted,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // PointRowOf flattens a PointResult into its external row form,
@@ -175,14 +184,17 @@ func PointRowOf(p *PointResult) PointRow {
 		Point: p.Index, Width: p.Size.Width, Height: p.Size.Height,
 		Topology: p.Topology.String(), Routing: p.Routing.String(),
 		Protection: p.Protection.String(), Pattern: p.Pattern.String(),
-		LinkErrorRate: p.LinkErrorRate, InjectionRate: p.InjectionRate,
-		Reps: len(p.Reps), Completed: p.Agg.Completed,
+		LinkErrorRate: p.LinkErrorRate, Mortality: p.Mortality.String(),
+		InjectionRate: p.InjectionRate,
+		Reps:          len(p.Reps), Completed: p.Agg.Completed,
 		Stalled: p.Agg.Stalled, Aborted: p.Agg.Aborted,
 		AvgLatency:     EstimateRow(p.Agg.AvgLatency),
 		P95Latency:     EstimateRow(p.Agg.P95Latency),
 		Throughput:     EstimateRow(p.Agg.Throughput),
 		EnergyPerMsgNJ: EstimateRow(p.Agg.EnergyPerMsgNJ),
 		Delivered:      EstimateRow(p.Agg.Delivered),
+		Undeliverable:  EstimateRow(p.Agg.Undeliverable),
+		ReachableFrac:  EstimateRow(p.Agg.ReachableFrac),
 	}
 	if p.Err != nil {
 		row.Error = p.Err.Error()
@@ -192,14 +204,16 @@ func PointRowOf(p *PointResult) PointRow {
 			continue // never dispatched
 		}
 		rep := RepRow{
-			Seed:       rr.Seed,
-			Delivered:  rr.Results.Delivered,
-			Cycles:     rr.Results.Cycles,
-			AvgLatency: rr.Results.AvgLatency,
-			P95Latency: rr.Results.P95Latency,
-			Throughput: rr.Results.Throughput.FlitsPerNodePerCycle(),
-			Stalled:    rr.Results.Stalled,
-			Aborted:    rr.Results.Aborted,
+			Seed:          rr.Seed,
+			Delivered:     rr.Results.Delivered,
+			Undeliverable: rr.Results.Undeliverable,
+			ReachableFrac: rr.Results.ReachablePairFraction,
+			Cycles:        rr.Results.Cycles,
+			AvgLatency:    rr.Results.AvgLatency,
+			P95Latency:    rr.Results.P95Latency,
+			Throughput:    rr.Results.Throughput.FlitsPerNodePerCycle(),
+			Stalled:       rr.Results.Stalled,
+			Aborted:       rr.Results.Aborted,
 		}
 		if rr.Err != nil {
 			rep.Error = rr.Err.Error()
@@ -303,14 +317,16 @@ func parseCSVRow(rec []string) (PointRow, error) {
 	row := PointRow{
 		Point: f.int(0), Width: f.int(1), Height: f.int(2),
 		Topology: rec[3], Routing: rec[4], Protection: rec[5], Pattern: rec[6],
-		LinkErrorRate: f.float(7), InjectionRate: f.float(8),
-		Reps: f.int(9), Completed: f.int(10), Stalled: f.int(11), Aborted: f.int(12),
-		Delivered:      EstimateRow{Mean: f.float(13)},
-		AvgLatency:     EstimateRow{Mean: f.float(14), CI95: f.float(15)},
-		P95Latency:     EstimateRow{Mean: f.float(16), CI95: f.float(17)},
-		Throughput:     EstimateRow{Mean: f.float(18), CI95: f.float(19)},
-		EnergyPerMsgNJ: EstimateRow{Mean: f.float(20), CI95: f.float(21)},
-		Error:          rec[22],
+		LinkErrorRate: f.float(7), Mortality: rec[8], InjectionRate: f.float(9),
+		Reps: f.int(10), Completed: f.int(11), Stalled: f.int(12), Aborted: f.int(13),
+		Delivered:      EstimateRow{Mean: f.float(14)},
+		Undeliverable:  EstimateRow{Mean: f.float(15)},
+		ReachableFrac:  EstimateRow{Mean: f.float(16)},
+		AvgLatency:     EstimateRow{Mean: f.float(17), CI95: f.float(18)},
+		P95Latency:     EstimateRow{Mean: f.float(19), CI95: f.float(20)},
+		Throughput:     EstimateRow{Mean: f.float(21), CI95: f.float(22)},
+		EnergyPerMsgNJ: EstimateRow{Mean: f.float(23), CI95: f.float(24)},
+		Error:          rec[25],
 	}
 	return row, f.err
 }

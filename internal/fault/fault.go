@@ -96,6 +96,11 @@ type Rates struct {
 	// Xbar is the per-traversal probability of a single-bit upset on the
 	// crossbar datapath (§4.4), corrected downstream by SEC/DED.
 	Xbar float64
+	// Mortality is the hard-fault schedule: permanent link and router
+	// deaths applied while the run is in flight (see Mortality). Unlike
+	// the transient rates above it is irreversible damage, handled by the
+	// network's reconfiguration controller rather than the injectors.
+	Mortality Mortality `json:",omitempty"`
 }
 
 // DefaultLinkDouble is the conditional double-bit fraction used by the

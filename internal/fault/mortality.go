@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftnoc/internal/flit"
+	"ftnoc/internal/topology"
+)
+
+// Mortality is the hard-fault schedule of a run: permanent link and
+// router deaths at configured cycles, plus an optional memoryless hazard
+// process that kills random live links at a per-cycle rate. Unlike the
+// transient Rates it sits beside, mortality is irreversible — the
+// network degrades monotonically and the interesting measurements are
+// reachability and throughput after each death.
+//
+// Mortality is part of the configuration (hash-included): two runs with
+// different schedules are different experiments.
+type Mortality struct {
+	// Links lists scheduled link deaths. Each kills the physical link in
+	// both directions at its cycle.
+	Links []LinkDeath `json:",omitempty"`
+	// Routers lists scheduled router deaths: all incident links die and
+	// the node's PE stops generating traffic.
+	Routers []RouterDeath `json:",omitempty"`
+	// HazardRate is the per-cycle probability that one additional random
+	// live link dies, active on cycles [HazardStart, HazardStop) (a zero
+	// HazardStop means "until the run ends"). Victims derive from the
+	// simulation seed, so a hazard schedule is as reproducible as an
+	// explicit one.
+	HazardRate  float64 `json:",omitempty"`
+	HazardStart uint64  `json:",omitempty"`
+	HazardStop  uint64  `json:",omitempty"`
+}
+
+// LinkDeath schedules the bidirectional death of the physical link
+// (From, Dir) at the start of the given cycle.
+type LinkDeath struct {
+	From  flit.NodeID
+	Dir   topology.Port
+	Cycle uint64
+}
+
+// RouterDeath schedules the death of a router (and its PE) at the start
+// of the given cycle.
+type RouterDeath struct {
+	Node  flit.NodeID
+	Cycle uint64
+}
+
+// Enabled reports whether the schedule kills anything.
+func (m Mortality) Enabled() bool {
+	return len(m.Links) > 0 || len(m.Routers) > 0 || m.HazardRate > 0
+}
+
+// dirNames maps mesh directions to their schedule-grammar letters.
+var dirNames = map[topology.Port]string{
+	topology.North: "N", topology.East: "E", topology.South: "S", topology.West: "W",
+}
+
+// String renders the schedule in the ParseMortality grammar — the
+// canonical axis label campaign tables and CLI flags use. Entries print
+// in schedule order; an empty schedule prints as "none".
+func (m Mortality) String() string {
+	if !m.Enabled() {
+		return "none"
+	}
+	var parts []string
+	for _, l := range m.Links {
+		d, ok := dirNames[l.Dir]
+		if !ok {
+			d = fmt.Sprintf("(%d)", l.Dir)
+		}
+		parts = append(parts, fmt.Sprintf("link:%d%s@%d", l.From, d, l.Cycle))
+	}
+	for _, r := range m.Routers {
+		parts = append(parts, fmt.Sprintf("router:%d@%d", r.Node, r.Cycle))
+	}
+	if m.HazardRate > 0 {
+		h := "hazard:" + strconv.FormatFloat(m.HazardRate, 'g', -1, 64)
+		if m.HazardStart > 0 || m.HazardStop > 0 {
+			h += fmt.Sprintf("@%d", m.HazardStart)
+			if m.HazardStop > 0 {
+				h += fmt.Sprintf("-%d", m.HazardStop)
+			}
+		}
+		parts = append(parts, h)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMortality parses the schedule grammar: a comma-separated list of
+//
+//	link:<node><N|E|S|W>@<cycle>   one link dies (both directions)
+//	router:<node>@<cycle>          one router dies
+//	hazard:<rate>[@<start>[-<stop>]]  memoryless link deaths
+//
+// "none" or the empty string is the empty schedule. The grammar is the
+// inverse of String, so schedules round-trip through campaign tables.
+func ParseMortality(s string) (Mortality, error) {
+	var m Mortality
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		kind, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return Mortality{}, fmt.Errorf("fault: bad mortality entry %q (want kind:spec)", part)
+		}
+		switch kind {
+		case "link":
+			spec, cyc, ok := strings.Cut(rest, "@")
+			if !ok {
+				return Mortality{}, fmt.Errorf("fault: link death %q is missing its @cycle", part)
+			}
+			if len(spec) < 2 {
+				return Mortality{}, fmt.Errorf("fault: bad link spec %q (want <node><N|E|S|W>)", spec)
+			}
+			var dir topology.Port
+			switch spec[len(spec)-1] {
+			case 'N':
+				dir = topology.North
+			case 'E':
+				dir = topology.East
+			case 'S':
+				dir = topology.South
+			case 'W':
+				dir = topology.West
+			default:
+				return Mortality{}, fmt.Errorf("fault: bad link direction %q (want N, E, S or W)", spec[len(spec)-1:])
+			}
+			node, err := strconv.ParseUint(spec[:len(spec)-1], 10, 16)
+			if err != nil {
+				return Mortality{}, fmt.Errorf("fault: bad link node in %q: %v", part, err)
+			}
+			cycle, err := strconv.ParseUint(cyc, 10, 64)
+			if err != nil {
+				return Mortality{}, fmt.Errorf("fault: bad death cycle in %q: %v", part, err)
+			}
+			m.Links = append(m.Links, LinkDeath{From: flit.NodeID(node), Dir: dir, Cycle: cycle})
+		case "router":
+			spec, cyc, ok := strings.Cut(rest, "@")
+			if !ok {
+				return Mortality{}, fmt.Errorf("fault: router death %q is missing its @cycle", part)
+			}
+			node, err := strconv.ParseUint(spec, 10, 16)
+			if err != nil {
+				return Mortality{}, fmt.Errorf("fault: bad router node in %q: %v", part, err)
+			}
+			cycle, err := strconv.ParseUint(cyc, 10, 64)
+			if err != nil {
+				return Mortality{}, fmt.Errorf("fault: bad death cycle in %q: %v", part, err)
+			}
+			m.Routers = append(m.Routers, RouterDeath{Node: flit.NodeID(node), Cycle: cycle})
+		case "hazard":
+			spec, window, windowed := strings.Cut(rest, "@")
+			rate, err := strconv.ParseFloat(spec, 64)
+			if err != nil {
+				return Mortality{}, fmt.Errorf("fault: bad hazard rate in %q: %v", part, err)
+			}
+			m.HazardRate = rate
+			if windowed {
+				start, stop, ranged := strings.Cut(window, "-")
+				if m.HazardStart, err = strconv.ParseUint(start, 10, 64); err != nil {
+					return Mortality{}, fmt.Errorf("fault: bad hazard start in %q: %v", part, err)
+				}
+				if ranged {
+					if m.HazardStop, err = strconv.ParseUint(stop, 10, 64); err != nil {
+						return Mortality{}, fmt.Errorf("fault: bad hazard stop in %q: %v", part, err)
+					}
+				}
+			}
+		default:
+			return Mortality{}, fmt.Errorf("fault: unknown mortality entry kind %q (want link, router or hazard)", kind)
+		}
+	}
+	return m, nil
+}
+
+// Sorted returns copies of the explicit death lists ordered by (cycle,
+// node, direction) — the deterministic application order of the
+// reconfiguration controller.
+func (m Mortality) Sorted() (links []LinkDeath, routers []RouterDeath) {
+	links = append(links, m.Links...)
+	routers = append(routers, m.Routers...)
+	sort.SliceStable(links, func(i, j int) bool {
+		if links[i].Cycle != links[j].Cycle {
+			return links[i].Cycle < links[j].Cycle
+		}
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].Dir < links[j].Dir
+	})
+	sort.SliceStable(routers, func(i, j int) bool {
+		if routers[i].Cycle != routers[j].Cycle {
+			return routers[i].Cycle < routers[j].Cycle
+		}
+		return routers[i].Node < routers[j].Node
+	})
+	return links, routers
+}

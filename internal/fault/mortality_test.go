@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"testing"
+
+	"ftnoc/internal/topology"
+)
+
+func TestMortalityStringParseRoundTrip(t *testing.T) {
+	cases := []Mortality{
+		{},
+		{Links: []LinkDeath{{From: 3, Dir: topology.East, Cycle: 1000}}},
+		{
+			Links: []LinkDeath{
+				{From: 3, Dir: topology.East, Cycle: 1000},
+				{From: 12, Dir: topology.North, Cycle: 2500},
+			},
+			Routers: []RouterDeath{{Node: 9, Cycle: 4000}},
+		},
+		{HazardRate: 1e-4},
+		{HazardRate: 2.5e-3, HazardStart: 500},
+		{HazardRate: 2.5e-3, HazardStart: 500, HazardStop: 9000},
+		{Routers: []RouterDeath{{Node: 0, Cycle: 1}}, HazardRate: 1e-5, HazardStop: 100},
+	}
+	for _, m := range cases {
+		s := m.String()
+		got, err := ParseMortality(s)
+		if err != nil {
+			t.Fatalf("ParseMortality(%q): %v", s, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip %q -> %q", s, got.String())
+		}
+	}
+	if (Mortality{}).String() != "none" {
+		t.Fatal("empty schedule should print as none")
+	}
+	if m, err := ParseMortality(""); err != nil || m.Enabled() {
+		t.Fatal("empty string should parse to the empty schedule")
+	}
+}
+
+func TestParseMortalityRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"link:3X@100",      // bad direction
+		"link:3E",          // missing cycle
+		"link:E@100",       // missing node
+		"router:abc@5",     // bad node
+		"router:2",         // missing cycle
+		"hazard:zap",       // bad rate
+		"hazard:1e-3@x",    // bad start
+		"hazard:1e-3@1-y",  // bad stop
+		"explode:all@9000", // unknown kind
+		"link",             // no colon
+	} {
+		if _, err := ParseMortality(s); err == nil {
+			t.Errorf("ParseMortality(%q) accepted garbage", s)
+		}
+	}
+}
+
+func TestMortalitySorted(t *testing.T) {
+	m := Mortality{
+		Links: []LinkDeath{
+			{From: 5, Dir: topology.West, Cycle: 200},
+			{From: 5, Dir: topology.North, Cycle: 200},
+			{From: 1, Dir: topology.East, Cycle: 100},
+		},
+		Routers: []RouterDeath{{Node: 9, Cycle: 50}, {Node: 2, Cycle: 50}},
+	}
+	links, routers := m.Sorted()
+	if links[0].From != 1 || links[1].Dir != topology.North || links[2].Dir != topology.West {
+		t.Fatalf("links not in (cycle,node,dir) order: %+v", links)
+	}
+	if routers[0].Node != 2 {
+		t.Fatalf("routers not in (cycle,node) order: %+v", routers)
+	}
+	if len(m.Links) != 3 || m.Links[0].From != 5 {
+		t.Fatal("Sorted mutated the schedule")
+	}
+}

@@ -1,0 +1,327 @@
+// Package faultmap is the online hard-fault directory of the network:
+// which links and routers have permanently died. Every router carries
+// its own Map — a local, possibly stale view that starts empty and is
+// filled in by dissemination from the fault sites — and the network's
+// reconfiguration controller keeps one authoritative Map that the
+// boundary kill sweeps update first.
+//
+// A Map is monotone: links and routers only ever die, they never come
+// back, so merging views never loses information and local staleness is
+// always an *under*-approximation of the damage (a router may not yet
+// know about a remote death, but everything its map marks dead really
+// is dead). That monotonicity is what makes local admission decisions
+// sound: a destination the local map proves unreachable is genuinely
+// unreachable.
+package faultmap
+
+import (
+	"errors"
+	"fmt"
+
+	"ftnoc/internal/flit"
+	"ftnoc/internal/topology"
+)
+
+// Map is one observer's view of the network's hard faults. The zero
+// value is unusable; use New.
+type Map struct {
+	nodes int
+	// dirs[n] holds one bit per outgoing mesh direction of node n
+	// (bit Port-1 for North..West): set means the directed link is dead.
+	dirs []uint8
+	// dead[n] reports node n's router has died.
+	dead []bool
+	// version counts state changes, so dissemination can cheaply detect
+	// "this view learned something" without diffing the bitmaps.
+	version uint64
+	// deadLinks / deadRouters are maintained counts of set entries.
+	deadLinks, deadRouters int
+}
+
+// New returns an empty (all-alive) map over the given node count.
+func New(nodes int) *Map {
+	if nodes <= 0 {
+		panic("faultmap: node count must be positive")
+	}
+	return &Map{nodes: nodes, dirs: make([]uint8, nodes), dead: make([]bool, nodes)}
+}
+
+// Nodes returns the node count the map covers.
+func (m *Map) Nodes() int { return m.nodes }
+
+// Version returns the map's change counter; it increases on every
+// MarkLinkDead / MarkRouterDead / MergeFrom that learned something new.
+func (m *Map) Version() uint64 { return m.version }
+
+// DeadLinks returns the number of directed links marked dead.
+func (m *Map) DeadLinks() int { return m.deadLinks }
+
+// DeadRouters returns the number of routers marked dead.
+func (m *Map) DeadRouters() int { return m.deadRouters }
+
+// dirBit maps a mesh direction to its bitmask, panicking on Local (the
+// PE link has no independent hard-fault identity: it dies with its
+// router) and out-of-range ports.
+func dirBit(dir topology.Port) uint8 {
+	if dir < topology.North || dir > topology.West {
+		panic(fmt.Sprintf("faultmap: port %v is not a mesh direction", dir))
+	}
+	return 1 << (uint8(dir) - 1)
+}
+
+// MarkLinkDead records the death of the directed link (from, dir),
+// reporting whether the map learned something new.
+func (m *Map) MarkLinkDead(from flit.NodeID, dir topology.Port) bool {
+	bit := dirBit(dir)
+	if m.dirs[from]&bit != 0 {
+		return false
+	}
+	m.dirs[from] |= bit
+	m.deadLinks++
+	m.version++
+	return true
+}
+
+// MarkRouterDead records the death of a router, reporting whether the
+// map learned something new.
+func (m *Map) MarkRouterDead(n flit.NodeID) bool {
+	if m.dead[n] {
+		return false
+	}
+	m.dead[n] = true
+	m.deadRouters++
+	m.version++
+	return true
+}
+
+// LinkDead reports whether the directed link (from, dir) is marked
+// dead. Local is never dead as a link (router death covers it);
+// out-of-mesh directions are not links at all.
+func (m *Map) LinkDead(from flit.NodeID, dir topology.Port) bool {
+	if dir < topology.North || dir > topology.West {
+		return false
+	}
+	return m.dirs[from]&(1<<(uint8(dir)-1)) != 0
+}
+
+// RouterDead reports whether node n's router is marked dead.
+func (m *Map) RouterDead(n flit.NodeID) bool { return m.dead[n] }
+
+// MergeFrom folds every fault in src into m, reporting whether m
+// learned anything. It is the dissemination primitive: a router merges
+// its live neighbors' views one hop per cycle, so knowledge spreads
+// along surviving links like a frontier flood.
+func (m *Map) MergeFrom(src *Map) bool {
+	if src.nodes != m.nodes {
+		panic("faultmap: merging maps of different sizes")
+	}
+	changed := false
+	for n := 0; n < m.nodes; n++ {
+		if add := src.dirs[n] &^ m.dirs[n]; add != 0 {
+			m.dirs[n] |= add
+			m.deadLinks += popcount4(add)
+			changed = true
+		}
+		if src.dead[n] && !m.dead[n] {
+			m.dead[n] = true
+			m.deadRouters++
+			changed = true
+		}
+	}
+	if changed {
+		m.version++
+	}
+	return changed
+}
+
+// Clone returns an independent copy of the map.
+func (m *Map) Clone() *Map {
+	c := New(m.nodes)
+	copy(c.dirs, m.dirs)
+	copy(c.dead, m.dead)
+	c.version = m.version
+	c.deadLinks, c.deadRouters = m.deadLinks, m.deadRouters
+	return c
+}
+
+// Equal reports whether two maps record the same faults (version
+// counters are histories, not state, and do not participate).
+func (m *Map) Equal(o *Map) bool {
+	if m.nodes != o.nodes {
+		return false
+	}
+	for n := 0; n < m.nodes; n++ {
+		if m.dirs[n] != o.dirs[n] || m.dead[n] != o.dead[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// countNonzero counts the nodes with at least one dead outgoing link.
+func countNonzero(dirs []uint8) int {
+	n := 0
+	for _, d := range dirs {
+		if d != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// popcount4 counts the set bits of a 4-bit direction mask.
+func popcount4(b uint8) int {
+	b = b&0x5 + (b>>1)&0x5
+	return int(b&0x3 + (b>>2)&0x3)
+}
+
+// Wire codec. The encoding is canonical (one byte string per fault
+// state) and compact: a two-byte magic, uvarint node count and version,
+// then the dead-link table as (delta-encoded node, direction mask)
+// pairs and the dead-router set as delta-encoded node ids. Canonicality
+// makes decode∘encode the identity and lets fuzzing assert the
+// round-trip law byte-for-byte.
+const (
+	magic0 = 0xF7 // "fault"
+	magic1 = 0x3A // "map", loosely
+)
+
+var errCodec = errors.New("faultmap: malformed encoding")
+
+// AppendEncode appends the map's wire form to dst and returns the
+// extended slice.
+func (m *Map) AppendEncode(dst []byte) []byte {
+	dst = append(dst, magic0, magic1)
+	dst = appendUvarint(dst, uint64(m.nodes))
+	dst = appendUvarint(dst, m.version)
+	dst = appendUvarint(dst, uint64(countNonzero(m.dirs)))
+	prev := uint64(0)
+	for n := 0; n < m.nodes; n++ {
+		if m.dirs[n] == 0 {
+			continue
+		}
+		dst = appendUvarint(dst, uint64(n)-prev)
+		dst = append(dst, m.dirs[n])
+		prev = uint64(n)
+	}
+	dst = appendUvarint(dst, uint64(m.deadRouters))
+	prev = 0
+	for n := 0; n < m.nodes; n++ {
+		if !m.dead[n] {
+			continue
+		}
+		dst = appendUvarint(dst, uint64(n)-prev)
+		prev = uint64(n)
+	}
+	return dst
+}
+
+// Encode returns the map's canonical wire form.
+func (m *Map) Encode() []byte { return m.AppendEncode(nil) }
+
+// maxNodes bounds a decoded map's size: the simulator itself caps
+// meshes at 1<<16 nodes, and the bound keeps hostile inputs from
+// allocating unbounded bitmaps.
+const maxNodes = 1 << 16
+
+// Decode parses a wire-form map. Every malformed input — bad magic,
+// truncation, out-of-range nodes, zero or oversized direction masks,
+// non-canonical delta coding, trailing bytes — returns an error; Decode
+// never panics.
+func Decode(data []byte) (*Map, error) {
+	if len(data) < 2 || data[0] != magic0 || data[1] != magic1 {
+		return nil, errCodec
+	}
+	data = data[2:]
+	nodes, data, err := readUvarint(data)
+	if err != nil || nodes == 0 || nodes > maxNodes {
+		return nil, errCodec
+	}
+	m := New(int(nodes))
+	if m.version, data, err = readUvarint(data); err != nil {
+		return nil, errCodec
+	}
+	nLinks, data, err := readUvarint(data)
+	if err != nil || nLinks > nodes {
+		return nil, errCodec
+	}
+	prev, first := uint64(0), true
+	for i := uint64(0); i < nLinks; i++ {
+		var delta uint64
+		if delta, data, err = readUvarint(data); err != nil {
+			return nil, errCodec
+		}
+		if !first && delta == 0 {
+			return nil, errCodec // non-canonical: nodes must be strictly ascending
+		}
+		n := prev + delta
+		if n >= nodes || len(data) == 0 {
+			return nil, errCodec
+		}
+		mask := data[0]
+		data = data[1:]
+		if mask == 0 || mask > 0xF {
+			return nil, errCodec
+		}
+		m.dirs[n] = mask
+		m.deadLinks += popcount4(mask)
+		prev, first = n, false
+	}
+	nDead, data, err := readUvarint(data)
+	if err != nil || nDead > nodes {
+		return nil, errCodec
+	}
+	prev, first = 0, true
+	for i := uint64(0); i < nDead; i++ {
+		var delta uint64
+		if delta, data, err = readUvarint(data); err != nil {
+			return nil, errCodec
+		}
+		if !first && delta == 0 {
+			return nil, errCodec
+		}
+		n := prev + delta
+		if n >= nodes {
+			return nil, errCodec
+		}
+		m.dead[n] = true
+		m.deadRouters++
+		prev, first = n, false
+	}
+	if len(data) != 0 {
+		return nil, errCodec
+	}
+	return m, nil
+}
+
+// appendUvarint appends v in LEB128 form.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// readUvarint consumes one canonical LEB128 value (no over-long
+// encodings, at most ten bytes) from data.
+func readUvarint(data []byte) (uint64, []byte, error) {
+	var v uint64
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		if i == 9 && b > 1 {
+			return 0, nil, errCodec // overflows uint64
+		}
+		v |= uint64(b&0x7F) << (7 * i)
+		if b < 0x80 {
+			if b == 0 && i > 0 {
+				return 0, nil, errCodec // over-long encoding
+			}
+			return v, data[i+1:], nil
+		}
+		if i == 9 {
+			return 0, nil, errCodec
+		}
+	}
+	return 0, nil, errCodec // truncated
+}

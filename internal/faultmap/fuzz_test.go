@@ -1,0 +1,40 @@
+package faultmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodec is the wire-codec robustness target: Decode must never
+// panic on arbitrary bytes, and any input it accepts must re-encode
+// byte-identically (the encoding is canonical, so decode∘encode is the
+// identity on the image of Encode — and Decode accepts nothing outside
+// that image).
+func FuzzCodec(f *testing.F) {
+	seed := New(16)
+	seed.MarkLinkDead(3, 2)
+	seed.MarkLinkDead(9, 4)
+	seed.MarkRouterDead(12)
+	f.Add(seed.Encode())
+	f.Add(New(1).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, 4, 0, 0, 0})
+	f.Add([]byte{magic0, magic1, 0xFF, 0xFF, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := m.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical encoding:\n in: %x\nout: %x", data, enc)
+		}
+		again, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !again.Equal(m) || again.Version() != m.Version() {
+			t.Fatal("decode∘encode is not the identity")
+		}
+	})
+}

@@ -227,7 +227,8 @@ func (c *Checker) Emit(e trace.Event) {
 		// a packet in the conservation ledger.
 		switch e.Aux {
 		case trace.DropStray, trace.DropWormhole, trace.DropSALost,
-			trace.DropCorrupt, trace.DropEvicted:
+			trace.DropCorrupt, trace.DropEvicted,
+			trace.DropLinkDead, trace.DropUnreachable:
 			if st, ok := c.ledger[e.PID]; ok && !st.dropped {
 				st.dropped = true
 				c.dropped++

@@ -296,6 +296,36 @@ func (c *Channel) EachDataFlit(fn func(flit.Flit)) {
 	})
 }
 
+// DestroyData destructively removes in-flight forward traffic at a
+// hard-fault boundary, pushing one credit back toward the transmitter
+// per destroyed data flit so per-VC credit conservation survives the
+// kill. With vc >= 0 only that virtual channel's data flits are
+// destroyed (a live channel carrying one segment of a killed worm);
+// with vc < 0 every data AND control flit goes (the channel itself is
+// dead). fn (if non-nil) observes each destroyed data flit. Serial use
+// only — this must run between kernel steps. The credit and NACK wires
+// stay functional: the kill protocol itself rides them.
+func (c *Channel) DestroyData(vc int, fn func(flit.Flit)) int {
+	n := 0
+	c.flits.Filter(func(f flit.Flit) bool {
+		return vc < 0 || (f.IsData() && int(f.VC) == vc)
+	}, func(f flit.Flit) {
+		if !f.IsData() {
+			return
+		}
+		n++
+		c.credits.Push(Credit{VC: f.VC})
+		if fn != nil {
+			fn(f)
+		}
+	})
+	return n
+}
+
+// DropNACKs discards every pending backward NACK handshake. Applied to a
+// dead channel so the transmitter never replays onto it.
+func (c *Channel) DropNACKs() { c.nacks.Filter(func(NACK) bool { return true }, nil) }
+
 // SetFlitWake installs the forward flit pipe's delivery callback: it runs
 // whenever a latch leaves flits visible to the receiver, waking the
 // consuming actor (see sim.Kernel.Waker). Credit pipes need no wake:

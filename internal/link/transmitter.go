@@ -278,6 +278,59 @@ func (t *Transmitter) AuditRetrans(clock uint64) string {
 	return ""
 }
 
+// AbandonVC discards one virtual channel's retransmission state — its
+// shifter contents and any replay-queue entries riding it — without
+// resending or crediting anything (shifter copies hold no credits).
+// Hard-fault worm kills use it on LIVE channels whose VC carried a
+// segment of a destroyed worm; fn (if non-nil) observes each abandoned
+// flit for packet accounting. Serial use only.
+func (t *Transmitter) AbandonVC(vc int, fn func(flit.Flit)) {
+	if vc < 0 || vc >= len(t.shifters) {
+		return
+	}
+	for _, f := range t.shifters[vc].Drain() {
+		if fn != nil {
+			fn(f)
+		}
+	}
+	kept := t.replay[:t.replayHead]
+	for _, f := range t.replay[t.replayHead:] {
+		if int(f.VC) == vc {
+			if fn != nil {
+				fn(f)
+			}
+			continue
+		}
+		kept = append(kept, f)
+	}
+	t.replay = kept
+	if t.replayHead >= len(t.replay) {
+		t.replay = t.replay[:0]
+		t.replayHead = 0
+	}
+}
+
+// AbandonAll discards every VC's retransmission state and the whole
+// replay queue: the transmitter's channel is dead and nothing it retains
+// can ever be resent. fn (if non-nil) observes each abandoned flit.
+// Serial use only.
+func (t *Transmitter) AbandonAll(fn func(flit.Flit)) {
+	for vc := range t.shifters {
+		for _, f := range t.shifters[vc].Drain() {
+			if fn != nil {
+				fn(f)
+			}
+		}
+	}
+	if fn != nil {
+		for _, f := range t.replay[t.replayHead:] {
+			fn(f)
+		}
+	}
+	t.replay = t.replay[:0]
+	t.replayHead = 0
+}
+
 // Recall drains a VC's retransmission buffer without scheduling replay:
 // the misroute-recovery path of §4.2, where the sender must re-route the
 // recalled header (and any body flits behind it) rather than re-send them

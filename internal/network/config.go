@@ -234,6 +234,49 @@ func (c Config) Validate() error {
 			}
 		}
 	}
+	// Mortality schedules must name real links/routers and die within the
+	// run: a death past MaxCycles silently never happens, which is always
+	// a misconfigured experiment.
+	// A negative rate is malformed even though Enabled() treats it as
+	// "no hazard" — reject it rather than silently running fault-free.
+	if rate := c.Faults.Mortality.HazardRate; !(rate >= 0 && rate < 1) {
+		return fail("mortality hazard rate must be in [0,1), have %g", rate)
+	}
+	if mort := c.Faults.Mortality; mort.Enabled() {
+		kind := c.TopologyKind
+		if kind == 0 {
+			kind = topology.Mesh
+		}
+		topo := topology.New(kind, c.Width, c.Height)
+		for _, ld := range mort.Links {
+			if int(ld.From) >= topo.Nodes() {
+				return fail("mortality schedule names node %d outside the %dx%d topology", ld.From, c.Width, c.Height)
+			}
+			if _, ok := topo.Neighbor(ld.From, ld.Dir); !ok {
+				return fail("mortality schedule names non-existent link %v from node %d", ld.Dir, ld.From)
+			}
+			if c.MaxCycles > 0 && ld.Cycle >= c.MaxCycles {
+				return fail("mortality link death at cycle %d is past MaxCycles %d", ld.Cycle, c.MaxCycles)
+			}
+		}
+		for _, rd := range mort.Routers {
+			if int(rd.Node) >= topo.Nodes() {
+				return fail("mortality schedule names node %d outside the %dx%d topology", rd.Node, c.Width, c.Height)
+			}
+			if c.MaxCycles > 0 && rd.Cycle >= c.MaxCycles {
+				return fail("mortality router death at cycle %d is past MaxCycles %d", rd.Cycle, c.MaxCycles)
+			}
+		}
+		if !(mort.HazardRate >= 0 && mort.HazardRate < 1) {
+			return fail("mortality hazard rate must be in [0,1), have %g", mort.HazardRate)
+		}
+		if mort.HazardStop != 0 && mort.HazardStart > mort.HazardStop {
+			return fail("mortality hazard window [%d,%d) is empty", mort.HazardStart, mort.HazardStop)
+		}
+		if mort.HazardRate > 0 && c.MaxCycles > 0 && mort.HazardStart >= c.MaxCycles {
+			return fail("mortality hazard start %d is past MaxCycles %d", mort.HazardStart, c.MaxCycles)
+		}
+	}
 	return nil
 }
 

@@ -94,6 +94,21 @@ type Network struct {
 	inv   *invariant.Checker
 	loops []creditLoop
 
+	// Hard-fault channel registry: chanAt[node*NumPorts+dir] is the
+	// inter-router channel transmitted by node through dir; peUp/peDown
+	// are the local PE<->router channels. The reconfiguration controller
+	// (mortality.go) needs direct wire access to destroy in-flight
+	// traffic at death boundaries.
+	chanAt []*link.Channel
+	peUp   []*link.Channel
+	peDown []*link.Channel
+
+	// mort is the hard-fault regime state: per-router fault maps, the
+	// death timeline, undeliverable accounting and the reconfiguration
+	// machinery. Nil unless the run is "degraded" (a mortality schedule
+	// or fault-adaptive routing is configured).
+	mort *mortalityState
+
 	// Failure-mode tallies.
 	corruptedPackets uint64
 	lostPackets      uint64
@@ -142,6 +157,16 @@ func New(cfg Config) *Network {
 	nodes := n.topo.Nodes()
 	n.routers = make([]*router.Router, nodes)
 	n.pes = make([]*pe, nodes)
+	n.chanAt = make([]*link.Channel, nodes*int(topology.NumPorts))
+	n.peUp = make([]*link.Channel, nodes)
+	n.peDown = make([]*link.Channel, nodes)
+
+	// Hard-fault regime: per-router fault maps, the mortality timeline
+	// and the reconfiguration controller. Built before the routers so
+	// each router's Config can capture its local map.
+	if cfg.Faults.Mortality.Enabled() || cfg.Routing == routing.FaultAdaptive {
+		n.mort = newMortalityState(n, route)
+	}
 
 	// Parallel partition: contiguous row bands, one worker each. The
 	// worker count defaults to GOMAXPROCS and is clamped to the mesh
@@ -259,6 +284,12 @@ func New(cfg Config) *Network {
 		if n.parallel {
 			rc.EventsMirror = &n.routerMirrors[i]
 		}
+		if n.mort != nil {
+			rc.FaultMap = n.mort.maps[i]
+			if n.inv != nil {
+				rc.DeadSend = n.deadSendViolation
+			}
+		}
 		if cfg.Faults.RT > 0 {
 			rc.RTFault = fault.NewLogicInjector(fault.RTLogic, cfg.Faults.RT, logicRNG.Split())
 		}
@@ -301,6 +332,7 @@ func New(cfg Config) *Network {
 		// own shard.
 		ch := link.NewChannel(&n.kernel, inj, false, &n.routerEvents[l.From], n.routerCounters[l.From])
 		ch.SetRxStats(&n.routerEvents[dst], n.routerCounters[dst])
+		n.chanAt[int(l.From)*int(topology.NumPorts)+int(l.Dir)] = ch
 		wires = append(wires, flitWire{ch: ch, node: int(dst), txNode: int(l.From)})
 		if cfg.Faults.Handshake > 0 {
 			ch.SetHandshakeFaults(cfg.Faults.Handshake, cfg.TMREnabled, linkRNG.Split())
@@ -330,6 +362,7 @@ func New(cfg Config) *Network {
 		// router i the receiver side.
 		up := link.NewChannel(&n.kernel, nil, true, &n.events, n.peCounters[i])
 		up.SetRxStats(&n.routerEvents[i], n.routerCounters[i])
+		n.peUp[i] = up
 		wires = append(wires, flitWire{ch: up, node: i, txNode: i, txPE: true})
 		upTx := link.NewTransmitter(up, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.events, n.peCounters[i])
 		upRx := link.NewReceiver(up, cfg.VCs, cfg.Protection, &n.routerEvents[i], n.routerCounters[i])
@@ -339,6 +372,7 @@ func New(cfg Config) *Network {
 		// Router -> PE: mirror image.
 		down := link.NewChannel(&n.kernel, nil, true, &n.routerEvents[i], n.routerCounters[i])
 		down.SetRxStats(&n.events, n.peCounters[i])
+		n.peDown[i] = down
 		wires = append(wires, flitWire{ch: down, node: i, toPE: true, txNode: i})
 		downTx := link.NewTransmitter(down, cfg.VCs, cfg.BufDepth, cfg.shifterDepth(), &n.routerEvents[i], n.routerCounters[i])
 		downRx := link.NewReceiver(down, cfg.VCs, cfg.Protection, &n.events, n.peCounters[i])
@@ -599,7 +633,7 @@ func (n *Network) run(done <-chan struct{}) Results {
 		n.startMeasuring(0, -1)
 	}
 	stalled, aborted := false, false
-	for n.delivered < n.cfg.TotalMessages {
+	for n.accounted() < n.cfg.TotalMessages {
 		c := n.kernel.Cycle()
 		if c >= n.cfg.MaxCycles {
 			break
@@ -615,6 +649,15 @@ func (n *Network) run(done <-chan struct{}) Results {
 			default:
 			}
 			if aborted {
+				break
+			}
+		}
+		if n.mort != nil {
+			// Hard-fault boundary processing for cycle c, before the step
+			// executes it: every kernel's Step advances exactly one cycle,
+			// so deaths land at identical boundaries under all four.
+			n.mort.preStep(c)
+			if n.accounted() >= n.cfg.TotalMessages {
 				break
 			}
 		}
@@ -640,10 +683,21 @@ func (n *Network) run(done <-chan struct{}) Results {
 	res := n.results(stalled)
 	res.Aborted = aborted
 	if n.inv != nil {
-		clean := !stalled && !aborted && n.delivered >= n.cfg.TotalMessages
+		clean := !stalled && !aborted && n.accounted() >= n.cfg.TotalMessages
 		n.inv.Finalize(n.kernel.Cycle(), clean, n.residentPIDs())
 	}
 	return res
+}
+
+// accounted is the termination tally: messages that have reached a final
+// verdict. Delivered always counts; in the hard-fault regime messages
+// proven undeliverable (destination unreachable, or destroyed by a death
+// boundary) count too — waiting for them would spin until MaxCycles.
+func (n *Network) accounted() uint64 {
+	if n.mort == nil {
+		return n.delivered
+	}
+	return n.delivered + n.mort.undeliverable
 }
 
 // sampleUtilization records this cycle's buffer occupancies (Figs. 8-9)
@@ -734,38 +788,46 @@ func (n *Network) results(stalled bool) Results {
 		measuredMsgs = n.delivered - n.cfg.WarmupMessages
 	}
 	res := Results{
-		Cycles:             cycles,
-		LatencyHist:        n.latency.Histogram(latencyBinWidth, latencyBins),
-		MeasuredCycles:     measuredCycles,
-		Delivered:          n.delivered,
-		MeasuredMessages:   measuredMsgs,
-		AvgLatency:         n.latency.Mean(),
-		P95Latency:         n.latency.Percentile(95),
-		MaxLatency:         n.latency.Max(),
-		Events:             measured,
-		TotalEvents:        total,
-		TxBufUtil:          n.txUtil.Mean(),
-		RtBufUtil:          n.rtUtil.Mean(),
-		RouterTxUtil:       routerMeans(n.routerUtil),
-		Counters:           n.mergedCounters(),
-		Recoveries:         recoveries,
-		ProbesSent:         probes,
-		WormholeViolations: viol,
-		StrayFlits:         stray,
-		CorruptedPackets:   n.corruptedPackets,
-		LostPackets:        n.lostPackets,
-		SinkAnomalies:      n.sinkAnomalies,
-		E2ENACKs:           n.e2eNACKs,
-		E2ERetransmits:     n.e2eRetransmits,
-		E2EBufMax:          n.e2eBufMax,
-		Traces:             n.tracesForResults(),
-		Stalled:            stalled,
+		Cycles:                cycles,
+		LatencyHist:           n.latency.Histogram(latencyBinWidth, latencyBins),
+		MeasuredCycles:        measuredCycles,
+		Delivered:             n.delivered,
+		MeasuredMessages:      measuredMsgs,
+		AvgLatency:            n.latency.Mean(),
+		P95Latency:            n.latency.Percentile(95),
+		MaxLatency:            n.latency.Max(),
+		Events:                measured,
+		TotalEvents:           total,
+		TxBufUtil:             n.txUtil.Mean(),
+		RtBufUtil:             n.rtUtil.Mean(),
+		RouterTxUtil:          routerMeans(n.routerUtil),
+		Counters:              n.mergedCounters(),
+		Recoveries:            recoveries,
+		ProbesSent:            probes,
+		WormholeViolations:    viol,
+		StrayFlits:            stray,
+		CorruptedPackets:      n.corruptedPackets,
+		LostPackets:           n.lostPackets,
+		SinkAnomalies:         n.sinkAnomalies,
+		E2ENACKs:              n.e2eNACKs,
+		E2ERetransmits:        n.e2eRetransmits,
+		E2EBufMax:             n.e2eBufMax,
+		Traces:                n.tracesForResults(),
+		Stalled:               stalled,
+		ReachablePairFraction: 1,
 		Throughput: stats.Throughput{
 			FlitsDelivered:    measuredMsgs * uint64(n.cfg.PacketSize),
 			MessagesDelivered: measuredMsgs,
 			Cycles:            measuredCycles,
 			Nodes:             n.topo.Nodes(),
 		},
+	}
+	if n.mort != nil {
+		res.Undeliverable = n.mort.undeliverable
+		res.DeadLinks = n.mort.deadLinks
+		res.DeadRouters = n.mort.deadRouters
+		res.ReachablePairFraction = n.mort.reachablePairFraction()
+		res.PostFaultThroughput = n.mort.postFaultThroughput(n.delivered, cycles)
 	}
 	return res
 }
@@ -856,6 +918,21 @@ type Results struct {
 	// Aborted reports that RunContext stopped early because its context
 	// was cancelled; all measurements cover only the completed prefix.
 	Aborted bool
+
+	// Hard-fault regime measurements. Undeliverable counts messages with
+	// a terminal negative verdict: refused at injection because the
+	// destination was unreachable, or destroyed mid-flight by a death
+	// boundary or stuck-worm sweep. DeadLinks/DeadRouters are the final
+	// mortality tallies. ReachablePairFraction is the fraction of ordered
+	// source/destination pairs still connected at the end of the run
+	// (1 when no hard-fault state exists). PostFaultThroughput is the
+	// flits/node/cycle rate over the window after the last applied death
+	// (equal to the whole-run rate when nothing died).
+	Undeliverable         uint64
+	DeadLinks             int
+	DeadRouters           int
+	ReachablePairFraction float64
+	PostFaultThroughput   float64
 }
 
 // tracesForResults exports the journey tracker's recorded lines (nil

@@ -160,7 +160,7 @@ func (p *pe) Quiescent(cycle uint64) (bool, uint64) {
 	if exp, ok := p.tx.EarliestExpiry(); ok {
 		wake = exp
 	}
-	if lim := p.net.cfg.InjectLimit; lim == 0 || p.net.injected < lim {
+	if lim := p.net.cfg.InjectLimit; (lim == 0 || p.net.injected < lim) && !p.dead() {
 		if k, crosses := p.src.NextCrossing(srcLookahead); crosses || k > 0 {
 			if w := cycle + k; wake == 0 || w < wake {
 				wake = w
@@ -182,6 +182,9 @@ func (p *pe) usesRetention() bool {
 
 // generate asks the traffic source for this cycle's injection.
 func (p *pe) generate(cycle uint64) {
+	if p.dead() {
+		return
+	}
 	if lim := p.net.cfg.InjectLimit; lim != 0 && p.net.injected >= lim {
 		return
 	}
@@ -191,13 +194,6 @@ func (p *pe) generate(cycle uint64) {
 	}
 	p.net.injected++
 	pid := p.net.nextPID()
-	p.queuePush(flit.Packet{
-		ID:         pid,
-		Src:        p.id,
-		Dst:        dst,
-		Size:       p.net.cfg.PacketSize,
-		InjectedAt: cycle,
-	})
 	if p.bus.Enabled() {
 		p.bus.Emit(trace.Event{
 			Cycle: cycle, Kind: trace.FlitInjected,
@@ -205,6 +201,26 @@ func (p *pe) generate(cycle uint64) {
 			PID: uint64(pid), Aux: uint64(dst),
 		})
 	}
+	if m := p.net.mort; m != nil && !m.reachable(p.id, dst) {
+		// Admission verdict: the destination is unreachable under the
+		// current fault pattern, so the message gets its terminal
+		// accounting now instead of wedging in the network.
+		m.refuse(cycle, p, pid)
+		return
+	}
+	p.queuePush(flit.Packet{
+		ID:         pid,
+		Src:        p.id,
+		Dst:        dst,
+		Size:       p.net.cfg.PacketSize,
+		InjectedAt: cycle,
+	})
+}
+
+// dead reports whether this PE's router has been killed by the mortality
+// schedule: a dead core generates nothing.
+func (p *pe) dead() bool {
+	return p.net.mort != nil && p.net.mort.deadNode[p.id]
 }
 
 // queuePush appends a packet to the injection queue, compacting consumed
@@ -488,4 +504,90 @@ func (p *pe) sweepRetention(cycle uint64) {
 			delete(p.retention, pid)
 		}
 	}
+}
+
+// The helpers below are the PE's hard-fault surface, called only by the
+// network's reconfiguration controller between kernel steps.
+
+// killInjection discards the flits staged for injection on VC vc (the
+// remainder of a packet whose leading flits are being excised upstream of
+// here — or everything, when the PE's router died).
+func (p *pe) killInjection(vc int, fn func(flit.Flit)) {
+	for _, f := range p.vcFlits[vc] {
+		if fn != nil {
+			fn(f)
+		}
+	}
+	p.vcFlits[vc] = nil
+}
+
+// killSink abandons the packet half-reassembled on sink VC vc, returning
+// its identity for undeliverable accounting.
+func (p *pe) killSink(vc int) (flit.PacketID, flit.NodeID, bool) {
+	if vc < 0 || vc >= len(p.sinkLive) || !p.sinkLive[vc] {
+		return 0, 0, false
+	}
+	p.sinkLive[vc] = false
+	return p.sinkPID[vc], p.sinkSrc[vc], true
+}
+
+// killQueued destroys every packet still waiting in the injection queue
+// and every staged control packet (router death).
+func (p *pe) killQueued(acc *killAcc) {
+	for _, pkt := range p.queue[p.qHead:] {
+		acc.addPID(pkt.ID, pkt.Src)
+	}
+	p.queue = p.queue[:0]
+	p.qHead = 0
+	for _, fs := range p.ctrl {
+		for _, f := range fs {
+			acc.observe(f)
+		}
+	}
+	p.ctrl = nil
+}
+
+// killRetention drops every end-to-end retention copy: a dead source can
+// never service a retransmission request anyway.
+func (p *pe) killRetention() {
+	for pid := range p.retention {
+		delete(p.retention, pid)
+	}
+}
+
+// evictRetention drops one retained copy (its packet was ruled
+// undeliverable; a retransmission would head back into the dead region).
+func (p *pe) evictRetention(pid flit.PacketID) {
+	delete(p.retention, pid)
+}
+
+// dropUnreachableQueued re-validates the injection queue against the
+// post-fault connectivity at a death boundary: queued messages whose
+// destination became unreachable get their undeliverable verdict here
+// instead of wedging in the network. Stale control packets to
+// unreachable destinations are discarded silently (not messages).
+func (p *pe) dropUnreachableQueued(cycle uint64) {
+	m := p.net.mort
+	kept := p.queue[:p.qHead]
+	for _, pkt := range p.queue[p.qHead:] {
+		if m.reachable(p.id, pkt.Dst) {
+			kept = append(kept, pkt)
+			continue
+		}
+		if !m.killed[pkt.ID] {
+			m.killed[pkt.ID] = true
+			m.undeliverable++
+			p.net.lastEject = cycle
+			p.emitDrop(cycle, -1, pkt.ID, trace.DropUnreachable)
+		}
+	}
+	p.queue = kept
+	keptCtrl := p.ctrl[:0]
+	for _, fs := range p.ctrl {
+		if len(fs) > 0 && !m.reachable(p.id, fs[0].Dst) {
+			continue
+		}
+		keptCtrl = append(keptCtrl, fs)
+	}
+	p.ctrl = keptCtrl
 }

@@ -507,11 +507,13 @@ func (r *Router) computeRoute(cycle uint64, ivc *inputVC) []topology.Port {
 	return cands
 }
 
-// cachedRoute memoises Route(r.id, dst). Routing functions are pure in
-// (cur, dst): link health is consulted in legalCandidates, not here, so a
-// cached candidate set stays valid across hard-fault changes. Cached
-// slices are shared read-only — input VCs rebind candidates but never
-// mutate them.
+// cachedRoute memoises Route(r.id, dst). The static routing functions
+// are pure in (cur, dst): link health is consulted in legalCandidates,
+// not here, so a cached candidate set stays valid across hard-fault
+// changes. The fault-adaptive function's tables DO change at hard-fault
+// boundaries; the reconfiguration controller calls FlushRouteCache on
+// every router after each table rebuild. Cached slices are shared
+// read-only — input VCs rebind candidates but never mutate them.
 func (r *Router) cachedRoute(dst flit.NodeID) []topology.Port {
 	if i := int(dst); i >= 0 && i < len(r.routeCache) {
 		if c := r.routeCache[i]; c != nil {
@@ -1008,6 +1010,10 @@ func (r *Router) executeGrant(cycle uint64, g ac.Grant, corrupted bool) {
 		r.cfg.Counters.AddUndetected(fault.SALogic)
 		r.emitDrop(cycle, g.InPort, g.InVC, f, trace.DropSALost)
 	default:
+		if r.cfg.DeadSend != nil && g.OutPort != topology.Local && r.cfg.FaultMap != nil &&
+			r.cfg.FaultMap.LinkDead(r.id, g.OutPort) {
+			r.cfg.DeadSend(cycle, r.id, g.OutPort, vc, uint64(f.PID))
+		}
 		op.tx.Send(f, vc, cycle)
 		if corrupted {
 			r.cfg.Counters.AddUndetected(fault.SALogic)

@@ -36,6 +36,16 @@ const (
 	// east-north/east-south and north-west/south-west turns may occur
 	// based on column parity.
 	OddEven
+	// FaultAdaptive is up*/down* routing over the surviving topology: a
+	// BFS spanning orientation of the live graph restricts every path to
+	// zero or more "up" hops followed by zero or more "down" hops, which
+	// is deadlock-free on any connected fault pattern and delivers
+	// between every mutually reachable pair. Its tables are rebuilt by
+	// the reconfiguration controller at every hard-fault boundary; a
+	// destination with no legal path yields an empty candidate set, which
+	// the network converts into an undeliverable verdict instead of a
+	// hang.
+	FaultAdaptive
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +59,8 @@ func (a Algorithm) String() string {
 		return "west-first"
 	case OddEven:
 		return "odd-even"
+	case FaultAdaptive:
+		return "fault-adaptive"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", uint8(a))
 	}
@@ -67,8 +79,10 @@ func Parse(s string) (Algorithm, error) {
 		return WestFirst, nil
 	case "odd-even", "oddeven":
 		return OddEven, nil
+	case "fault-adaptive", "faultadaptive", "fa", "updown", "up-down":
+		return FaultAdaptive, nil
 	default:
-		return 0, fmt.Errorf("unknown routing %q (want xy, adaptive, westfirst or oddeven)", s)
+		return 0, fmt.Errorf("unknown routing %q (want xy, adaptive, westfirst, oddeven or fault-adaptive)", s)
 	}
 }
 
@@ -96,6 +110,8 @@ func New(a Algorithm, topo *topology.Topology) Func {
 		return westFirstFunc{topo}
 	case OddEven:
 		return oddEvenFunc{topo}
+	case FaultAdaptive:
+		return NewFaultAdaptiveFunc(topo)
 	default:
 		panic("routing: unknown algorithm")
 	}

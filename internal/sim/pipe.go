@@ -152,6 +152,40 @@ func (p *Pipe[T]) Each(fn func(T)) {
 	}
 }
 
+// Filter destructively removes every value v for which remove(v) is
+// true, from every stage of the pipe — visible-but-unpopped, in-flight,
+// and staged — invoking fn (if non-nil) on each removed value. It
+// returns the number removed. Serial use only: it is the hard-fault
+// machinery's wire-destruction primitive and must run between kernel
+// steps, never from a concurrent actor tick. Relative order of the kept
+// values is preserved.
+func (p *Pipe[T]) Filter(remove func(T) bool, fn func(T)) int {
+	removed := 0
+	for i := 0; i <= p.latency; i++ {
+		idx := (p.vis + i) % len(p.bufs)
+		b := p.bufs[idx]
+		lo := 0
+		if i == 0 {
+			lo = p.off
+		}
+		kept := lo
+		for j := lo; j < len(b); j++ {
+			if remove(b[j]) {
+				removed++
+				if fn != nil {
+					fn(b[j])
+				}
+				continue
+			}
+			b[kept] = b[j]
+			kept++
+		}
+		p.bufs[idx] = b[:kept]
+	}
+	p.popped += removed
+	return removed
+}
+
 // latch advances the delay line by one cycle. It reports whether the pipe
 // still holds values and must stay on the kernel's active-latch list; an
 // all-empty pipe's latch is the identity (rotating empty buffers), so

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPipeEachAndFilter pins the hard-fault machinery's wire primitives:
+// Each must see every resident value across all pipeline stages, and
+// Filter must remove matching values from every stage — visible,
+// in-flight and staged alike — while preserving the survivors' order.
+func TestPipeEachAndFilter(t *testing.T) {
+	var k Kernel
+	p := NewPipe[int](&k, 2)
+	p.Push(1) // staged this cycle
+	k.Step()
+	p.Push(2) // one stage behind
+	k.Step()
+	p.Push(3) // 1 is now visible, 2 in flight, 3 staged
+	if v, ok := p.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v want 1,true", v, ok)
+	}
+
+	var all []int
+	p.Each(func(v int) { all = append(all, v) })
+	sort.Ints(all)
+	if len(all) != 3 || all[0] != 1 || all[1] != 2 || all[2] != 3 {
+		t.Fatalf("Each saw %v, want [1 2 3]", all)
+	}
+	if p.InFlight() != 3 {
+		t.Fatalf("InFlight = %d, want 3", p.InFlight())
+	}
+
+	// Remove the even values, from whichever stage they occupy.
+	var removed []int
+	if n := p.Filter(func(v int) bool { return v%2 == 0 }, func(v int) { removed = append(removed, v) }); n != 1 {
+		t.Fatalf("Filter removed %d, want 1", n)
+	}
+	if len(removed) != 1 || removed[0] != 2 {
+		t.Fatalf("Filter observer saw %v, want [2]", removed)
+	}
+	if p.InFlight() != 2 {
+		t.Fatalf("InFlight = %d after filter, want 2", p.InFlight())
+	}
+
+	// The survivors emerge in order as latches advance.
+	v, ok := p.Pop()
+	if !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v want 1,true", v, ok)
+	}
+	k.Step()
+	k.Step()
+	v, ok = p.Pop()
+	if !ok || v != 3 {
+		t.Fatalf("Pop = %d,%v want 3,true", v, ok)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("InFlight = %d at the end, want 0", p.InFlight())
+	}
+
+	// Filtering a visible-but-unpopped value must also work after a
+	// partial Pop (the off cursor is honoured).
+	p.Push(7)
+	p.Push(8)
+	k.Step()
+	k.Step()
+	p.Pop() // consume 7; 8 still visible
+	if n := p.Filter(func(v int) bool { return v == 8 }, nil); n != 1 {
+		t.Fatalf("Filter after partial pop removed %d, want 1", n)
+	}
+	if !p.Empty() {
+		t.Fatal("pipe should be empty")
+	}
+}

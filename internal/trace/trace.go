@@ -118,6 +118,24 @@ const (
 	CampaignRepBegin
 	CampaignRepEnd
 
+	// Hard-fault kinds (the progressive-mortality regime).
+	//
+	// LinkDied: the directed link (Node, Port) hard-failed at Cycle —
+	// emitted by the reconfiguration controller at the death boundary,
+	// before any same-cycle actor event. Aux2 is 1 when the death is part
+	// of a router death rather than an isolated link fault.
+	LinkDied
+	// RouterDied: router Node hard-failed at Cycle (its PE stops
+	// generating and all incident links die alongside, each with its own
+	// LinkDied event).
+	RouterDied
+	// FaultMapUpdate: router Node's local fault map learned of new
+	// damage — at the death boundary for the fault site's own routers,
+	// or via one-hop-per-cycle dissemination from a live neighbor for
+	// everyone else. Aux is the map's new version, Aux2 its dead
+	// directed-link count.
+	FaultMapUpdate
+
 	numKinds
 )
 
@@ -186,6 +204,12 @@ func (k Kind) String() string {
 		return "campaign-rep-begin"
 	case CampaignRepEnd:
 		return "campaign-rep-end"
+	case LinkDied:
+		return "link-died"
+	case RouterDied:
+		return "router-died"
+	case FaultMapUpdate:
+		return "fault-map-update"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -234,6 +258,15 @@ const (
 	// DropEvicted: an E2E/FEC retransmission request arrived after the
 	// retained copy timed out — the packet is unrecoverable.
 	DropEvicted
+	// DropLinkDead: the packet occupied (or was in flight on) a link that
+	// hard-failed; the reconfiguration controller destroyed the whole
+	// worm at the death boundary (terminal — the packet counts as
+	// undeliverable, never as lost in transit).
+	DropLinkDead
+	// DropUnreachable: the packet's destination is unreachable on the
+	// surviving topology — detected at injection admission or by the
+	// controller's wedge sweep (terminal; counted as undeliverable).
+	DropUnreachable
 )
 
 // Event is one structured record. It is a flat value type — publishing

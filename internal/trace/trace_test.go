@@ -44,6 +44,10 @@ func TestKindStringsStable(t *testing.T) {
 		CampaignPointEnd:   "campaign-point-end",
 		CampaignRepBegin:   "campaign-rep-begin",
 		CampaignRepEnd:     "campaign-rep-end",
+
+		LinkDied:       "link-died",
+		RouterDied:     "router-died",
+		FaultMapUpdate: "fault-map-update",
 	}
 	for k := Kind(1); k < numKinds; k++ {
 		if w, ok := want[k]; !ok || k.String() != w {

@@ -105,6 +105,29 @@ jq -e --argjson hits "$hits2" '.cache.hits == $hits' <(curl -sf "http://$addr/v1
     || { echo "/v1/stats and /metrics disagree on cache hits"; exit 1; }
 echo "   jobs done $done1->$done2, cache hits $hits1->$hits2, stats agree"
 
+echo "== mortality degradation: 2-point hard-fault sweep"
+mbody='{"base":{"Width":4,"Height":4,"TotalMessages":300,"WarmupMessages":50,"Seed":11},"routings":["fault-adaptive"],"injection_rates":[0.2],"mortality_schedules":["none","link:5E@100,router:9@150"],"seeds":2}'
+curl -sf -X POST -d "$mbody" "http://$addr/v1/campaigns" >"$workdir/sub3.json"
+mid=$(jq -r .id "$workdir/sub3.json")
+curl -sN --max-time 120 "http://$addr/v1/campaigns/$mid/events" >"$workdir/sse3.txt"
+grep -q "^event: done$" "$workdir/sse3.txt" || { echo "no terminal done event for mortality campaign"; cat "$workdir/sse3.txt"; exit 1; }
+curl -sf "http://$addr/v1/campaigns/$mid" >"$workdir/status3.json"
+jq -e '.state == "done" and (.result | length) == 2 and ([.result[].error // ""] | all(. == ""))' \
+    "$workdir/status3.json" >/dev/null \
+    || { echo "mortality campaign did not finish cleanly:"; jq . "$workdir/status3.json"; exit 1; }
+# The fault-free point keeps full reachability; the faulted point's
+# reachable-pair fraction must strictly degrade — the monotone curve the
+# degradation plots are built from.
+jq -e '
+    (.result[] | select(.mortality == "none")) as $ok
+    | (.result[] | select(.mortality != "none")) as $hurt
+    | $ok.reachable_frac.mean == 1
+      and $hurt.reachable_frac.mean < 1
+      and $hurt.reachable_frac.mean > 0
+' "$workdir/status3.json" >/dev/null \
+    || { echo "degradation curve not monotone:"; jq '[.result[] | {mortality, reachable_frac}]' "$workdir/status3.json"; exit 1; }
+echo "   reachable fraction: $(jq -r '[.result[].reachable_frac.mean] | @csv' "$workdir/status3.json") (fault-free vs faulted)"
+
 echo "== graceful shutdown"
 kill -TERM "$nocd_pid"
 wait "$nocd_pid"
